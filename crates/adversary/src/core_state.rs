@@ -1,0 +1,415 @@
+//! The shared coloring-adversary machinery behind Theorems 5 and 6.
+
+use ecs_graph::UnionFind;
+use ecs_model::Partition;
+use std::collections::{HashMap, HashSet};
+
+/// Why an element ended up marked.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mark {
+    /// The element's vertex reached degree above the threshold.
+    HighElementDegree,
+    /// The element's whole color class ran out of swap partners.
+    HighColorDegree,
+    /// Both of the above.
+    Both,
+}
+
+/// The adversary's mutable state. The public adversary types wrap this in a
+/// mutex so it can sit behind the `&self` oracle interface.
+#[derive(Debug)]
+pub struct AdversaryCore {
+    n: usize,
+    /// Degree threshold: an unmarked element exceeding this is marked.
+    degree_threshold: usize,
+    /// Color (eventual class) of every element.
+    color: Vec<usize>,
+    /// Elements of each color (marked and unmarked alike).
+    members: Vec<Vec<usize>>,
+    /// Marks per element.
+    mark: Vec<Option<Mark>>,
+    /// Whether the whole color class has been marked.
+    color_marked: Vec<bool>,
+    /// Colors that must dodge marking by swapping away if possible
+    /// (the "smallest class color" of Theorem 6).
+    protected_color: Option<usize>,
+    /// Contraction structure over elements (vertices of the knowledge graph).
+    uf: UnionFind,
+    /// Known-different edges between vertex roots.
+    adj: HashMap<usize, HashSet<usize>>,
+    /// Number of equivalence tests answered.
+    comparisons: u64,
+    /// Number of marked elements.
+    marked_elements: usize,
+    /// Number of swaps performed (diagnostic).
+    swaps: u64,
+}
+
+impl AdversaryCore {
+    /// Creates the adversary with the given color class sizes. `sizes[c]` is
+    /// the number of elements that will end up in class `c`; elements are
+    /// assigned to colors in blocks (the algorithm cannot observe the initial
+    /// layout because every answer it gets is adversarial anyway).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sizes are empty, contain zero, or the threshold is zero.
+    pub fn new(sizes: &[usize], degree_threshold: usize, protected_color: Option<usize>) -> Self {
+        assert!(!sizes.is_empty(), "need at least one color class");
+        assert!(sizes.iter().all(|&s| s > 0), "color class sizes must be positive");
+        assert!(degree_threshold > 0, "degree threshold must be positive");
+        if let Some(p) = protected_color {
+            assert!(p < sizes.len(), "protected color out of range");
+        }
+        let n: usize = sizes.iter().sum();
+        let mut color = Vec::with_capacity(n);
+        let mut members = vec![Vec::new(); sizes.len()];
+        for (c, &s) in sizes.iter().enumerate() {
+            for _ in 0..s {
+                members[c].push(color.len());
+                color.push(c);
+            }
+        }
+        Self {
+            n,
+            degree_threshold,
+            color,
+            members,
+            mark: vec![None; n],
+            color_marked: vec![false; sizes.len()],
+            protected_color,
+            uf: UnionFind::new(n),
+            adj: HashMap::new(),
+            comparisons: 0,
+            marked_elements: 0,
+            swaps: 0,
+        }
+    }
+
+    /// Number of elements.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of equivalence tests answered so far.
+    pub fn comparisons(&self) -> u64 {
+        self.comparisons
+    }
+
+    /// Number of elements that have been marked so far.
+    pub fn marked_elements(&self) -> usize {
+        self.marked_elements
+    }
+
+    /// Number of color swaps performed (a diagnostic of how long the
+    /// adversary managed to stay non-committal).
+    pub fn swaps(&self) -> u64 {
+        self.swaps
+    }
+
+    /// Whether any element of the protected color has been marked (Theorem 6:
+    /// the bound counts comparisons until this first happens).
+    pub fn protected_color_touched(&self) -> bool {
+        match self.protected_color {
+            None => false,
+            Some(p) => self.members[p].iter().any(|&e| self.mark[e].is_some()),
+        }
+    }
+
+    /// The partition the adversary has committed to (current colors). Once an
+    /// algorithm has performed enough comparisons to pin the adversary down,
+    /// this is the unique partition consistent with every answer given.
+    pub fn partition(&self) -> Partition {
+        Partition::from_labels(&self.color)
+    }
+
+    /// Replays a transcript of answered comparisons against the final colors
+    /// and reports whether every answer was consistent (used by tests).
+    pub fn is_consistent_with(&self, transcript: &[(usize, usize, bool)]) -> bool {
+        transcript
+            .iter()
+            .all(|&(a, b, same)| (self.color[a] == self.color[b]) == same)
+    }
+
+    fn degree(&self, root: usize) -> usize {
+        self.adj.get(&root).map(|s| s.len()).unwrap_or(0)
+    }
+
+    fn adjacent(&self, ra: usize, rb: usize) -> bool {
+        self.adj.get(&ra).map(|s| s.contains(&rb)).unwrap_or(false)
+    }
+
+    fn add_edge(&mut self, ra: usize, rb: usize) {
+        if ra == rb {
+            return;
+        }
+        self.adj.entry(ra).or_default().insert(rb);
+        self.adj.entry(rb).or_default().insert(ra);
+    }
+
+    fn contract(&mut self, ra: usize, rb: usize) {
+        if ra == rb {
+            return;
+        }
+        self.uf.union(ra, rb);
+        let keep = self.uf.find(ra);
+        let drop = if keep == ra { rb } else { ra };
+        let dropped = self.adj.remove(&drop).unwrap_or_default();
+        for z in dropped {
+            if let Some(set) = self.adj.get_mut(&z) {
+                set.remove(&drop);
+                set.insert(keep);
+            }
+            self.adj.entry(keep).or_default().insert(z);
+        }
+    }
+
+    fn set_mark(&mut self, element: usize, mark: Mark) {
+        match self.mark[element] {
+            None => {
+                self.mark[element] = Some(mark);
+                self.marked_elements += 1;
+            }
+            Some(existing) if existing != mark => {
+                self.mark[element] = Some(Mark::Both);
+            }
+            _ => {}
+        }
+    }
+
+    /// Marks `element` with "high element degree" if it is unmarked and one
+    /// more edge would push its vertex degree above the threshold. For
+    /// protected (smallest-class) elements the adversary first tries to swap
+    /// the element out of harm's way, per Theorem 6.
+    fn maybe_mark_high_degree(&mut self, element: usize) {
+        if self.mark[element].is_some() {
+            return;
+        }
+        let root = self.uf.find_immutable(element);
+        if self.degree(root) + 1 <= self.degree_threshold {
+            return;
+        }
+        if Some(self.color[element]) == self.protected_color {
+            // Theorem 6: attempt to swap the endangered smallest-class element
+            // with any valid unmarked vertex before conceding a mark.
+            if let Some(partner) = self.find_swap_partner(element, self.color[element]) {
+                self.swap_colors(element, partner);
+                return;
+            }
+        }
+        self.set_mark(element, Mark::HighElementDegree);
+    }
+
+    /// Looks for an unmarked element `z` of a different color such that
+    /// swapping colors with `candidate` keeps the coloring proper:
+    /// `z` must not be adjacent to any vertex colored like `candidate`
+    /// (`avoid_color`), and `candidate` must not be adjacent to any vertex
+    /// colored like `z`.
+    fn find_swap_partner(&self, candidate: usize, avoid_color: usize) -> Option<usize> {
+        let cand_root = self.uf.find_immutable(candidate);
+        // Colors adjacent to the candidate (cheap: unmarked vertices have
+        // degree at most the threshold).
+        let colors_adjacent_to_candidate: HashSet<usize> = self
+            .adj
+            .get(&cand_root)
+            .map(|set| {
+                set.iter()
+                    .map(|&r| self.color[self.representative_element(r)])
+                    .collect()
+            })
+            .unwrap_or_default();
+        for (c, members) in self.members.iter().enumerate() {
+            if c == avoid_color || self.color_marked[c] {
+                continue;
+            }
+            if colors_adjacent_to_candidate.contains(&c) {
+                continue;
+            }
+            for &z in members {
+                if self.mark[z].is_some() || self.color[z] != c {
+                    continue;
+                }
+                let z_root = self.uf.find_immutable(z);
+                // z must not be adjacent to the avoided color.
+                let z_adjacent_to_avoid = self
+                    .adj
+                    .get(&z_root)
+                    .map(|set| {
+                        set.iter()
+                            .any(|&r| self.color[self.representative_element(r)] == avoid_color)
+                    })
+                    .unwrap_or(false);
+                if !z_adjacent_to_avoid {
+                    return Some(z);
+                }
+            }
+        }
+        None
+    }
+
+    /// An element belonging to the vertex `root` (unmarked vertices are
+    /// singletons, so this is exact for the cases where colors matter).
+    fn representative_element(&self, root: usize) -> usize {
+        root
+    }
+
+    fn swap_colors(&mut self, a: usize, b: usize) {
+        let ca = self.color[a];
+        let cb = self.color[b];
+        if ca == cb {
+            return;
+        }
+        self.color[a] = cb;
+        self.color[b] = ca;
+        // Maintain the membership lists.
+        if let Some(pos) = self.members[ca].iter().position(|&e| e == a) {
+            self.members[ca].swap_remove(pos);
+        }
+        if let Some(pos) = self.members[cb].iter().position(|&e| e == b) {
+            self.members[cb].swap_remove(pos);
+        }
+        self.members[ca].push(b);
+        self.members[cb].push(a);
+        self.swaps += 1;
+    }
+
+    fn mark_whole_color(&mut self, color: usize) {
+        if self.color_marked[color] {
+            return;
+        }
+        self.color_marked[color] = true;
+        let members = self.members[color].clone();
+        for e in members {
+            self.set_mark(e, Mark::HighColorDegree);
+        }
+    }
+
+    /// Answers one equivalence test, following the case analysis of Section 3.
+    pub fn answer(&mut self, a: usize, b: usize) -> bool {
+        assert!(a < self.n && b < self.n, "comparison out of range");
+        self.comparisons += 1;
+        let ra = self.uf.find(a);
+        let rb = self.uf.find(b);
+        if ra == rb {
+            // Already conceded equal earlier; stay consistent.
+            return true;
+        }
+        if self.adjacent(ra, rb) {
+            // Already answered "not equal" for these vertices.
+            return false;
+        }
+
+        // Case 1: degree-based marking.
+        self.maybe_mark_high_degree(a);
+        self.maybe_mark_high_degree(b);
+
+        // Cases 2 and 3: same-colored pair with at least one unmarked element.
+        if self.color[a] == self.color[b] && (self.mark[a].is_none() || self.mark[b].is_none()) {
+            let unmarked = if self.mark[a].is_none() { a } else { b };
+            let common = self.color[a];
+            match self.find_swap_partner(unmarked, common) {
+                Some(partner) => self.swap_colors(unmarked, partner),
+                None => self.mark_whole_color(common),
+            }
+        }
+
+        // Case 4: answer.
+        let both_marked = self.mark[a].is_some() && self.mark[b].is_some();
+        let same = if both_marked {
+            self.color[a] == self.color[b]
+        } else {
+            // At least one endpoint is still unmarked; after the swap phase
+            // their colors must differ, and the adversary answers "not equal".
+            debug_assert_ne!(
+                self.color[a], self.color[b],
+                "unmarked same-colored pair survived the swap/mark phase"
+            );
+            false
+        };
+
+        let ra = self.uf.find(a);
+        let rb = self.uf.find(b);
+        if same {
+            self.contract(ra, rb);
+        } else {
+            self.add_edge(ra, rb);
+        }
+        same
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initial_layout_matches_sizes() {
+        let core = AdversaryCore::new(&[3, 3, 3], 2, None);
+        assert_eq!(core.n(), 9);
+        assert_eq!(core.partition().class_sizes(), vec![3, 3, 3]);
+        assert_eq!(core.comparisons(), 0);
+        assert_eq!(core.marked_elements(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_zero_sizes() {
+        let _ = AdversaryCore::new(&[2, 0], 1, None);
+    }
+
+    #[test]
+    fn repeat_questions_stay_consistent() {
+        let mut core = AdversaryCore::new(&[2, 2], 1, None);
+        let first = core.answer(0, 2);
+        let second = core.answer(0, 2);
+        assert_eq!(first, second);
+        assert_eq!(core.comparisons(), 2);
+    }
+
+    #[test]
+    fn transcript_is_consistent_with_final_colors() {
+        // Ask every pair (a small complete interrogation) and verify that the
+        // final colors explain every answer.
+        let sizes = [4usize, 4, 4];
+        let n: usize = sizes.iter().sum();
+        let mut core = AdversaryCore::new(&sizes, (n / (4 * 4)).max(1), None);
+        let mut transcript = Vec::new();
+        for a in 0..n {
+            for b in (a + 1)..n {
+                let same = core.answer(a, b);
+                transcript.push((a, b, same));
+            }
+        }
+        assert!(core.is_consistent_with(&transcript));
+        // After complete interrogation, classes keep their prescribed sizes.
+        let mut sizes_got = core.partition().class_sizes();
+        sizes_got.sort_unstable();
+        assert_eq!(sizes_got, vec![4, 4, 4]);
+    }
+
+    #[test]
+    fn swaps_keep_answers_negative_early_on() {
+        // With a generous threshold, the first few same-color probes should be
+        // deflected by swaps rather than conceded.
+        let mut core = AdversaryCore::new(&[5, 5, 5, 5], 5, None);
+        // Elements 0 and 1 start with the same color; the adversary should
+        // swap one away and answer "not equal".
+        assert!(!core.answer(0, 1));
+        assert!(core.swaps() >= 1);
+        assert_eq!(core.marked_elements(), 0);
+    }
+
+    #[test]
+    fn protected_color_resists_marking() {
+        // Theorem 6 adversary: the protected color should stay unmarked while
+        // plenty of unmarked swap partners remain.
+        let mut core = AdversaryCore::new(&[2, 6, 6, 6], 2, Some(0));
+        for other in 2..8 {
+            let _ = core.answer(0, other);
+        }
+        assert!(
+            !core.protected_color_touched(),
+            "protected color was marked after only a handful of probes"
+        );
+    }
+}

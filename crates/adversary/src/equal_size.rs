@@ -1,0 +1,167 @@
+//! The Theorem 5 adversary: every equivalence class has the same size `f`.
+
+use crate::core_state::AdversaryCore;
+use ecs_model::{EquivalenceOracle, Partition};
+use parking_lot::Mutex;
+
+/// An adaptive oracle that forces any correct equivalence class sorting
+/// algorithm to spend `Ω(n²/f)` comparisons when all classes have size `f`.
+///
+/// Use it exactly like an [`ecs_model::InstanceOracle`]; after the algorithm
+/// finishes, [`EqualSizeAdversary::comparisons`] reports how many tests it was
+/// forced to make and [`EqualSizeAdversary::paper_lower_bound`] the
+/// `n²/(64f)` value from Lemma 3's accounting.
+#[derive(Debug)]
+pub struct EqualSizeAdversary {
+    core: Mutex<AdversaryCore>,
+    n: usize,
+    f: usize,
+}
+
+impl EqualSizeAdversary {
+    /// Creates the adversary for `n` elements in classes of exactly `f`
+    /// elements each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f == 0` or `f` does not divide `n`.
+    pub fn new(n: usize, f: usize) -> Self {
+        assert!(f > 0, "class size must be positive");
+        assert!(n % f == 0, "f = {f} must divide n = {n}");
+        let k = n / f;
+        let sizes = vec![f; k];
+        let threshold = (n / (4 * f)).max(1);
+        Self {
+            core: Mutex::new(AdversaryCore::new(&sizes, threshold, None)),
+            n,
+            f,
+        }
+    }
+
+    /// The uniform class size `f`.
+    pub fn class_size(&self) -> usize {
+        self.f
+    }
+
+    /// Comparisons the algorithm has performed against this adversary.
+    pub fn comparisons(&self) -> u64 {
+        self.core.lock().comparisons()
+    }
+
+    /// Number of elements the adversary was forced to mark.
+    pub fn marked_elements(&self) -> usize {
+        self.core.lock().marked_elements()
+    }
+
+    /// Number of colour swaps the adversary used to stay non-committal.
+    pub fn swaps(&self) -> u64 {
+        self.core.lock().swaps()
+    }
+
+    /// The partition the adversary has committed to.
+    pub fn partition(&self) -> Partition {
+        self.core.lock().partition()
+    }
+
+    /// The explicit constant of Lemma 3 / Theorem 5: once `n/8` elements are
+    /// marked, at least `n²/(64f)` comparisons have happened; a finished sort
+    /// marks everything, so this is a valid lower bound for the whole run.
+    pub fn paper_lower_bound(&self) -> u64 {
+        let n = self.n as u64;
+        n * n / (64 * self.f as u64)
+    }
+
+    /// The older `Ω(n²/f²)` bound the paper improves upon, for side-by-side
+    /// reporting.
+    pub fn previous_lower_bound(&self) -> u64 {
+        let n = self.n as u64;
+        let f = self.f as u64;
+        n * n / (64 * f * f)
+    }
+}
+
+impl EquivalenceOracle for EqualSizeAdversary {
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn same(&self, a: usize, b: usize) -> bool {
+        self.core.lock().answer(a, b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ecs_core::{EcsAlgorithm, NaiveAllPairs, RepresentativeScan, RoundRobin};
+
+    #[test]
+    #[should_panic(expected = "must divide")]
+    fn rejects_non_dividing_f() {
+        let _ = EqualSizeAdversary::new(10, 3);
+    }
+
+    #[test]
+    fn representative_scan_is_forced_above_the_bound() {
+        for &(n, f) in &[(64usize, 4usize), (128, 8), (240, 12), (300, 10)] {
+            let adversary = EqualSizeAdversary::new(n, f);
+            let run = RepresentativeScan::new().sort(&adversary);
+            // The algorithm must produce exactly the adversary's committed
+            // partition with classes of size f.
+            assert_eq!(run.partition, adversary.partition(), "n={n}, f={f}");
+            let mut sizes = run.partition.class_sizes();
+            sizes.sort_unstable();
+            assert!(sizes.iter().all(|&s| s == f), "n={n}, f={f}: sizes {sizes:?}");
+            assert!(
+                adversary.comparisons() >= adversary.paper_lower_bound(),
+                "n={n}, f={f}: {} comparisons below the n^2/64f bound {}",
+                adversary.comparisons(),
+                adversary.paper_lower_bound()
+            );
+        }
+    }
+
+    #[test]
+    fn round_robin_is_forced_above_the_bound() {
+        for &(n, f) in &[(120usize, 6usize), (200, 10)] {
+            let adversary = EqualSizeAdversary::new(n, f);
+            let run = RoundRobin::new().sort(&adversary);
+            assert_eq!(run.partition, adversary.partition());
+            assert!(
+                adversary.comparisons() >= adversary.paper_lower_bound(),
+                "n={n}, f={f}: {} < {}",
+                adversary.comparisons(),
+                adversary.paper_lower_bound()
+            );
+        }
+    }
+
+    #[test]
+    fn naive_all_pairs_also_completes_against_the_adversary() {
+        let adversary = EqualSizeAdversary::new(36, 6);
+        let run = NaiveAllPairs::new().sort(&adversary);
+        assert_eq!(run.partition, adversary.partition());
+        assert_eq!(run.partition.num_classes(), 6);
+    }
+
+    #[test]
+    fn new_bound_dominates_old_bound() {
+        let adversary = EqualSizeAdversary::new(1024, 16);
+        assert!(adversary.paper_lower_bound() >= 16 * adversary.previous_lower_bound());
+    }
+
+    #[test]
+    fn extreme_class_sizes() {
+        // f = 1: every element is its own class; bound is n^2/64.
+        let singles = EqualSizeAdversary::new(40, 1);
+        let run = RepresentativeScan::new().sort(&singles);
+        assert_eq!(run.partition.num_classes(), 40);
+        assert!(singles.comparisons() >= singles.paper_lower_bound());
+
+        // f = n: a single class; the bound degenerates to n/64.
+        let one = EqualSizeAdversary::new(40, 40);
+        let run = RepresentativeScan::new().sort(&one);
+        assert_eq!(run.partition.num_classes(), 1);
+        assert!(one.comparisons() >= one.paper_lower_bound());
+    }
+}

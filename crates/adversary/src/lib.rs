@@ -1,0 +1,36 @@
+//! Lower-bound adversaries for equivalence class sorting (Section 3 of the
+//! paper).
+//!
+//! The paper proves two improved lower bounds with a coloring adversary:
+//!
+//! * **Theorem 5** — if every equivalence class has the same size `f`, any
+//!   algorithm needs `Ω(n²/f)` equivalence tests (improving the `Ω(n²/f²)`
+//!   bound of Jayapaul et al.);
+//! * **Theorem 6** — finding one element of the smallest class, of size `ℓ`,
+//!   needs `Ω(n²/ℓ)` tests (improving `Ω(n²/ℓ²)`).
+//!
+//! The adversary maintains a weighted equitable coloring of the algorithm's
+//! knowledge graph: vertices are the groups discovered so far (weights are
+//! group sizes), color classes are the eventual equivalence classes, and an
+//! edge joins two vertices that were answered "not equal". Unmarked elements
+//! are kept flexible — when an algorithm probes two same-colored unmarked
+//! elements the adversary tries to *swap* one of them with an unrelated
+//! unmarked vertex so it can keep answering "not equal"; only when an element
+//! has accumulated high degree (`> n/4f`) or its color class has run out of
+//! swap partners does the adversary mark it and commit. Lemma 3 converts a
+//! count of marked elements into the comparison lower bound.
+//!
+//! This crate implements that adversary as an [`ecs_model::EquivalenceOracle`]
+//! so any algorithm from `ecs-core` can be run against it, plus helpers that
+//! report the paper's bound for the chosen parameters so benchmark tables can
+//! print "measured vs. `n²/(64f)`" side by side.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod core_state;
+pub mod equal_size;
+pub mod smallest_class;
+
+pub use equal_size::EqualSizeAdversary;
+pub use smallest_class::SmallestClassAdversary;

@@ -1,0 +1,172 @@
+//! The Theorem 6 adversary: finding an element of the smallest class, of size
+//! `ℓ`, needs `Ω(n²/ℓ)` comparisons.
+
+use crate::core_state::AdversaryCore;
+use ecs_model::{EquivalenceOracle, Partition};
+use parking_lot::Mutex;
+
+/// An adaptive oracle under which identifying any member of the smallest
+/// equivalence class requires `Ω(n²/ℓ)` comparisons.
+///
+/// The construction follows Section 3: `ℓ` elements start with a special
+/// "smallest class" color, the remaining `n − ℓ` elements are split into
+/// roughly `(n − ℓ)/(ℓ + 1)` color classes of size about `ℓ + 1`, the degree
+/// threshold is `n/(4ℓ)`, and whenever a smallest-class element is about to be
+/// marked the adversary first tries to swap it out of danger. As long as fewer
+/// than `n/8` elements are marked, no smallest-class element is pinned down,
+/// so an algorithm that claims to have found one earlier can be refuted.
+#[derive(Debug)]
+pub struct SmallestClassAdversary {
+    core: Mutex<AdversaryCore>,
+    n: usize,
+    ell: usize,
+}
+
+impl SmallestClassAdversary {
+    /// Creates the adversary for `n` elements with smallest class size `ℓ`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ℓ == 0` or `ℓ + 1 > n − ℓ` (there must be room for at least
+    /// one larger class).
+    pub fn new(n: usize, ell: usize) -> Self {
+        assert!(ell > 0, "smallest class size must be positive");
+        assert!(
+            n > 2 * ell,
+            "need n > 2*ell so that a strictly larger class exists (n = {n}, ell = {ell})"
+        );
+        let remaining = n - ell;
+        let num_big = (remaining / (ell + 1)).max(1);
+        // Balance the remaining elements across the big classes.
+        let base = remaining / num_big;
+        let extra = remaining % num_big;
+        let mut sizes = vec![ell];
+        sizes.extend((0..num_big).map(|c| base + usize::from(c < extra)));
+        let threshold = (n / (4 * ell)).max(1);
+        Self {
+            core: Mutex::new(AdversaryCore::new(&sizes, threshold, Some(0))),
+            n,
+            ell,
+        }
+    }
+
+    /// The smallest class size `ℓ`.
+    pub fn smallest_class_size(&self) -> usize {
+        self.ell
+    }
+
+    /// Comparisons performed so far.
+    pub fn comparisons(&self) -> u64 {
+        self.core.lock().comparisons()
+    }
+
+    /// Number of marked elements.
+    pub fn marked_elements(&self) -> usize {
+        self.core.lock().marked_elements()
+    }
+
+    /// Whether any smallest-class element has been marked yet — the event
+    /// whose cost Theorem 6 bounds from below.
+    pub fn smallest_class_pinned(&self) -> bool {
+        self.core.lock().protected_color_touched()
+    }
+
+    /// The partition the adversary has committed to.
+    pub fn partition(&self) -> Partition {
+        self.core.lock().partition()
+    }
+
+    /// The paper's lower bound with Lemma 3's explicit constant: `n²/(64ℓ)`.
+    pub fn paper_lower_bound(&self) -> u64 {
+        let n = self.n as u64;
+        n * n / (64 * self.ell as u64)
+    }
+
+    /// The older `Ω(n²/ℓ²)` bound, for comparison columns.
+    pub fn previous_lower_bound(&self) -> u64 {
+        let n = self.n as u64;
+        let l = self.ell as u64;
+        n * n / (64 * l * l)
+    }
+}
+
+impl EquivalenceOracle for SmallestClassAdversary {
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn same(&self, a: usize, b: usize) -> bool {
+        self.core.lock().answer(a, b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ecs_core::{EcsAlgorithm, RepresentativeScan, RoundRobin};
+
+    #[test]
+    #[should_panic(expected = "n > 2*ell")]
+    fn rejects_too_large_ell() {
+        let _ = SmallestClassAdversary::new(10, 5);
+    }
+
+    #[test]
+    fn class_structure_has_a_unique_smallest_class() {
+        let adversary = SmallestClassAdversary::new(100, 4);
+        let sizes = adversary.partition().class_sizes();
+        let min = *sizes.iter().min().unwrap();
+        assert_eq!(min, 4);
+        assert_eq!(sizes.iter().filter(|&&s| s == min).count(), 1);
+        assert!(sizes.iter().all(|&s| s == 4 || s >= 5));
+    }
+
+    #[test]
+    fn full_classification_costs_at_least_the_bound() {
+        for &(n, ell) in &[(100usize, 4usize), (150, 3), (200, 8)] {
+            let adversary = SmallestClassAdversary::new(n, ell);
+            let run = RepresentativeScan::new().sort(&adversary);
+            assert_eq!(run.partition, adversary.partition(), "n={n}, ell={ell}");
+            assert!(
+                adversary.comparisons() >= adversary.paper_lower_bound(),
+                "n={n}, ell={ell}: {} < {}",
+                adversary.comparisons(),
+                adversary.paper_lower_bound()
+            );
+            // Completing the sort necessarily pins the smallest class down.
+            assert!(adversary.smallest_class_pinned());
+        }
+    }
+
+    #[test]
+    fn round_robin_against_the_adversary() {
+        let adversary = SmallestClassAdversary::new(120, 5);
+        let run = RoundRobin::new().sort(&adversary);
+        assert_eq!(run.partition, adversary.partition());
+        assert!(adversary.comparisons() >= adversary.paper_lower_bound());
+    }
+
+    #[test]
+    fn smallest_class_stays_unpinned_under_light_probing() {
+        let adversary = SmallestClassAdversary::new(400, 4);
+        // Probe a few hundred scattered pairs — far fewer than n^2/(64*ell).
+        let mut count = 0u64;
+        for a in 0..40 {
+            for b in 40..45 {
+                let _ = adversary.same(a, b);
+                count += 1;
+            }
+        }
+        assert!(count < adversary.paper_lower_bound());
+        assert!(
+            !adversary.smallest_class_pinned(),
+            "smallest class pinned after only {count} comparisons"
+        );
+    }
+
+    #[test]
+    fn new_bound_dominates_old_bound() {
+        let adversary = SmallestClassAdversary::new(1000, 10);
+        assert!(adversary.paper_lower_bound() >= 10 * adversary.previous_lower_bound());
+    }
+}

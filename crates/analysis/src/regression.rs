@@ -1,0 +1,190 @@
+//! Ordinary least-squares line fitting.
+//!
+//! Figure 5 of the paper overlays a best-fit line on every series for which
+//! Section 4 proves linear comparison counts (everything except zeta with
+//! `s < 2`). The fits here reproduce those lines and report `R²` so the
+//! "tightly concentrated around the best fit line" observation can be checked
+//! quantitatively.
+
+/// An ordinary least-squares fit `y ≈ slope·x + intercept`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinearFit {
+    /// Slope of the fitted line.
+    pub slope: f64,
+    /// Intercept of the fitted line.
+    pub intercept: f64,
+    /// Coefficient of determination in `[0, 1]` (1 when the fit is exact).
+    pub r_squared: f64,
+}
+
+impl LinearFit {
+    /// Fits a line through the points `(x[i], y[i])`.
+    ///
+    /// Returns `None` if fewer than two points are given or all `x` values are
+    /// identical (the slope would be undefined).
+    pub fn fit(x: &[f64], y: &[f64]) -> Option<Self> {
+        assert_eq!(x.len(), y.len(), "x and y must have the same length");
+        let n = x.len();
+        if n < 2 {
+            return None;
+        }
+        let mean_x = x.iter().sum::<f64>() / n as f64;
+        let mean_y = y.iter().sum::<f64>() / n as f64;
+        let mut sxx = 0.0;
+        let mut sxy = 0.0;
+        let mut syy = 0.0;
+        for i in 0..n {
+            let dx = x[i] - mean_x;
+            let dy = y[i] - mean_y;
+            sxx += dx * dx;
+            sxy += dx * dy;
+            syy += dy * dy;
+        }
+        if sxx <= 0.0 {
+            return None;
+        }
+        let slope = sxy / sxx;
+        let intercept = mean_y - slope * mean_x;
+        let r_squared = if syy <= 0.0 {
+            1.0
+        } else {
+            (sxy * sxy) / (sxx * syy)
+        };
+        Some(Self {
+            slope,
+            intercept,
+            r_squared,
+        })
+    }
+
+    /// Evaluates the fitted line at `x`.
+    pub fn predict(&self, x: f64) -> f64 {
+        self.slope * x + self.intercept
+    }
+
+    /// The largest relative residual `|y − ŷ| / ŷ` over the given points —
+    /// the number behind the paper's "data points vary by as much as 10%"
+    /// remark for zeta with `s = 2`.
+    pub fn max_relative_residual(&self, x: &[f64], y: &[f64]) -> f64 {
+        x.iter()
+            .zip(y)
+            .map(|(&xi, &yi)| {
+                let pred = self.predict(xi);
+                if pred.abs() < f64::EPSILON {
+                    0.0
+                } else {
+                    ((yi - pred) / pred).abs()
+                }
+            })
+            .fold(0.0, f64::max)
+    }
+}
+
+/// Fits `y ≈ c·x^p` by regressing `ln y` on `ln x`; returns `(p, c, r²)`.
+///
+/// Used to characterise the growth exponent of the zeta series with `s < 2`,
+/// where the paper leaves the growth rate as an open question.
+pub fn power_law_fit(x: &[f64], y: &[f64]) -> Option<(f64, f64, f64)> {
+    assert_eq!(x.len(), y.len());
+    let (lx, ly): (Vec<f64>, Vec<f64>) = x
+        .iter()
+        .zip(y)
+        .filter(|(&a, &b)| a > 0.0 && b > 0.0)
+        .map(|(&a, &b)| (a.ln(), b.ln()))
+        .unzip();
+    let fit = LinearFit::fit(&lx, &ly)?;
+    Some((fit.slope, fit.intercept.exp(), fit.r_squared))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn exact_line_is_recovered() {
+        let x: Vec<f64> = (1..=10).map(|i| i as f64).collect();
+        let y: Vec<f64> = x.iter().map(|v| 3.0 * v + 7.0).collect();
+        let fit = LinearFit::fit(&x, &y).unwrap();
+        assert!((fit.slope - 3.0).abs() < 1e-12);
+        assert!((fit.intercept - 7.0).abs() < 1e-12);
+        assert!((fit.r_squared - 1.0).abs() < 1e-12);
+        assert!((fit.predict(20.0) - 67.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn too_few_or_degenerate_points() {
+        assert!(LinearFit::fit(&[1.0], &[2.0]).is_none());
+        assert!(LinearFit::fit(&[2.0, 2.0, 2.0], &[1.0, 2.0, 3.0]).is_none());
+        assert!(LinearFit::fit(&[], &[]).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "same length")]
+    fn mismatched_lengths_panic() {
+        let _ = LinearFit::fit(&[1.0, 2.0], &[1.0]);
+    }
+
+    #[test]
+    fn constant_y_has_r_squared_one() {
+        let fit = LinearFit::fit(&[1.0, 2.0, 3.0], &[5.0, 5.0, 5.0]).unwrap();
+        assert_eq!(fit.slope, 0.0);
+        assert_eq!(fit.intercept, 5.0);
+        assert_eq!(fit.r_squared, 1.0);
+    }
+
+    #[test]
+    fn noisy_line_has_high_but_imperfect_r_squared() {
+        let x: Vec<f64> = (1..=50).map(|i| i as f64).collect();
+        let y: Vec<f64> = x
+            .iter()
+            .enumerate()
+            .map(|(i, v)| 2.0 * v + if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
+        let fit = LinearFit::fit(&x, &y).unwrap();
+        assert!(fit.r_squared > 0.99);
+        assert!(fit.r_squared < 1.0);
+        assert!(fit.max_relative_residual(&x, &y) < 0.5);
+    }
+
+    #[test]
+    fn power_law_recovers_exponent() {
+        let x: Vec<f64> = (1..=40).map(|i| i as f64 * 10.0).collect();
+        let y: Vec<f64> = x.iter().map(|v| 0.5 * v.powf(1.7)).collect();
+        let (p, c, r2) = power_law_fit(&x, &y).unwrap();
+        assert!((p - 1.7).abs() < 1e-9);
+        assert!((c - 0.5).abs() < 1e-9);
+        assert!((r2 - 1.0).abs() < 1e-12);
+    }
+
+    proptest! {
+        #[test]
+        fn r_squared_is_in_unit_interval(
+            points in proptest::collection::vec((0.0f64..1e4, -1e4f64..1e4), 2..60)
+        ) {
+            let x: Vec<f64> = points.iter().map(|p| p.0).collect();
+            let y: Vec<f64> = points.iter().map(|p| p.1).collect();
+            if let Some(fit) = LinearFit::fit(&x, &y) {
+                prop_assert!(fit.r_squared >= -1e-9);
+                prop_assert!(fit.r_squared <= 1.0 + 1e-9);
+            }
+        }
+
+        #[test]
+        fn fit_minimises_error_against_nearby_lines(
+            points in proptest::collection::vec((0.0f64..100.0, -100.0f64..100.0), 3..40)
+        ) {
+            let x: Vec<f64> = points.iter().map(|p| p.0).collect();
+            let y: Vec<f64> = points.iter().map(|p| p.1).collect();
+            if let Some(fit) = LinearFit::fit(&x, &y) {
+                let sse = |slope: f64, intercept: f64| -> f64 {
+                    x.iter().zip(&y).map(|(&xi, &yi)| (yi - slope * xi - intercept).powi(2)).sum()
+                };
+                let best = sse(fit.slope, fit.intercept);
+                for (ds, di) in [(0.01, 0.0), (-0.01, 0.0), (0.0, 0.5), (0.0, -0.5)] {
+                    prop_assert!(best <= sse(fit.slope + ds, fit.intercept + di) + 1e-6);
+                }
+            }
+        }
+    }
+}

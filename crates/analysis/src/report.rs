@@ -1,0 +1,216 @@
+//! Plain-text, Markdown, and CSV rendering of experiment results.
+
+/// A simple rectangular table with named columns.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table with the given title and column headers.
+    pub fn new<S: Into<String>>(title: S, headers: &[&str]) -> Self {
+        Self {
+            title: title.into(),
+            headers: headers.iter().map(|h| h.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// The table title.
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// Number of data rows.
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width does not match the header width.
+    pub fn push_row(&mut self, row: Vec<String>) {
+        assert_eq!(
+            row.len(),
+            self.headers.len(),
+            "row has {} cells but the table has {} columns",
+            row.len(),
+            self.headers.len()
+        );
+        self.rows.push(row);
+    }
+
+    /// Convenience for building a row out of displayable values.
+    pub fn push_display_row<D: std::fmt::Display>(&mut self, row: &[D]) {
+        self.push_row(row.iter().map(|d| d.to_string()).collect());
+    }
+
+    /// Renders as GitHub-flavoured Markdown.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        if !self.title.is_empty() {
+            out.push_str(&format!("### {}\n\n", self.title));
+        }
+        out.push_str(&format!("| {} |\n", self.headers.join(" | ")));
+        out.push_str(&format!(
+            "|{}\n",
+            self.headers.iter().map(|_| "---|").collect::<String>()
+        ));
+        for row in &self.rows {
+            out.push_str(&format!("| {} |\n", row.join(" | ")));
+        }
+        out
+    }
+
+    /// Renders as CSV (header row first).
+    pub fn to_csv(&self) -> String {
+        let escape = |cell: &str| -> String {
+            if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_string()
+            }
+        };
+        let mut out = String::new();
+        out.push_str(
+            &self
+                .headers
+                .iter()
+                .map(|h| escape(h))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders as an aligned plain-text table for terminal output.
+    pub fn to_text(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let render_row = |cells: &[String]| -> String {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:<width$}", c, width = widths[i]))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        let mut out = String::new();
+        if !self.title.is_empty() {
+            out.push_str(&format!("{}\n", self.title));
+        }
+        out.push_str(&render_row(&self.headers));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&render_row(row));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Writes the CSV rendering to a file.
+    pub fn write_csv<P: AsRef<std::path::Path>>(&self, path: P) -> std::io::Result<()> {
+        std::fs::write(path, self.to_csv())
+    }
+}
+
+/// Formats a float with a sensible number of significant digits for tables.
+pub fn fmt_float(value: f64) -> String {
+    if value == 0.0 {
+        "0".to_string()
+    } else if value.abs() >= 1000.0 {
+        format!("{value:.0}")
+    } else if value.abs() >= 1.0 {
+        format!("{value:.2}")
+    } else {
+        format!("{value:.4}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new("demo", &["n", "comparisons"]);
+        t.push_row(vec!["10".into(), "45".into()]);
+        t.push_row(vec!["20".into(), "190".into()]);
+        t
+    }
+
+    #[test]
+    fn markdown_rendering() {
+        let md = sample().to_markdown();
+        assert!(md.contains("### demo"));
+        assert!(md.contains("| n | comparisons |"));
+        assert!(md.contains("| 10 | 45 |"));
+        assert_eq!(md.matches('\n').count(), 6);
+    }
+
+    #[test]
+    fn csv_rendering_and_escaping() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.push_row(vec!["1,5".into(), "say \"hi\"".into()]);
+        let csv = t.to_csv();
+        assert!(csv.starts_with("a,b\n"));
+        assert!(csv.contains("\"1,5\""));
+        assert!(csv.contains("\"say \"\"hi\"\"\""));
+    }
+
+    #[test]
+    fn text_rendering_aligns_columns() {
+        let txt = sample().to_text();
+        assert!(txt.contains("demo"));
+        let lines: Vec<&str> = txt.lines().collect();
+        assert!(lines.len() >= 4);
+        assert!(lines[1].starts_with("n "));
+    }
+
+    #[test]
+    #[should_panic(expected = "columns")]
+    fn wrong_width_row_rejected() {
+        let mut t = sample();
+        t.push_row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn display_row_and_counts() {
+        let mut t = Table::new("", &["x", "y"]);
+        t.push_display_row(&[1.5, 2.5]);
+        assert_eq!(t.num_rows(), 1);
+        assert!(t.to_markdown().contains("| 1.5 | 2.5 |"));
+    }
+
+    #[test]
+    fn csv_round_trips_to_disk() {
+        let t = sample();
+        let path = std::env::temp_dir().join("ecs_analysis_report_test.csv");
+        t.write_csv(&path).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(content, t.to_csv());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(fmt_float(0.0), "0");
+        assert_eq!(fmt_float(1234.7), "1235");
+        assert_eq!(fmt_float(12.345), "12.35");
+        assert_eq!(fmt_float(0.01234), "0.0123");
+    }
+}

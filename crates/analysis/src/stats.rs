@@ -1,0 +1,186 @@
+//! Summary statistics (Welford's online algorithm).
+
+/// Streaming mean / variance / extremes of a sample, computed with Welford's
+/// numerically stable update.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Summary {
+    count: usize,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Summary {
+    /// An empty summary.
+    pub fn new() -> Self {
+        Self {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Builds a summary from a slice of observations.
+    pub fn from_slice(values: &[f64]) -> Self {
+        let mut s = Self::new();
+        for &v in values {
+            s.push(v);
+        }
+        s
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, value: f64) {
+        self.count += 1;
+        let delta = value - self.mean;
+        self.mean += delta / self.count as f64;
+        let delta2 = value - self.mean;
+        self.m2 += delta * delta2;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Sample mean (0 for an empty summary).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Unbiased sample variance (0 with fewer than two observations).
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Standard error of the mean.
+    pub fn std_error(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.std_dev() / (self.count as f64).sqrt()
+        }
+    }
+
+    /// Smallest observation (`NaN`-free input assumed); 0 if empty.
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest observation; 0 if empty.
+    pub fn max(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+
+    /// Coefficient of variation (`std_dev / mean`), 0 when the mean is 0.
+    pub fn coefficient_of_variation(&self) -> f64 {
+        if self.mean().abs() < f64::EPSILON {
+            0.0
+        } else {
+            self.std_dev() / self.mean()
+        }
+    }
+
+    /// A symmetric ~95% confidence half-width for the mean
+    /// (`1.96 × std_error`).
+    pub fn confidence95(&self) -> f64 {
+        1.96 * self.std_error()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_summary_is_all_zero() {
+        let s = Summary::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.min(), 0.0);
+        assert_eq!(s.max(), 0.0);
+    }
+
+    #[test]
+    fn known_values() {
+        let s = Summary::from_slice(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        // Population variance is 4; the unbiased sample variance is 32/7.
+        assert!((s.variance() - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+    }
+
+    #[test]
+    fn single_observation() {
+        let s = Summary::from_slice(&[42.0]);
+        assert_eq!(s.mean(), 42.0);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.std_error(), 0.0);
+        assert_eq!(s.min(), 42.0);
+        assert_eq!(s.max(), 42.0);
+    }
+
+    #[test]
+    fn coefficient_of_variation_and_confidence() {
+        let s = Summary::from_slice(&[10.0, 12.0, 8.0, 10.0]);
+        assert!(s.coefficient_of_variation() > 0.0);
+        assert!(s.confidence95() > 0.0);
+        let zero_mean = Summary::from_slice(&[-1.0, 1.0]);
+        assert_eq!(zero_mean.coefficient_of_variation(), 0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn matches_two_pass_computation(values in proptest::collection::vec(-1e6f64..1e6, 1..200)) {
+            let s = Summary::from_slice(&values);
+            let n = values.len() as f64;
+            let mean = values.iter().sum::<f64>() / n;
+            prop_assert!((s.mean() - mean).abs() < 1e-6 * mean.abs().max(1.0));
+            if values.len() > 1 {
+                let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (n - 1.0);
+                prop_assert!((s.variance() - var).abs() < 1e-4 * var.abs().max(1.0));
+            }
+            let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
+            let max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            prop_assert_eq!(s.min(), min);
+            prop_assert_eq!(s.max(), max);
+        }
+
+        #[test]
+        fn mean_is_within_min_max(values in proptest::collection::vec(-1e3f64..1e3, 1..50)) {
+            let s = Summary::from_slice(&values);
+            prop_assert!(s.mean() >= s.min() - 1e-9);
+            prop_assert!(s.mean() <= s.max() + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,52 @@
+//! Criterion benchmarks for the lower-bound adversaries of Theorems 5 and 6:
+//! time to run a full classification against the adaptive oracle.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ecs_adversary::{EqualSizeAdversary, SmallestClassAdversary};
+use ecs_core::{EcsAlgorithm, RepresentativeScan};
+use std::hint::black_box;
+
+fn equal_size(c: &mut Criterion) {
+    let mut group = c.benchmark_group("adversary_equal_size");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(400));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for &(n, f) in &[(256usize, 8usize), (512, 16)] {
+        group.bench_with_input(
+            BenchmarkId::new("rep_scan_vs_adversary", format!("n{n}_f{f}")),
+            &(n, f),
+            |b, &(n, f)| {
+                b.iter(|| {
+                    let adversary = EqualSizeAdversary::new(n, f);
+                    let run = RepresentativeScan::new().sort(&adversary);
+                    black_box((run.metrics.comparisons(), adversary.comparisons()))
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn smallest_class(c: &mut Criterion) {
+    let mut group = c.benchmark_group("adversary_smallest_class");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(400));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for &(n, ell) in &[(256usize, 8usize), (512, 8)] {
+        group.bench_with_input(
+            BenchmarkId::new("rep_scan_vs_adversary", format!("n{n}_l{ell}")),
+            &(n, ell),
+            |b, &(n, ell)| {
+                b.iter(|| {
+                    let adversary = SmallestClassAdversary::new(n, ell);
+                    let run = RepresentativeScan::new().sort(&adversary);
+                    black_box((run.metrics.comparisons(), adversary.comparisons()))
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, equal_size, smallest_class);
+criterion_main!(benches);

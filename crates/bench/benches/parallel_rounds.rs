@@ -1,0 +1,95 @@
+//! Criterion benchmarks for the parallel algorithms of Theorems 1, 2, and 4,
+//! including the ablation between the sharp and conservative choices of the
+//! Hamiltonian-cycle count.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ecs_core::{CrCompoundMerge, EcsAlgorithm, ErConstantRound, ErMergeSort};
+use ecs_model::{Instance, InstanceOracle};
+use ecs_rng::{SeedableEcsRng, Xoshiro256StarStar};
+use std::hint::black_box;
+
+fn cr_compound(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parallel_cr");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(400));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for &(n, k) in &[(5_000usize, 4usize), (20_000, 8)] {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(1);
+        let instance = Instance::balanced(n, k, &mut rng);
+        group.bench_with_input(
+            BenchmarkId::new("cr_compound", format!("n{n}_k{k}")),
+            &instance,
+            |b, instance| {
+                let oracle = InstanceOracle::new(instance);
+                b.iter(|| black_box(CrCompoundMerge::new(k).sort(&oracle).metrics.rounds()));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn er_merge(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parallel_er");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(400));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for &(n, k) in &[(5_000usize, 4usize), (20_000, 8)] {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(2);
+        let instance = Instance::balanced(n, k, &mut rng);
+        group.bench_with_input(
+            BenchmarkId::new("er_merge", format!("n{n}_k{k}")),
+            &instance,
+            |b, instance| {
+                let oracle = InstanceOracle::new(instance);
+                b.iter(|| black_box(ErMergeSort::new().sort(&oracle).metrics.rounds()));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn constant_round(c: &mut Criterion) {
+    let mut group = c.benchmark_group("constant_round");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(400));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for &n in &[5_000usize, 20_000] {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(3);
+        let instance = Instance::balanced(n, 3, &mut rng);
+        group.bench_with_input(
+            BenchmarkId::new("sharp_cycles", n),
+            &instance,
+            |b, instance| {
+                let oracle = InstanceOracle::new(instance);
+                b.iter(|| {
+                    black_box(
+                        ErConstantRound::with_lambda(0.3, 7)
+                            .sort(&oracle)
+                            .metrics
+                            .rounds(),
+                    )
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("conservative_cycles", n),
+            &instance,
+            |b, instance| {
+                let oracle = InstanceOracle::new(instance);
+                b.iter(|| {
+                    black_box(
+                        ErConstantRound::with_lambda(0.3, 7)
+                            .conservative_cycles()
+                            .sort(&oracle)
+                            .metrics
+                            .rounds(),
+                    )
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, cr_compound, er_merge, constant_round);
+criterion_main!(benches);

@@ -1,0 +1,101 @@
+//! Criterion benchmarks for the substrates: union-find, SCC, Hamiltonian
+//! unions, ER scheduling, and the PRNG.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ecs_graph::{tarjan_scc, DiGraph, HamiltonianUnion, UnionFind};
+use ecs_model::schedule::schedule_er;
+use ecs_rng::{EcsRng, SeedableEcsRng, Xoshiro256StarStar};
+use std::hint::black_box;
+
+fn union_find(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrate_union_find");
+    for &n in &[10_000usize, 100_000] {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(1);
+        let ops: Vec<(usize, usize)> = (0..n).map(|_| (rng.below(n), rng.below(n))).collect();
+        group.bench_with_input(BenchmarkId::new("random_unions", n), &ops, |b, ops| {
+            b.iter(|| {
+                let mut uf = UnionFind::new(n);
+                for &(a, bb) in ops {
+                    uf.union(a, bb);
+                }
+                black_box(uf.num_sets())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn scc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrate_scc");
+    group.sample_size(20);
+    group.warm_up_time(std::time::Duration::from_millis(400));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for &n in &[10_000usize, 50_000] {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(2);
+        let edges: Vec<(usize, usize)> = (0..3 * n).map(|_| (rng.below(n), rng.below(n))).collect();
+        let graph = DiGraph::from_edges(n, &edges);
+        group.bench_with_input(BenchmarkId::new("tarjan", n), &graph, |b, graph| {
+            b.iter(|| black_box(tarjan_scc(graph).len()));
+        });
+    }
+    group.finish();
+}
+
+fn hamiltonian(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrate_hamiltonian");
+    group.sample_size(20);
+    group.warm_up_time(std::time::Duration::from_millis(400));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for &n in &[10_000usize, 50_000] {
+        group.bench_with_input(BenchmarkId::new("build_and_schedule", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut rng = Xoshiro256StarStar::seed_from_u64(3);
+                let h = HamiltonianUnion::random(n, 8, &mut rng);
+                black_box(h.er_rounds().len())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn er_scheduling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrate_schedule");
+    group.sample_size(20);
+    group.warm_up_time(std::time::Duration::from_millis(400));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for &m in &[10_000usize, 50_000] {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(4);
+        let pairs: Vec<(usize, usize)> = (0..m)
+            .map(|_| {
+                let a = rng.below(m);
+                let mut b = rng.below(m);
+                if a == b {
+                    b = (b + 1) % m;
+                }
+                (a, b)
+            })
+            .collect();
+        group.bench_with_input(BenchmarkId::new("greedy_er", m), &pairs, |b, pairs| {
+            b.iter(|| black_box(schedule_er(pairs).len()));
+        });
+    }
+    group.finish();
+}
+
+fn rng_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrate_rng");
+    group.bench_function("xoshiro_1M_draws", |b| {
+        b.iter(|| {
+            let mut rng = Xoshiro256StarStar::seed_from_u64(5);
+            let mut acc = 0u64;
+            for _ in 0..1_000_000 {
+                acc = acc.wrapping_add(rng.next_u64());
+            }
+            black_box(acc)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, union_find, scc, hamiltonian, er_scheduling, rng_throughput);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Regenerates Figure 5: round-robin comparison counts under the four class
+//! distributions, with best-fit lines where the paper proves linearity.
+//!
+//! ```text
+//! cargo run -p ecs-bench --release --bin figure5 -- [--dist uniform|geometric|poisson|zeta|all]
+//!     [--full] [--scale D] [--trials T] [--seed S] [--out results]
+//! ```
+//!
+//! By default the paper's size grids are divided by 10 so the whole figure
+//! regenerates in seconds; pass `--full` for the exact grids of the paper
+//! (n up to 200 000, 10 trials — this takes considerably longer).
+
+use ecs_analysis::figure5_series;
+use ecs_bench::paper;
+use ecs_bench::runners::figure5_table;
+use ecs_bench::Args;
+use ecs_distributions::ClassDistribution;
+
+fn main() {
+    let args = Args::from_env();
+    let panel = args.get_or("dist", "all");
+    let scale = if args.has("full") {
+        1
+    } else {
+        args.get_usize("scale", 10)
+    };
+    let trials = args.get_usize("trials", if args.has("full") { 10 } else { 5 });
+    let seed = args.get_u64("seed", 2016);
+    let out_dir = args.get_or("out", "results");
+    std::fs::create_dir_all(&out_dir).expect("cannot create output directory");
+
+    let panels: Vec<&str> = if panel == "all" {
+        paper::panel_names()
+    } else {
+        vec![Box::leak(panel.clone().into_boxed_str())]
+    };
+
+    for panel in panels {
+        println!("=== Figure 5 panel: {panel} (scale 1/{scale}, {trials} trials) ===\n");
+        for config in paper::figure5_configs(panel, scale, trials, seed) {
+            let label = config.distribution.name();
+            let series = figure5_series(&config);
+            let table = figure5_table(&series);
+            println!("{}", table.to_text());
+            if let Some(fit) = &series.fit {
+                println!(
+                    "max relative spread around the fit: {:.2}%\n",
+                    100.0 * series.max_relative_spread()
+                );
+                let _ = fit;
+            } else {
+                println!("(no fit: paper leaves this regime open — expect super-linear growth)\n");
+            }
+            let path = format!("{out_dir}/figure5_{}.csv", label.replace(['(', ')', '=', ',', ' '], "_"));
+            table.write_csv(&path).expect("cannot write CSV");
+            println!("wrote {path}\n");
+        }
+    }
+}

@@ -1,0 +1,30 @@
+//! Regenerates the lower-bound evidence for Theorems 5 and 6: the coloring
+//! adversary forces any correct algorithm to perform Ω(n²/f) (equal class
+//! sizes) and Ω(n²/ℓ) (smallest class) comparisons, well above the older
+//! Ω(n²/f²) / Ω(n²/ℓ²) bounds.
+//!
+//! ```text
+//! cargo run -p ecs-bench --release --bin lower_bounds -- [--out results]
+//! ```
+
+use ecs_bench::paper::{theorem5_grid, theorem6_grid};
+use ecs_bench::runners::{theorem5_table, theorem6_table};
+use ecs_bench::Args;
+
+fn main() {
+    let args = Args::from_env();
+    let out_dir = args.get_or("out", "results");
+    std::fs::create_dir_all(&out_dir).expect("cannot create output directory");
+
+    let t5 = theorem5_table(&theorem5_grid());
+    println!("{}", t5.to_text());
+    t5.write_csv(format!("{out_dir}/theorem5_lower_bound.csv"))
+        .expect("cannot write CSV");
+
+    let t6 = theorem6_table(&theorem6_grid());
+    println!("{}", t6.to_text());
+    t6.write_csv(format!("{out_dir}/theorem6_lower_bound.csv"))
+        .expect("cannot write CSV");
+
+    println!("wrote {out_dir}/theorem5_lower_bound.csv and {out_dir}/theorem6_lower_bound.csv");
+}

@@ -1,0 +1,113 @@
+//! Runs every experiment of the paper at a reduced scale and writes all
+//! tables to `results/` (CSV) plus a combined Markdown report.
+//!
+//! ```text
+//! cargo run -p ecs-bench --release --bin reproduce_all -- [--out results] [--scale D]
+//! ```
+//!
+//! Pass `--full` to use the paper's exact grids (slow).
+
+use ecs_analysis::{dominance_experiment, figure5_series, DominanceConfig};
+use ecs_bench::paper;
+use ecs_bench::runners::{
+    algorithm_comparison_table, dominance_table, figure5_table, theorem1_table, theorem2_table,
+    theorem4_table, theorem5_table, theorem6_table,
+};
+use ecs_bench::Args;
+use ecs_distributions::class_distribution::AnyDistribution;
+use ecs_distributions::ClassDistribution;
+
+fn main() {
+    let args = Args::from_env();
+    let out_dir = args.get_or("out", "results");
+    let scale = if args.has("full") { 1 } else { args.get_usize("scale", 20) };
+    let trials = args.get_usize("trials", if args.has("full") { 10 } else { 3 });
+    let seed = args.get_u64("seed", 2016);
+    std::fs::create_dir_all(&out_dir).expect("cannot create output directory");
+
+    let mut report = String::from("# Reproduction report\n\n");
+
+    // Experiments E1–E4: Figure 5 panels.
+    for panel in paper::panel_names() {
+        println!("running Figure 5 panel '{panel}'...");
+        for config in paper::figure5_configs(panel, scale, trials, seed) {
+            let series = figure5_series(&config);
+            let table = figure5_table(&series);
+            report.push_str(&table.to_markdown());
+            report.push('\n');
+            let label = config.distribution.name();
+            table
+                .write_csv(format!(
+                    "{out_dir}/figure5_{}.csv",
+                    label.replace(['(', ')', '=', ',', ' '], "_")
+                ))
+                .expect("cannot write CSV");
+        }
+    }
+
+    // Experiments E5–E7: round counts.
+    println!("running Theorem 1/2/4 round-count experiments...");
+    let small_grid: Vec<(usize, usize)> = paper::round_count_grid()
+        .into_iter()
+        .map(|(n, k)| (n / scale.max(1), k))
+        .filter(|&(n, k)| n >= 10 * k)
+        .collect();
+    for (table, path) in [
+        (theorem1_table(&small_grid, seed), "theorem1_rounds.csv"),
+        (theorem2_table(&small_grid, seed), "theorem2_rounds.csv"),
+        (
+            theorem4_table(&paper::theorem4_lambdas(), &[1_000, 4_000], seed),
+            "theorem4_rounds.csv",
+        ),
+    ] {
+        report.push_str(&table.to_markdown());
+        report.push('\n');
+        table
+            .write_csv(format!("{out_dir}/{path}"))
+            .expect("cannot write CSV");
+    }
+
+    // Experiment E8: lower bounds.
+    println!("running Theorem 5/6 lower-bound experiments...");
+    let t5 = theorem5_table(&paper::theorem5_grid());
+    let t6 = theorem6_table(&paper::theorem6_grid());
+    report.push_str(&t5.to_markdown());
+    report.push('\n');
+    report.push_str(&t6.to_markdown());
+    report.push('\n');
+    t5.write_csv(format!("{out_dir}/theorem5_lower_bound.csv")).unwrap();
+    t6.write_csv(format!("{out_dir}/theorem6_lower_bound.csv")).unwrap();
+
+    // Experiment E9: Theorem 7 dominance.
+    println!("running Theorem 7 dominance experiment...");
+    let n = 50_000 / scale.max(1);
+    let results: Vec<_> = [
+        AnyDistribution::uniform(10),
+        AnyDistribution::geometric(0.1),
+        AnyDistribution::poisson(5.0),
+        AnyDistribution::zeta(2.5),
+    ]
+    .into_iter()
+    .map(|distribution| {
+        dominance_experiment(&DominanceConfig {
+            distribution,
+            n,
+            trials,
+            seed,
+        })
+    })
+    .collect();
+    let dom = dominance_table(&results, n);
+    report.push_str(&dom.to_markdown());
+    report.push('\n');
+    dom.write_csv(format!("{out_dir}/theorem7_dominance.csv")).unwrap();
+
+    // Summary comparison of all algorithms on one instance.
+    let summary = algorithm_comparison_table(2_000, 8, seed);
+    report.push_str(&summary.to_markdown());
+    summary.write_csv(format!("{out_dir}/algorithm_comparison.csv")).unwrap();
+
+    let report_path = format!("{out_dir}/report.md");
+    std::fs::write(&report_path, &report).expect("cannot write report");
+    println!("all experiments complete; report at {report_path}");
+}

@@ -1,0 +1,23 @@
+//! Regenerates the Theorem 1 / Figure 1 evidence: the CR compound-merge
+//! algorithm classifies `n` elements in `O(k + log log n)` rounds.
+//!
+//! ```text
+//! cargo run -p ecs-bench --release --bin theorem1_rounds -- [--seed S] [--out results]
+//! ```
+
+use ecs_bench::paper::round_count_grid;
+use ecs_bench::runners::theorem1_table;
+use ecs_bench::Args;
+
+fn main() {
+    let args = Args::from_env();
+    let seed = args.get_u64("seed", 1);
+    let out_dir = args.get_or("out", "results");
+    std::fs::create_dir_all(&out_dir).expect("cannot create output directory");
+
+    let table = theorem1_table(&round_count_grid(), seed);
+    println!("{}", table.to_text());
+    let path = format!("{out_dir}/theorem1_rounds.csv");
+    table.write_csv(&path).expect("cannot write CSV");
+    println!("wrote {path}");
+}

@@ -1,0 +1,116 @@
+//! A minimal `--flag value` / `--switch` command-line parser.
+
+use std::collections::HashMap;
+
+/// Parsed command-line arguments: `--key value` pairs and bare `--switch`es.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    values: HashMap<String, String>,
+    switches: Vec<String>,
+}
+
+impl Args {
+    /// Parses the process's arguments (skipping the program name).
+    pub fn from_env() -> Self {
+        Self::from_iter(std::env::args().skip(1))
+    }
+
+    /// Parses an explicit argument list (used by tests).
+    pub fn from_iter<I: IntoIterator<Item = String>>(iter: I) -> Self {
+        let mut args = Args::default();
+        let tokens: Vec<String> = iter.into_iter().collect();
+        let mut i = 0;
+        while i < tokens.len() {
+            let token = &tokens[i];
+            if let Some(name) = token.strip_prefix("--") {
+                if i + 1 < tokens.len() && !tokens[i + 1].starts_with("--") {
+                    args.values.insert(name.to_string(), tokens[i + 1].clone());
+                    i += 2;
+                } else {
+                    args.switches.push(name.to_string());
+                    i += 1;
+                }
+            } else {
+                // Stray positional tokens are ignored.
+                i += 1;
+            }
+        }
+        args
+    }
+
+    /// A string-valued flag.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.values.get(name).map(|s| s.as_str())
+    }
+
+    /// A string-valued flag with a default.
+    pub fn get_or(&self, name: &str, default: &str) -> String {
+        self.get(name).unwrap_or(default).to_string()
+    }
+
+    /// A numeric flag with a default.
+    pub fn get_usize(&self, name: &str, default: usize) -> usize {
+        self.get(name)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    }
+
+    /// A numeric flag with a default.
+    pub fn get_u64(&self, name: &str, default: u64) -> u64 {
+        self.get(name)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    }
+
+    /// A float flag with a default.
+    pub fn get_f64(&self, name: &str, default: f64) -> f64 {
+        self.get(name)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    }
+
+    /// Whether a bare `--switch` was passed.
+    pub fn has(&self, name: &str) -> bool {
+        self.switches.iter().any(|s| s == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(parts: &[&str]) -> Args {
+        Args::from_iter(parts.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn parses_values_and_switches() {
+        let a = args(&["--dist", "uniform", "--full", "--trials", "5"]);
+        assert_eq!(a.get("dist"), Some("uniform"));
+        assert!(a.has("full"));
+        assert_eq!(a.get_usize("trials", 10), 5);
+        assert_eq!(a.get_usize("missing", 7), 7);
+        assert!(!a.has("missing"));
+    }
+
+    #[test]
+    fn numeric_defaults_on_parse_failure() {
+        let a = args(&["--trials", "not-a-number"]);
+        assert_eq!(a.get_usize("trials", 3), 3);
+        assert_eq!(a.get_f64("lambda", 0.4), 0.4);
+        assert_eq!(a.get_u64("seed", 1), 1);
+    }
+
+    #[test]
+    fn trailing_flag_is_a_switch() {
+        let a = args(&["--out", "dir", "--verbose"]);
+        assert_eq!(a.get_or("out", "x"), "dir");
+        assert!(a.has("verbose"));
+    }
+
+    #[test]
+    fn positional_tokens_are_ignored() {
+        let a = args(&["stray", "--k", "9"]);
+        assert_eq!(a.get_usize("k", 0), 9);
+    }
+}

@@ -1,0 +1,16 @@
+//! Shared infrastructure for the benchmark and figure-reproduction binaries.
+//!
+//! Each binary in `src/bin/` regenerates one table or figure of the paper
+//! (see `DESIGN.md` for the experiment index). This library holds what they
+//! share: the paper's exact parameter grids, a tiny command-line flag parser
+//! (so the harness has no CLI dependency), and helpers for turning measurement
+//! series into [`ecs_analysis::Table`]s and CSV files.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cli;
+pub mod paper;
+pub mod runners;
+
+pub use cli::Args;

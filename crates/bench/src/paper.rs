@@ -1,0 +1,164 @@
+//! The paper's exact experimental parameter grids (Section 5).
+
+use ecs_analysis::Figure5Config;
+use ecs_distributions::class_distribution::AnyDistribution;
+
+/// The uniform-panel parameters: `k ∈ {10, 25, 100}`.
+pub const UNIFORM_KS: [usize; 3] = [10, 25, 100];
+
+/// The geometric-panel parameters: `p ∈ {1/2, 1/10, 1/50}`.
+pub const GEOMETRIC_PS: [f64; 3] = [0.5, 0.1, 0.02];
+
+/// The Poisson-panel parameters: `λ ∈ {1, 5, 25}`.
+pub const POISSON_LAMBDAS: [f64; 3] = [1.0, 5.0, 25.0];
+
+/// The zeta-panel parameters: `s ∈ {1.1, 1.5, 2, 2.5}`.
+pub const ZETA_SS: [f64; 4] = [1.1, 1.5, 2.0, 2.5];
+
+/// All distributions of one panel.
+pub fn panel_distributions(panel: &str) -> Vec<AnyDistribution> {
+    match panel {
+        "uniform" => UNIFORM_KS.iter().map(|&k| AnyDistribution::uniform(k)).collect(),
+        "geometric" => GEOMETRIC_PS
+            .iter()
+            .map(|&p| AnyDistribution::geometric(p))
+            .collect(),
+        "poisson" => POISSON_LAMBDAS
+            .iter()
+            .map(|&l| AnyDistribution::poisson(l))
+            .collect(),
+        "zeta" => ZETA_SS.iter().map(|&s| AnyDistribution::zeta(s)).collect(),
+        other => panic!("unknown panel '{other}' (expected uniform|geometric|poisson|zeta)"),
+    }
+}
+
+/// The names of all four panels, in the paper's order.
+pub fn panel_names() -> Vec<&'static str> {
+    vec!["uniform", "geometric", "poisson", "zeta"]
+}
+
+/// Builds the Figure 5 configurations for one panel. `scale_divisor = 1`
+/// reproduces the paper's exact grid; larger divisors shrink every size for
+/// quick runs. The zeta panel automatically uses the smaller size grid, as in
+/// the paper.
+pub fn figure5_configs(panel: &str, scale_divisor: usize, trials: usize, seed: u64) -> Vec<Figure5Config> {
+    panel_distributions(panel)
+        .into_iter()
+        .enumerate()
+        .map(|(i, dist)| {
+            let base = if panel == "zeta" {
+                Figure5Config::paper_zeta(dist, seed + i as u64)
+            } else {
+                Figure5Config::paper_large(dist, seed + i as u64)
+            };
+            let mut config = if scale_divisor > 1 {
+                base.scaled_down(scale_divisor)
+            } else {
+                base
+            };
+            config.trials = trials;
+            config
+        })
+        .collect()
+}
+
+/// The `(n, k)` grid used by the Theorem 1 / Theorem 2 round-count tables.
+pub fn round_count_grid() -> Vec<(usize, usize)> {
+    vec![
+        (1_000, 2),
+        (1_000, 8),
+        (10_000, 2),
+        (10_000, 8),
+        (10_000, 32),
+        (100_000, 2),
+        (100_000, 8),
+        (100_000, 32),
+    ]
+}
+
+/// The `λ` values exercised by the Theorem 4 experiment.
+pub fn theorem4_lambdas() -> Vec<f64> {
+    vec![0.4, 0.3, 0.25, 0.2]
+}
+
+/// The `(n, f)` grid of the Theorem 5 lower-bound experiment.
+pub fn theorem5_grid() -> Vec<(usize, usize)> {
+    vec![
+        (512, 2),
+        (512, 8),
+        (512, 32),
+        (1_024, 2),
+        (1_024, 8),
+        (1_024, 32),
+        (2_048, 8),
+        (2_048, 64),
+    ]
+}
+
+/// The `(n, ℓ)` grid of the Theorem 6 lower-bound experiment.
+pub fn theorem6_grid() -> Vec<(usize, usize)> {
+    vec![(512, 4), (512, 16), (1_024, 4), (1_024, 16), (2_048, 8), (2_048, 32)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ecs_distributions::ClassDistribution;
+
+    #[test]
+    fn panels_have_the_paper_parameter_counts() {
+        assert_eq!(panel_distributions("uniform").len(), 3);
+        assert_eq!(panel_distributions("geometric").len(), 3);
+        assert_eq!(panel_distributions("poisson").len(), 3);
+        assert_eq!(panel_distributions("zeta").len(), 4);
+        assert_eq!(panel_names().len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown panel")]
+    fn unknown_panel_rejected() {
+        let _ = panel_distributions("binomial");
+    }
+
+    #[test]
+    fn full_scale_configs_match_the_paper_grids() {
+        let uniform = figure5_configs("uniform", 1, 10, 1);
+        assert_eq!(uniform.len(), 3);
+        assert_eq!(uniform[0].sizes.first().copied(), Some(10_000));
+        assert_eq!(uniform[0].sizes.last().copied(), Some(200_000));
+        assert_eq!(uniform[0].trials, 10);
+
+        let zeta = figure5_configs("zeta", 1, 10, 1);
+        assert_eq!(zeta.len(), 4);
+        assert_eq!(zeta[0].sizes.first().copied(), Some(1_000));
+        assert_eq!(zeta[0].sizes.last().copied(), Some(20_000));
+    }
+
+    #[test]
+    fn scaled_configs_shrink() {
+        let configs = figure5_configs("poisson", 20, 3, 1);
+        assert!(configs.iter().all(|c| c.trials == 3));
+        assert!(configs.iter().all(|c| *c.sizes.last().unwrap() <= 10_000));
+    }
+
+    #[test]
+    fn config_labels_are_distinct() {
+        let labels: Vec<String> = figure5_configs("geometric", 10, 2, 1)
+            .iter()
+            .map(|c| c.distribution.name())
+            .collect();
+        let mut dedup = labels.clone();
+        dedup.dedup();
+        assert_eq!(labels, dedup);
+    }
+
+    #[test]
+    fn grids_are_nonempty() {
+        assert!(!round_count_grid().is_empty());
+        assert!(!theorem4_lambdas().is_empty());
+        assert!(!theorem5_grid().is_empty());
+        assert!(!theorem6_grid().is_empty());
+        assert!(theorem5_grid().iter().all(|&(n, f)| n % f == 0));
+        assert!(theorem6_grid().iter().all(|&(n, l)| n > 2 * l));
+    }
+}

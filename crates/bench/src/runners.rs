@@ -1,0 +1,310 @@
+//! Measurement runners shared by the reproduction binaries.
+
+use ecs_adversary::{EqualSizeAdversary, SmallestClassAdversary};
+use ecs_analysis::report::fmt_float;
+use ecs_analysis::{DominanceResult, Figure5Series, Table};
+use ecs_core::{
+    CrCompoundMerge, EcsAlgorithm, ErConstantRound, ErMergeSort, RepresentativeScan, RoundRobin,
+};
+use ecs_model::{Instance, InstanceOracle};
+use ecs_rng::{SeedableEcsRng, Xoshiro256StarStar};
+
+/// Renders one Figure 5 series as a table with per-size statistics and the
+/// best-fit line (when the paper predicts one).
+pub fn figure5_table(series: &Figure5Series) -> Table {
+    let fit_label = match &series.fit {
+        Some(fit) => format!(
+            "fit: comparisons ≈ {}·n + {} (R² = {:.5})",
+            fmt_float(fit.slope),
+            fmt_float(fit.intercept),
+            fit.r_squared
+        ),
+        None => "no linear fit (paper proves no linear bound for this parameter)".to_string(),
+    };
+    let mut table = Table::new(
+        format!("Figure 5 — {} — {}", series.label, fit_label),
+        &["n", "mean comparisons", "std dev", "min", "max", "comparisons/n"],
+    );
+    for point in &series.points {
+        table.push_row(vec![
+            point.n.to_string(),
+            fmt_float(point.summary.mean()),
+            fmt_float(point.summary.std_dev()),
+            fmt_float(point.summary.min()),
+            fmt_float(point.summary.max()),
+            fmt_float(point.summary.mean() / point.n as f64),
+        ]);
+    }
+    table
+}
+
+/// Runs the Theorem 1 (CR compound merge) round-count experiment over a grid
+/// of `(n, k)` pairs.
+pub fn theorem1_table(grid: &[(usize, usize)], seed: u64) -> Table {
+    let mut table = Table::new(
+        "Theorem 1 — CR rounds, O(k + log log n) expected",
+        &["n", "k", "rounds", "comparisons", "k + lglg n", "rounds / (k + lglg n)"],
+    );
+    for (i, &(n, k)) in grid.iter().enumerate() {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(seed + i as u64);
+        let instance = Instance::balanced(n, k, &mut rng);
+        let oracle = InstanceOracle::new(&instance);
+        let run = CrCompoundMerge::new(k).sort(&oracle);
+        assert!(instance.verify(&run.partition), "Theorem 1 run produced a wrong partition");
+        let reference = k as f64 + (n as f64).log2().log2();
+        table.push_row(vec![
+            n.to_string(),
+            k.to_string(),
+            run.metrics.rounds().to_string(),
+            run.metrics.comparisons().to_string(),
+            fmt_float(reference),
+            fmt_float(run.metrics.rounds() as f64 / reference),
+        ]);
+    }
+    table
+}
+
+/// Runs the Theorem 2 (ER merge) round-count experiment.
+pub fn theorem2_table(grid: &[(usize, usize)], seed: u64) -> Table {
+    let mut table = Table::new(
+        "Theorem 2 — ER rounds, O(k log n) expected",
+        &["n", "k", "rounds", "comparisons", "k · log2 n", "rounds / (k log n)"],
+    );
+    for (i, &(n, k)) in grid.iter().enumerate() {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(seed + 100 + i as u64);
+        let instance = Instance::balanced(n, k, &mut rng);
+        let oracle = InstanceOracle::new(&instance);
+        let run = ErMergeSort::new().sort(&oracle);
+        assert!(instance.verify(&run.partition), "Theorem 2 run produced a wrong partition");
+        let reference = k as f64 * (n as f64).log2();
+        table.push_row(vec![
+            n.to_string(),
+            k.to_string(),
+            run.metrics.rounds().to_string(),
+            run.metrics.comparisons().to_string(),
+            fmt_float(reference),
+            fmt_float(run.metrics.rounds() as f64 / reference),
+        ]);
+    }
+    table
+}
+
+/// Runs the Theorem 4 (constant rounds for large classes) experiment: for each
+/// `λ`, a sweep over `n` showing that rounds stay flat while `n` grows.
+pub fn theorem4_table(lambdas: &[f64], sizes: &[usize], seed: u64) -> Table {
+    let mut table = Table::new(
+        "Theorem 4 — ER rounds for smallest class ≥ λn, O(1) expected",
+        &["lambda", "n", "k", "cycles d", "rounds", "comparisons", "comparisons/n"],
+    );
+    for (i, &lambda) in lambdas.iter().enumerate() {
+        // Use k = ⌊1/λ⌋ balanced classes so the smallest class has ≥ λn elements.
+        let k = ((1.0 / lambda).floor() as usize).max(2);
+        for (j, &n) in sizes.iter().enumerate() {
+            let mut rng = Xoshiro256StarStar::seed_from_u64(seed + (i * 100 + j) as u64);
+            let instance = Instance::balanced(n, k, &mut rng);
+            let oracle = InstanceOracle::new(&instance);
+            let algorithm = ErConstantRound::with_lambda(lambda, seed + j as u64);
+            let run = algorithm.sort(&oracle);
+            assert!(instance.verify(&run.partition), "Theorem 4 run produced a wrong partition");
+            table.push_row(vec![
+                format!("{lambda}"),
+                n.to_string(),
+                k.to_string(),
+                algorithm.cycles_for(lambda, n).to_string(),
+                run.metrics.rounds().to_string(),
+                run.metrics.comparisons().to_string(),
+                fmt_float(run.metrics.comparisons() as f64 / n as f64),
+            ]);
+        }
+    }
+    table
+}
+
+/// Runs the Theorem 5 lower-bound experiment: comparisons forced by the
+/// equal-class-size adversary, next to the paper's `n²/(64f)` bound, the
+/// asymptotic `n²/f`, and the older `n²/(64f²)` bound it improves.
+pub fn theorem5_table(grid: &[(usize, usize)]) -> Table {
+    let mut table = Table::new(
+        "Theorem 5 — equal class sizes: forced comparisons vs Ω(n²/f)",
+        &[
+            "n",
+            "f",
+            "forced comparisons",
+            "n²/(64f) (paper bound)",
+            "n²/f",
+            "n²/(64f²) (old bound)",
+            "forced / (n²/f)",
+        ],
+    );
+    for &(n, f) in grid {
+        let adversary = EqualSizeAdversary::new(n, f);
+        let run = RepresentativeScan::new().sort(&adversary);
+        assert_eq!(run.partition, adversary.partition());
+        let forced = adversary.comparisons();
+        let n2_over_f = (n as u64 * n as u64) / f as u64;
+        table.push_row(vec![
+            n.to_string(),
+            f.to_string(),
+            forced.to_string(),
+            adversary.paper_lower_bound().to_string(),
+            n2_over_f.to_string(),
+            adversary.previous_lower_bound().to_string(),
+            fmt_float(forced as f64 / n2_over_f as f64),
+        ]);
+    }
+    table
+}
+
+/// Runs the Theorem 6 lower-bound experiment (smallest class of size `ℓ`).
+pub fn theorem6_table(grid: &[(usize, usize)]) -> Table {
+    let mut table = Table::new(
+        "Theorem 6 — smallest class: forced comparisons vs Ω(n²/ℓ)",
+        &[
+            "n",
+            "ℓ",
+            "forced comparisons",
+            "n²/(64ℓ) (paper bound)",
+            "n²/ℓ",
+            "n²/(64ℓ²) (old bound)",
+            "forced / (n²/ℓ)",
+        ],
+    );
+    for &(n, ell) in grid {
+        let adversary = SmallestClassAdversary::new(n, ell);
+        let run = RepresentativeScan::new().sort(&adversary);
+        assert_eq!(run.partition, adversary.partition());
+        let forced = adversary.comparisons();
+        let n2_over_l = (n as u64 * n as u64) / ell as u64;
+        table.push_row(vec![
+            n.to_string(),
+            ell.to_string(),
+            forced.to_string(),
+            adversary.paper_lower_bound().to_string(),
+            n2_over_l.to_string(),
+            adversary.previous_lower_bound().to_string(),
+            fmt_float(forced as f64 / n2_over_l as f64),
+        ]);
+    }
+    table
+}
+
+/// Renders a Theorem 7 dominance experiment result.
+///
+/// The bound of Theorem 7 covers the cross-class tests (the `2·min(Y_i,Y_j)`
+/// lemma sums over distinct class pairs); within-class contractions add at
+/// most `n` more, which is how Theorem 8 concludes `O(n)` total work. Both
+/// checks are shown.
+pub fn dominance_table(results: &[DominanceResult], n: usize) -> Table {
+    let mut table = Table::new(
+        format!("Theorem 7 — round-robin comparisons vs 2·Σ D_N(n) bound (n = {n})"),
+        &[
+            "distribution",
+            "cross-class mean",
+            "bound mean (2nE[D_N(n)])",
+            "cross ≤ bound",
+            "total mean",
+            "total ≤ bound + n",
+        ],
+    );
+    for result in results {
+        table.push_row(vec![
+            result.label.clone(),
+            fmt_float(result.measured_cross_mean()),
+            fmt_float(result.bound_mean),
+            format!("{:.0}%", 100.0 * result.fraction_cross_below_bound()),
+            fmt_float(result.measured_mean()),
+            format!("{:.0}%", 100.0 * result.fraction_total_below_bound_plus_n()),
+        ]);
+    }
+    table
+}
+
+/// Compares all algorithms (parallel and sequential) on one instance; used by
+/// the `reproduce_all` summary and the quickstart-style reporting.
+pub fn algorithm_comparison_table(n: usize, k: usize, seed: u64) -> Table {
+    let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
+    let instance = Instance::balanced(n, k, &mut rng);
+    let oracle = InstanceOracle::new(&instance);
+    let mut table = Table::new(
+        format!("Algorithm comparison on n = {n}, k = {k} (balanced classes)"),
+        &["algorithm", "mode", "rounds", "comparisons", "correct"],
+    );
+    let lambda = (1.0 / k as f64).min(0.4);
+
+    let mut push = |name: String, mode: &str, run: ecs_core::EcsRun| {
+        table.push_row(vec![
+            name,
+            mode.to_string(),
+            run.metrics.rounds().to_string(),
+            run.metrics.comparisons().to_string(),
+            instance.verify(&run.partition).to_string(),
+        ]);
+    };
+
+    let alg = CrCompoundMerge::new(k);
+    push(alg.name(), "CR", alg.sort(&oracle));
+    let alg = ErMergeSort::new();
+    push(alg.name(), "ER", alg.sort(&oracle));
+    let alg = ErConstantRound::with_lambda(lambda, seed);
+    push(alg.name(), "ER", alg.sort(&oracle));
+    let alg = RoundRobin::new();
+    push(alg.name(), "sequential", alg.sort(&oracle));
+    let alg = RepresentativeScan::new();
+    push(alg.name(), "sequential", alg.sort(&oracle));
+
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ecs_analysis::{figure5_series, Figure5Config};
+    use ecs_distributions::class_distribution::AnyDistribution;
+
+    #[test]
+    fn figure5_table_has_one_row_per_size() {
+        let series = figure5_series(&Figure5Config {
+            distribution: AnyDistribution::uniform(10),
+            sizes: vec![200, 400],
+            trials: 2,
+            seed: 1,
+        });
+        let table = figure5_table(&series);
+        assert_eq!(table.num_rows(), 2);
+        assert!(table.title().contains("uniform"));
+        assert!(table.title().contains("fit"));
+    }
+
+    #[test]
+    fn theorem1_and_2_tables_run_small_grids() {
+        let grid = [(500usize, 2usize), (1_000, 4)];
+        let t1 = theorem1_table(&grid, 3);
+        let t2 = theorem2_table(&grid, 3);
+        assert_eq!(t1.num_rows(), 2);
+        assert_eq!(t2.num_rows(), 2);
+    }
+
+    #[test]
+    fn theorem4_table_runs() {
+        let table = theorem4_table(&[0.4, 0.3], &[500, 1_000], 5);
+        assert_eq!(table.num_rows(), 4);
+    }
+
+    #[test]
+    fn lower_bound_tables_run() {
+        let t5 = theorem5_table(&[(128, 4), (128, 8)]);
+        assert_eq!(t5.num_rows(), 2);
+        let t6 = theorem6_table(&[(128, 4)]);
+        assert_eq!(t6.num_rows(), 1);
+    }
+
+    #[test]
+    fn comparison_table_lists_all_algorithms() {
+        let table = algorithm_comparison_table(300, 3, 9);
+        assert_eq!(table.num_rows(), 5);
+        let md = table.to_markdown();
+        assert!(md.contains("cr-compound"));
+        assert!(md.contains("round-robin"));
+        assert!(!md.contains("false"), "every algorithm must classify correctly:\n{md}");
+    }
+}

@@ -1,0 +1,348 @@
+//! Partial answers: the unit of work of the merge-based parallel algorithms.
+//!
+//! The paper's Theorem 1/2 algorithms maintain a list of *answers*, each of
+//! which is a fully-solved equivalence class sorting of a subset of the
+//! elements: the subset is partitioned into classes that are known to be
+//! pairwise different. Two answers are merged by comparing one representative
+//! of every class of the first with one representative of every class of the
+//! second — at most `k²` comparisons — and unioning the classes that match.
+
+/// A solved sub-instance: a subset of elements partitioned into classes that
+/// are mutually known to be different.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Answer {
+    classes: Vec<Vec<usize>>,
+}
+
+impl Answer {
+    /// An answer covering a single element.
+    pub fn singleton(element: usize) -> Self {
+        Self {
+            classes: vec![vec![element]],
+        }
+    }
+
+    /// Builds an answer from explicit classes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any class is empty or an element appears twice.
+    pub fn from_classes(classes: Vec<Vec<usize>>) -> Self {
+        let mut seen = std::collections::HashSet::new();
+        for class in &classes {
+            assert!(!class.is_empty(), "answers may not contain empty classes");
+            for &e in class {
+                assert!(seen.insert(e), "element {e} appears in two classes");
+            }
+        }
+        Self { classes }
+    }
+
+    /// The classes of this answer.
+    pub fn classes(&self) -> &[Vec<usize>] {
+        &self.classes
+    }
+
+    /// Number of classes.
+    pub fn num_classes(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Total number of elements covered.
+    pub fn num_elements(&self) -> usize {
+        self.classes.iter().map(|c| c.len()).sum()
+    }
+
+    /// The representative (first element) of class `i`.
+    pub fn representative(&self, i: usize) -> usize {
+        self.classes[i][0]
+    }
+
+    /// All representatives, in class order.
+    pub fn representatives(&self) -> Vec<usize> {
+        self.classes.iter().map(|c| c[0]).collect()
+    }
+
+    /// The comparison pairs needed to merge `self` with `other`: one
+    /// representative of every class of `self` against one representative of
+    /// every class of `other` (`num_classes × other.num_classes` pairs, the
+    /// `≤ k²` tests of the paper's merge step).
+    pub fn merge_comparisons(&self, other: &Answer) -> Vec<(usize, usize)> {
+        let mut pairs = Vec::with_capacity(self.num_classes() * other.num_classes());
+        for a in 0..self.num_classes() {
+            for b in 0..other.num_classes() {
+                pairs.push((self.representative(a), other.representative(b)));
+            }
+        }
+        pairs
+    }
+
+    /// Combines `self` and `other` given the answers to
+    /// [`Answer::merge_comparisons`] (in the same order).
+    ///
+    /// Classes that matched are unioned; everything else is carried over. The
+    /// result is a valid answer for the union of the two element sets because
+    /// each class of `other` can match at most one class of `self` (classes
+    /// within an answer are pairwise different).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `results` has the wrong length or claims that one class of
+    /// `other` matches two different classes of `self` (an inconsistent
+    /// oracle).
+    pub fn merge_with(&self, other: &Answer, results: &[bool]) -> Answer {
+        assert_eq!(
+            results.len(),
+            self.num_classes() * other.num_classes(),
+            "merge results length mismatch"
+        );
+        let mut merged: Vec<Vec<usize>> = self.classes.clone();
+        // For each class of `other`, find which class of `self` it matched.
+        for b in 0..other.num_classes() {
+            let mut target: Option<usize> = None;
+            for a in 0..self.num_classes() {
+                if results[a * other.num_classes() + b] {
+                    assert!(
+                        target.is_none(),
+                        "oracle inconsistency: class matched two distinct classes"
+                    );
+                    target = Some(a);
+                }
+            }
+            match target {
+                Some(a) => merged[a].extend_from_slice(&other.classes[b]),
+                None => merged.push(other.classes[b].clone()),
+            }
+        }
+        Answer { classes: merged }
+    }
+
+    /// Merges many answers at once given the full pairwise comparison results
+    /// between class representatives, provided as a closure
+    /// `same(answer_i, class_a, answer_j, class_b) -> bool` for `i < j`.
+    ///
+    /// Used by the second phase of Theorem 1, where a group of `c` answers is
+    /// merged in a single round using `C(c, 2)·k²` comparisons.
+    pub fn merge_group<F>(group: &[Answer], same: F) -> Answer
+    where
+        F: Fn(usize, usize, usize, usize) -> bool,
+    {
+        if group.is_empty() {
+            return Answer { classes: Vec::new() };
+        }
+        // Union-find over (answer index, class index) pairs, flattened.
+        let offsets: Vec<usize> = group
+            .iter()
+            .scan(0usize, |acc, a| {
+                let start = *acc;
+                *acc += a.num_classes();
+                Some(start)
+            })
+            .collect();
+        let total: usize = group.iter().map(|a| a.num_classes()).sum();
+        let mut uf = ecs_graph::UnionFind::new(total);
+        for i in 0..group.len() {
+            for j in (i + 1)..group.len() {
+                for a in 0..group[i].num_classes() {
+                    for b in 0..group[j].num_classes() {
+                        if same(i, a, j, b) {
+                            uf.union(offsets[i] + a, offsets[j] + b);
+                        }
+                    }
+                }
+            }
+        }
+        let mut classes_by_root: std::collections::HashMap<usize, Vec<usize>> =
+            std::collections::HashMap::new();
+        for (i, answer) in group.iter().enumerate() {
+            for (c, class) in answer.classes.iter().enumerate() {
+                let root = uf.find(offsets[i] + c);
+                classes_by_root
+                    .entry(root)
+                    .or_default()
+                    .extend_from_slice(class);
+            }
+        }
+        let mut classes: Vec<Vec<usize>> = classes_by_root.into_values().collect();
+        classes.sort_by_key(|c| c[0]);
+        Answer { classes }
+    }
+
+    /// Converts a list of answers that jointly cover `0..n` into per-element
+    /// labels (class indices are arbitrary but distinct across answers).
+    pub fn to_labels(answers: &[Answer], n: usize) -> Vec<usize> {
+        let mut labels = vec![usize::MAX; n];
+        let mut next = 0usize;
+        for answer in answers {
+            for class in &answer.classes {
+                for &e in class {
+                    labels[e] = next;
+                }
+                next += 1;
+            }
+        }
+        assert!(
+            labels.iter().all(|&l| l != usize::MAX),
+            "answers do not cover every element"
+        );
+        labels
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn singleton_answer() {
+        let a = Answer::singleton(7);
+        assert_eq!(a.num_classes(), 1);
+        assert_eq!(a.num_elements(), 1);
+        assert_eq!(a.representative(0), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "two classes")]
+    fn duplicate_elements_rejected() {
+        let _ = Answer::from_classes(vec![vec![0, 1], vec![1]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty classes")]
+    fn empty_class_rejected() {
+        let _ = Answer::from_classes(vec![vec![0], vec![]]);
+    }
+
+    #[test]
+    fn merge_comparisons_is_cross_product_of_representatives() {
+        let a = Answer::from_classes(vec![vec![0, 1], vec![2]]);
+        let b = Answer::from_classes(vec![vec![3], vec![4, 5]]);
+        let pairs = a.merge_comparisons(&b);
+        assert_eq!(pairs, vec![(0, 3), (0, 4), (2, 3), (2, 4)]);
+    }
+
+    #[test]
+    fn merge_with_unions_matching_classes() {
+        // Ground truth: {0,1,4,5} and {2,3}.
+        let a = Answer::from_classes(vec![vec![0, 1], vec![2]]);
+        let b = Answer::from_classes(vec![vec![3], vec![4, 5]]);
+        // results for pairs (0,3),(0,4),(2,3),(2,4)
+        let results = vec![false, true, true, false];
+        let merged = a.merge_with(&b, &results);
+        assert_eq!(merged.num_classes(), 2);
+        assert_eq!(merged.num_elements(), 6);
+        let classes = merged.classes();
+        assert!(classes.contains(&vec![0, 1, 4, 5]));
+        assert!(classes.contains(&vec![2, 3]));
+    }
+
+    #[test]
+    fn merge_with_all_different_concatenates() {
+        let a = Answer::from_classes(vec![vec![0]]);
+        let b = Answer::from_classes(vec![vec![1]]);
+        let merged = a.merge_with(&b, &[false]);
+        assert_eq!(merged.num_classes(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn merge_with_wrong_result_count_panics() {
+        let a = Answer::singleton(0);
+        let b = Answer::singleton(1);
+        let _ = a.merge_with(&b, &[true, false]);
+    }
+
+    #[test]
+    #[should_panic(expected = "inconsistency")]
+    fn merge_with_inconsistent_oracle_panics() {
+        let a = Answer::from_classes(vec![vec![0], vec![1]]);
+        let b = Answer::from_classes(vec![vec![2]]);
+        // Claims 2 equals both 0 and 1, which are known different.
+        let _ = a.merge_with(&b, &[true, true]);
+    }
+
+    #[test]
+    fn merge_group_with_truth_closure() {
+        // Truth labels for elements 0..6.
+        let truth = [0usize, 0, 1, 1, 2, 0];
+        let answers = vec![
+            Answer::from_classes(vec![vec![0, 1], vec![2]]),
+            Answer::from_classes(vec![vec![3], vec![4]]),
+            Answer::from_classes(vec![vec![5]]),
+        ];
+        let merged = Answer::merge_group(&answers, |i, a, j, b| {
+            let ra = answers[i].representative(a);
+            let rb = answers[j].representative(b);
+            truth[ra] == truth[rb]
+        });
+        assert_eq!(merged.num_elements(), 6);
+        assert_eq!(merged.num_classes(), 3);
+        let classes = merged.classes();
+        assert!(classes.contains(&vec![0, 1, 5]));
+        assert!(classes.contains(&vec![2, 3]));
+        assert!(classes.contains(&vec![4]));
+    }
+
+    #[test]
+    fn merge_group_of_nothing_is_empty() {
+        let merged = Answer::merge_group(&[], |_, _, _, _| false);
+        assert_eq!(merged.num_classes(), 0);
+        assert_eq!(merged.num_elements(), 0);
+    }
+
+    #[test]
+    fn to_labels_covers_everything() {
+        let answers = vec![
+            Answer::from_classes(vec![vec![0, 2], vec![4]]),
+            Answer::from_classes(vec![vec![1, 3]]),
+        ];
+        let labels = Answer::to_labels(&answers, 5);
+        assert_eq!(labels[0], labels[2]);
+        assert_eq!(labels[1], labels[3]);
+        assert_ne!(labels[0], labels[4]);
+        assert_ne!(labels[0], labels[1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cover every element")]
+    fn to_labels_detects_missing_elements() {
+        let answers = vec![Answer::singleton(0)];
+        let _ = Answer::to_labels(&answers, 2);
+    }
+
+    proptest! {
+        #[test]
+        fn pairwise_merge_matches_truth(
+            labels in proptest::collection::vec(0u8..4, 2..40),
+            split in 1usize..39,
+        ) {
+            // Split elements into two halves, build the true per-half answers,
+            // merge them with truth-derived results, and check the result is
+            // the true partition of the union.
+            let n = labels.len();
+            let split = split % (n - 1) + 1;
+            let build = |range: std::ops::Range<usize>| {
+                let mut by_label: std::collections::BTreeMap<u8, Vec<usize>> = Default::default();
+                for e in range {
+                    by_label.entry(labels[e]).or_default().push(e);
+                }
+                Answer::from_classes(by_label.into_values().collect())
+            };
+            let a = build(0..split);
+            let b = build(split..n);
+            let pairs = a.merge_comparisons(&b);
+            let results: Vec<bool> = pairs.iter().map(|&(x, y)| labels[x] == labels[y]).collect();
+            let merged = a.merge_with(&b, &results);
+            prop_assert_eq!(merged.num_elements(), n);
+            // Verify: elements share a merged class iff they share a label.
+            let got = ecs_model::Partition::from_groups(&{
+                let mut gs = merged.classes().to_vec();
+                gs.sort_by_key(|c| c[0]);
+                gs
+            });
+            let want = ecs_model::Partition::from_labels(&labels);
+            prop_assert_eq!(got, want);
+        }
+    }
+}

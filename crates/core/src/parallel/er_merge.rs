@@ -1,0 +1,239 @@
+//! Theorem 2: exclusive-read ECS in `O(k log n)` rounds.
+//!
+//! The algorithm merges answers pairwise along a balanced binary tree
+//! (`⌈log₂ n⌉` levels). Merging two answers requires comparing one
+//! representative of each of the ≤ `k` classes on one side with one
+//! representative of each of the ≤ `k` classes on the other — a complete
+//! bipartite comparison pattern — which the exclusive-read discipline forces
+//! to be spread over at most `k` rounds (a representative can only shake one
+//! hand per round). The bipartite round-robin schedule of
+//! [`ecs_model::schedule::bipartite_rounds`] achieves exactly `max(k_a, k_b)`
+//! rounds, and merges of *different* answer pairs at the same tree level touch
+//! disjoint elements, so they share rounds. Total: `O(k log n)` rounds.
+
+use crate::answer::Answer;
+use crate::run::{EcsAlgorithm, EcsRun};
+use ecs_model::schedule::bipartite_rounds;
+use ecs_model::{ComparisonSession, EquivalenceOracle, Partition, ReadMode};
+
+/// The exclusive-read pairwise-merge algorithm (Theorem 2).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ErMergeSort;
+
+impl ErMergeSort {
+    /// Creates the algorithm.
+    pub fn new() -> Self {
+        Self
+    }
+
+    /// Merges consecutive pairs of answers at one tree level. The bipartite
+    /// schedules of all pairs are interleaved: global round `r` executes round
+    /// `r` of every pair's schedule (element-disjoint, hence a legal ER
+    /// round).
+    fn merge_level<O: EquivalenceOracle>(
+        answers: Vec<Answer>,
+        session: &mut ComparisonSession<'_, O>,
+    ) -> Vec<Answer> {
+        if answers.len() < 2 {
+            return answers;
+        }
+        // Build the per-pair bipartite schedules.
+        struct PairPlan {
+            rounds: Vec<Vec<(usize, usize)>>,
+            // (round, index within round) -> position of (rep_a, rep_b) result
+            // recorded as the flattened a * kb + b index for merge_with.
+        }
+        let mut plans: Vec<Option<PairPlan>> = Vec::new();
+        for chunk in answers.chunks(2) {
+            if chunk.len() == 2 {
+                let left = chunk[0].representatives();
+                let right = chunk[1].representatives();
+                plans.push(Some(PairPlan {
+                    rounds: bipartite_rounds(&left, &right),
+                }));
+            } else {
+                plans.push(None);
+            }
+        }
+        let max_rounds = plans
+            .iter()
+            .flatten()
+            .map(|p| p.rounds.len())
+            .max()
+            .unwrap_or(0);
+
+        // Execute the interleaved schedule and collect per-pair results keyed
+        // by (representative_a, representative_b).
+        let mut outcomes: std::collections::HashMap<(usize, usize), bool> =
+            std::collections::HashMap::new();
+        for r in 0..max_rounds {
+            let mut round: Vec<(usize, usize)> = Vec::new();
+            for plan in plans.iter().flatten() {
+                if let Some(pairs) = plan.rounds.get(r) {
+                    round.extend_from_slice(pairs);
+                }
+            }
+            let answers_for_round = session.execute_round(&round);
+            for (&pair, &same) in round.iter().zip(&answers_for_round) {
+                outcomes.insert(pair, same);
+            }
+        }
+
+        // Apply the merges.
+        let mut merged = Vec::with_capacity(answers.len().div_ceil(2));
+        for (chunk, plan) in answers.chunks(2).zip(&plans) {
+            if plan.is_none() || chunk.len() == 1 {
+                merged.push(chunk[0].clone());
+                continue;
+            }
+            let a = &chunk[0];
+            let b = &chunk[1];
+            let results: Vec<bool> = a
+                .merge_comparisons(b)
+                .into_iter()
+                .map(|pair| outcomes[&pair])
+                .collect();
+            merged.push(a.merge_with(b, &results));
+        }
+        merged
+    }
+}
+
+impl EcsAlgorithm for ErMergeSort {
+    fn name(&self) -> String {
+        "er-merge".to_string()
+    }
+
+    fn read_mode(&self) -> ReadMode {
+        ReadMode::Exclusive
+    }
+
+    fn sort<O: EquivalenceOracle>(&self, oracle: &O) -> EcsRun {
+        let n = oracle.n();
+        let mut session = ComparisonSession::new(oracle, ReadMode::Exclusive);
+        if n == 0 {
+            return EcsRun::new(Partition::from_labels::<u32>(&[]), session.into_metrics());
+        }
+        let mut answers: Vec<Answer> = (0..n).map(Answer::singleton).collect();
+        while answers.len() > 1 {
+            answers = Self::merge_level(answers, &mut session);
+        }
+        let labels = Answer::to_labels(&answers, n);
+        EcsRun::new(Partition::from_labels(&labels), session.into_metrics())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ecs_model::{Instance, InstanceOracle};
+    use ecs_rng::{SeedableEcsRng, Xoshiro256StarStar};
+    use proptest::prelude::*;
+
+    fn rng(seed: u64) -> Xoshiro256StarStar {
+        Xoshiro256StarStar::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn classifies_correctly_across_sizes() {
+        let mut r = rng(1);
+        for &(n, k) in &[
+            (1usize, 1usize),
+            (2, 2),
+            (3, 2),
+            (16, 4),
+            (100, 10),
+            (101, 7),
+            (512, 2),
+            (600, 24),
+        ] {
+            let inst = Instance::balanced(n, k, &mut r);
+            let oracle = InstanceOracle::new(&inst);
+            let run = ErMergeSort::new().sort(&oracle);
+            assert!(inst.verify(&run.partition), "failed for n={n}, k={k}");
+        }
+    }
+
+    #[test]
+    fn empty_instance() {
+        let inst = Instance::from_labels::<u32>(&[]);
+        let oracle = InstanceOracle::new(&inst);
+        let run = ErMergeSort::new().sort(&oracle);
+        assert!(run.partition.is_empty());
+    }
+
+    #[test]
+    fn round_count_is_o_of_k_log_n() {
+        let mut r = rng(2);
+        for &(n, k) in &[(256usize, 2usize), (1024, 4), (4096, 8), (10_000, 3)] {
+            let inst = Instance::balanced(n, k, &mut r);
+            let oracle = InstanceOracle::new(&inst);
+            let run = ErMergeSort::new().sort(&oracle);
+            assert!(inst.verify(&run.partition));
+            let levels = (n as f64).log2().ceil();
+            let bound = (2.0 * k as f64 * levels + levels + 4.0) as u64;
+            assert!(
+                run.metrics.rounds() <= bound,
+                "n={n}, k={k}: {} rounds exceeds O(k log n) bound {bound}",
+                run.metrics.rounds()
+            );
+        }
+    }
+
+    #[test]
+    fn er_rounds_scale_linearly_in_k_for_fixed_n() {
+        let mut r = rng(3);
+        let n = 2048;
+        let rounds_for = |k: usize, r: &mut Xoshiro256StarStar| {
+            let inst = Instance::balanced(n, k, r);
+            ErMergeSort::new().sort(&InstanceOracle::new(&inst)).metrics.rounds()
+        };
+        let r2 = rounds_for(2, &mut r);
+        let r8 = rounds_for(8, &mut r);
+        let r16 = rounds_for(16, &mut r);
+        assert!(r8 > r2, "more classes must cost more ER rounds");
+        assert!(r16 > r8);
+        // And the growth should be roughly linear in k (within a factor ~3).
+        assert!(r16 <= 3 * r8, "k=16 rounds {r16} vs k=8 rounds {r8}");
+    }
+
+    #[test]
+    fn uses_more_rounds_than_cr_but_same_answer() {
+        use crate::parallel::cr_compound::CrCompoundMerge;
+        let mut r = rng(4);
+        let inst = Instance::balanced(4096, 6, &mut r);
+        let oracle = InstanceOracle::new(&inst);
+        let er = ErMergeSort::new().sort(&oracle);
+        let cr = CrCompoundMerge::new(6).sort(&oracle);
+        assert_eq!(er.partition, cr.partition);
+        assert!(
+            er.metrics.rounds() >= cr.metrics.rounds(),
+            "ER ({}) should need at least as many rounds as CR ({})",
+            er.metrics.rounds(),
+            cr.metrics.rounds()
+        );
+    }
+
+    #[test]
+    fn handles_unbalanced_classes() {
+        let mut r = rng(5);
+        let inst = Instance::from_class_sizes(&[300, 20, 20, 5, 1], &mut r);
+        let oracle = InstanceOracle::new(&inst);
+        let run = ErMergeSort::new().sort(&oracle);
+        assert!(inst.verify(&run.partition));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn matches_ground_truth_on_random_instances(
+            labels in proptest::collection::vec(0u8..5, 1..120)
+        ) {
+            let inst = Instance::from_labels(&labels);
+            let oracle = InstanceOracle::new(&inst);
+            let run = ErMergeSort::new().sort(&oracle);
+            prop_assert!(inst.verify(&run.partition));
+        }
+    }
+}

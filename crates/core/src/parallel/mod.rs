@@ -1,0 +1,5 @@
+//! The parallel algorithms of Theorems 1, 2, and 4.
+
+pub mod constant_round;
+pub mod cr_compound;
+pub mod er_merge;

@@ -1,0 +1,51 @@
+//! The algorithm interface and its result type.
+
+use ecs_model::{EquivalenceOracle, Metrics, Partition, ReadMode};
+
+/// The outcome of running an equivalence class sorting algorithm: the
+/// discovered partition and the cost charged in Valiant's model.
+#[derive(Debug, Clone)]
+pub struct EcsRun {
+    /// The classification produced by the algorithm.
+    pub partition: Partition,
+    /// Comparisons and rounds charged by the comparison session.
+    pub metrics: Metrics,
+}
+
+impl EcsRun {
+    /// Convenience constructor.
+    pub fn new(partition: Partition, metrics: Metrics) -> Self {
+        Self { partition, metrics }
+    }
+}
+
+/// An equivalence class sorting algorithm.
+///
+/// Algorithms are configured at construction (e.g. the known class count `k`
+/// for [`crate::CrCompoundMerge`], or `λ` for [`crate::ErConstantRound`]) and
+/// then run against any oracle. They must be correct for every consistent
+/// oracle: the returned partition must equal the oracle's hidden partition.
+pub trait EcsAlgorithm {
+    /// A short human-readable name used in reports (e.g. `"cr-compound"`).
+    fn name(&self) -> String;
+
+    /// The read discipline the algorithm is designed for. Sequential
+    /// algorithms report [`ReadMode::Exclusive`] since one comparison at a
+    /// time trivially satisfies it.
+    fn read_mode(&self) -> ReadMode;
+
+    /// Classifies every element of the oracle's instance.
+    fn sort<O: EquivalenceOracle>(&self, oracle: &O) -> EcsRun;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ecs_run_holds_its_parts() {
+        let run = EcsRun::new(Partition::singletons(3), Metrics::new());
+        assert_eq!(run.partition.num_classes(), 3);
+        assert_eq!(run.metrics.comparisons(), 0);
+    }
+}

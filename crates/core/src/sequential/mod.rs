@@ -1,0 +1,6 @@
+//! Sequential baselines: the algorithms the paper compares against and
+//! analyses under class-size distributions.
+
+pub mod naive;
+pub mod representative_scan;
+pub mod round_robin;

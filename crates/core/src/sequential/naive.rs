@@ -1,0 +1,80 @@
+//! The brute-force baseline: compare every pair.
+
+use crate::run::{EcsAlgorithm, EcsRun};
+use ecs_graph::UnionFind;
+use ecs_model::{ComparisonSession, EquivalenceOracle, Partition, ReadMode};
+
+/// Compares all `C(n, 2)` pairs of elements and unions the equal ones.
+///
+/// This performs `Θ(n²)` comparisons regardless of the class structure, so it
+/// is only useful as a correctness oracle for the other algorithms on small
+/// instances and as the "no cleverness at all" reference point in benchmark
+/// tables.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NaiveAllPairs;
+
+impl NaiveAllPairs {
+    /// Creates the algorithm.
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl EcsAlgorithm for NaiveAllPairs {
+    fn name(&self) -> String {
+        "naive-all-pairs".to_string()
+    }
+
+    fn read_mode(&self) -> ReadMode {
+        ReadMode::Exclusive
+    }
+
+    fn sort<O: EquivalenceOracle>(&self, oracle: &O) -> EcsRun {
+        let n = oracle.n();
+        let mut session = ComparisonSession::new(oracle, ReadMode::Exclusive);
+        let mut uf = UnionFind::new(n);
+        for a in 0..n {
+            for b in (a + 1)..n {
+                if session.compare(a, b) {
+                    uf.union(a, b);
+                }
+            }
+        }
+        EcsRun::new(Partition::from_labels(&uf.labels()), session.into_metrics())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ecs_model::{Instance, InstanceOracle};
+    use ecs_rng::{SeedableEcsRng, Xoshiro256StarStar};
+
+    #[test]
+    fn classifies_small_instances_exactly() {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(1);
+        for &(n, k) in &[(1usize, 1usize), (2, 1), (2, 2), (10, 3), (25, 5)] {
+            let inst = Instance::balanced(n, k, &mut rng);
+            let oracle = InstanceOracle::new(&inst);
+            let run = NaiveAllPairs::new().sort(&oracle);
+            assert!(inst.verify(&run.partition), "failed for n={n}, k={k}");
+            assert_eq!(run.metrics.comparisons(), (n * (n - 1) / 2) as u64);
+        }
+    }
+
+    #[test]
+    fn empty_instance() {
+        let inst = Instance::from_labels::<u32>(&[]);
+        let oracle = InstanceOracle::new(&inst);
+        let run = NaiveAllPairs::new().sort(&oracle);
+        assert_eq!(run.partition.num_classes(), 0);
+        assert_eq!(run.metrics.comparisons(), 0);
+    }
+
+    #[test]
+    fn name_and_mode() {
+        let alg = NaiveAllPairs::new();
+        assert_eq!(alg.name(), "naive-all-pairs");
+        assert_eq!(alg.read_mode(), ReadMode::Exclusive);
+    }
+}

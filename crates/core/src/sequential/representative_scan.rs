@@ -1,0 +1,120 @@
+//! The representative-scan baseline: compare each element against one
+//! representative per discovered class.
+
+use crate::run::{EcsAlgorithm, EcsRun};
+use ecs_model::{ComparisonSession, EquivalenceOracle, Partition, ReadMode};
+
+/// Scans the elements once; each element is compared against one
+/// representative of every class discovered so far until a match is found (or
+/// a new class is opened).
+///
+/// This is the natural sequential algorithm: it performs at most `n·k`
+/// comparisons, and when every class has size at least `ℓ` that is
+/// `O(n²/ℓ)` — matching the sequential upper bound of Jayapaul et al. that the
+/// paper's lower bounds (Theorems 5 and 6) prove tight.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RepresentativeScan;
+
+impl RepresentativeScan {
+    /// Creates the algorithm.
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl EcsAlgorithm for RepresentativeScan {
+    fn name(&self) -> String {
+        "representative-scan".to_string()
+    }
+
+    fn read_mode(&self) -> ReadMode {
+        ReadMode::Exclusive
+    }
+
+    fn sort<O: EquivalenceOracle>(&self, oracle: &O) -> EcsRun {
+        let n = oracle.n();
+        let mut session = ComparisonSession::new(oracle, ReadMode::Exclusive);
+        // One representative and one member list per discovered class.
+        let mut representatives: Vec<usize> = Vec::new();
+        let mut labels: Vec<usize> = vec![usize::MAX; n];
+        for e in 0..n {
+            let mut assigned = false;
+            for (class, &rep) in representatives.iter().enumerate() {
+                if session.compare(e, rep) {
+                    labels[e] = class;
+                    assigned = true;
+                    break;
+                }
+            }
+            if !assigned {
+                labels[e] = representatives.len();
+                representatives.push(e);
+            }
+        }
+        EcsRun::new(Partition::from_labels(&labels), session.into_metrics())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ecs_model::{Instance, InstanceOracle};
+    use ecs_rng::{SeedableEcsRng, Xoshiro256StarStar};
+    use proptest::prelude::*;
+
+    #[test]
+    fn classifies_correctly() {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(5);
+        for &(n, k) in &[(1usize, 1usize), (30, 1), (30, 30), (100, 7), (500, 20)] {
+            let inst = Instance::balanced(n, k, &mut rng);
+            let oracle = InstanceOracle::new(&inst);
+            let run = RepresentativeScan::new().sort(&oracle);
+            assert!(inst.verify(&run.partition), "failed for n={n}, k={k}");
+        }
+    }
+
+    #[test]
+    fn comparison_count_is_at_most_n_times_k() {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(6);
+        let inst = Instance::balanced(400, 8, &mut rng);
+        let oracle = InstanceOracle::new(&inst);
+        let run = RepresentativeScan::new().sort(&oracle);
+        assert!(run.metrics.comparisons() <= 400 * 8);
+        // And at least n - k (every element not opening a class needs >= 1).
+        assert!(run.metrics.comparisons() >= (400 - 8) as u64);
+    }
+
+    #[test]
+    fn single_class_needs_n_minus_one_comparisons() {
+        let inst = Instance::from_labels(&vec![0u8; 50]);
+        let oracle = InstanceOracle::new(&inst);
+        let run = RepresentativeScan::new().sort(&oracle);
+        assert_eq!(run.metrics.comparisons(), 49);
+    }
+
+    #[test]
+    fn all_singletons_needs_quadratic_comparisons() {
+        let labels: Vec<usize> = (0..40).collect();
+        let inst = Instance::from_labels(&labels);
+        let oracle = InstanceOracle::new(&inst);
+        let run = RepresentativeScan::new().sort(&oracle);
+        assert_eq!(run.metrics.comparisons(), (40 * 39 / 2) as u64);
+        assert_eq!(run.partition.num_classes(), 40);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        #[test]
+        fn matches_ground_truth_on_random_instances(
+            labels in proptest::collection::vec(0u8..6, 1..120)
+        ) {
+            let inst = Instance::from_labels(&labels);
+            let oracle = InstanceOracle::new(&inst);
+            let run = RepresentativeScan::new().sort(&oracle);
+            prop_assert!(inst.verify(&run.partition));
+            let k = inst.num_classes() as u64;
+            prop_assert!(run.metrics.comparisons() <= labels.len() as u64 * k);
+        }
+    }
+}

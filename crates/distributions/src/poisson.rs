@@ -1,0 +1,150 @@
+//! Poisson sampling and probability mass evaluation.
+
+use ecs_rng::EcsRng;
+
+/// The Poisson probability mass function `Pr[X = i] = λ^i e^{-λ} / i!`,
+/// evaluated in log-space to stay accurate for large `i` or `λ`.
+pub fn poisson_pmf(lambda: f64, i: usize) -> f64 {
+    assert!(lambda > 0.0, "poisson_pmf requires lambda > 0");
+    let i_f = i as f64;
+    let log_p = i_f * lambda.ln() - lambda - ln_factorial(i);
+    log_p.exp()
+}
+
+/// Natural log of `i!` via `ln Γ(i + 1)` (Lanczos-free: exact summation for
+/// small `i`, Stirling's series for large `i`).
+pub fn ln_factorial(i: usize) -> f64 {
+    if i < 128 {
+        (1..=i).map(|j| (j as f64).ln()).sum()
+    } else {
+        // Stirling's series with the first three correction terms — accurate
+        // to ~1e-12 for i >= 128.
+        let n = i as f64;
+        n * n.ln() - n + 0.5 * (2.0 * std::f64::consts::PI * n).ln() + 1.0 / (12.0 * n)
+            - 1.0 / (360.0 * n.powi(3))
+    }
+}
+
+/// Samples a Poisson variate with mean `lambda`.
+///
+/// For small means it uses Knuth's product-of-uniforms method; for large means
+/// (where `e^{-λ}` underflows usefulness) it falls back to summing independent
+/// Poisson variates of mean ≤ 16, which is exact in distribution because the
+/// Poisson family is closed under convolution. The experiment parameters in
+/// the paper (λ ∈ {1, 5, 25}) stay well inside comfortable territory either
+/// way.
+pub fn sample_poisson<R: EcsRng + ?Sized>(lambda: f64, rng: &mut R) -> usize {
+    assert!(lambda > 0.0, "sample_poisson requires lambda > 0");
+    if lambda <= 16.0 {
+        knuth_poisson(lambda, rng)
+    } else {
+        // Split λ into chunks of at most 16 and sum the independent draws.
+        let chunks = (lambda / 16.0).ceil() as usize;
+        let per_chunk = lambda / chunks as f64;
+        (0..chunks).map(|_| knuth_poisson(per_chunk, rng)).sum()
+    }
+}
+
+fn knuth_poisson<R: EcsRng + ?Sized>(lambda: f64, rng: &mut R) -> usize {
+    let threshold = (-lambda).exp();
+    let mut count = 0usize;
+    let mut product = rng.f64_open();
+    while product > threshold {
+        count += 1;
+        product *= rng.f64_open();
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ecs_rng::{SeedableEcsRng, Xoshiro256StarStar};
+
+    #[test]
+    fn ln_factorial_small_values() {
+        assert_eq!(ln_factorial(0), 0.0);
+        assert_eq!(ln_factorial(1), 0.0);
+        assert!((ln_factorial(5) - 120f64.ln()).abs() < 1e-12);
+        assert!((ln_factorial(10) - 3628800f64.ln()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn ln_factorial_stirling_continuity() {
+        // The exact and Stirling branches should agree where they meet.
+        let exact: f64 = (1..=127).map(|j| (j as f64).ln()).sum();
+        let l127 = ln_factorial(127);
+        let l128 = ln_factorial(128);
+        assert!((l127 - exact).abs() < 1e-9);
+        assert!((l128 - (exact + 128f64.ln())).abs() < 1e-8);
+    }
+
+    #[test]
+    fn pmf_sums_to_one() {
+        for &lambda in &[0.5, 1.0, 5.0, 25.0] {
+            let total: f64 = (0..400).map(|i| poisson_pmf(lambda, i)).sum();
+            assert!((total - 1.0).abs() < 1e-9, "lambda={lambda}: total {total}");
+        }
+    }
+
+    #[test]
+    fn pmf_peaks_near_lambda() {
+        let lambda = 25.0;
+        let argmax = (0..100)
+            .max_by(|&a, &b| {
+                poisson_pmf(lambda, a)
+                    .partial_cmp(&poisson_pmf(lambda, b))
+                    .unwrap()
+            })
+            .unwrap();
+        assert!((24..=25).contains(&argmax), "mode at {argmax}");
+    }
+
+    #[test]
+    fn sampler_mean_and_variance() {
+        for &lambda in &[1.0, 5.0, 25.0, 40.0] {
+            let mut rng = Xoshiro256StarStar::seed_from_u64(lambda as u64 + 3);
+            let n = 100_000;
+            let samples: Vec<f64> = (0..n).map(|_| sample_poisson(lambda, &mut rng) as f64).collect();
+            let mean = samples.iter().sum::<f64>() / n as f64;
+            let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+            assert!(
+                (mean - lambda).abs() < 0.05 * lambda.max(1.0),
+                "lambda={lambda}: mean {mean}"
+            );
+            assert!(
+                (var - lambda).abs() < 0.1 * lambda.max(1.0),
+                "lambda={lambda}: variance {var}"
+            );
+        }
+    }
+
+    #[test]
+    fn sampler_matches_pmf_for_small_values() {
+        let lambda = 5.0;
+        let mut rng = Xoshiro256StarStar::seed_from_u64(9);
+        let n = 200_000;
+        let mut counts = [0usize; 12];
+        for _ in 0..n {
+            let x = sample_poisson(lambda, &mut rng);
+            if x < counts.len() {
+                counts[x] += 1;
+            }
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            let expected = poisson_pmf(lambda, i);
+            let observed = c as f64 / n as f64;
+            assert!(
+                (observed - expected).abs() < 0.01,
+                "i={i}: observed {observed} vs expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "lambda > 0")]
+    fn zero_lambda_rejected() {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(1);
+        let _ = sample_poisson(0.0, &mut rng);
+    }
+}

@@ -1,0 +1,445 @@
+//! Equitable and weighted equitable colorings.
+//!
+//! Section 3 of the paper proves its Ω(n²/f) and Ω(n²/ℓ) lower bounds with an
+//! adversary that maintains a *weighted equitable* `n/f`-coloring of the
+//! algorithm's knowledge graph: color classes are the not-yet-revealed
+//! equivalence classes, vertex weights are the sizes of already-contracted
+//! groups, and every color class must keep total weight `⌊n/k⌋` or `⌈n/k⌉`.
+//! This module provides the coloring containers and their invariant checks;
+//! the adversary's decision logic lives in the `ecs-adversary` crate.
+
+/// An assignment of one of `k` colors to each of `n` unweighted vertices.
+///
+/// An *equitable* `k`-coloring is a proper coloring in which every color class
+/// has size `⌊n/k⌋` or `⌈n/k⌉`. Properness depends on a graph, so it is
+/// checked against an explicit edge list via [`EquitableColoring::is_proper_for`];
+/// the size condition is intrinsic and checked by
+/// [`EquitableColoring::is_equitable`].
+#[derive(Debug, Clone)]
+pub struct EquitableColoring {
+    color_of: Vec<u32>,
+    members: Vec<Vec<u32>>,
+}
+
+impl EquitableColoring {
+    /// Creates the balanced coloring that assigns vertex `v` color `v mod k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0` while `n > 0`.
+    pub fn balanced(n: usize, k: usize) -> Self {
+        assert!(k > 0 || n == 0, "need at least one color for a non-empty vertex set");
+        let mut members = vec![Vec::new(); k];
+        let mut color_of = Vec::with_capacity(n);
+        for v in 0..n {
+            let c = v % k.max(1);
+            color_of.push(c as u32);
+            members[c].push(v as u32);
+        }
+        Self { color_of, members }
+    }
+
+    /// Creates a coloring from an explicit assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any color is `>= k`.
+    pub fn from_assignment(assignment: &[usize], k: usize) -> Self {
+        let mut members = vec![Vec::new(); k];
+        let mut color_of = Vec::with_capacity(assignment.len());
+        for (v, &c) in assignment.iter().enumerate() {
+            assert!(c < k, "vertex {v} assigned color {c} >= k = {k}");
+            color_of.push(c as u32);
+            members[c].push(v as u32);
+        }
+        Self { color_of, members }
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.color_of.len()
+    }
+
+    /// Number of colors.
+    pub fn num_colors(&self) -> usize {
+        self.members.len()
+    }
+
+    /// The color of vertex `v`.
+    pub fn color_of(&self, v: usize) -> usize {
+        self.color_of[v] as usize
+    }
+
+    /// The vertices of color `c` (unsorted).
+    pub fn members(&self, c: usize) -> &[u32] {
+        &self.members[c]
+    }
+
+    /// The size of each color class.
+    pub fn class_sizes(&self) -> Vec<usize> {
+        self.members.iter().map(|m| m.len()).collect()
+    }
+
+    /// Reassigns vertex `v` to color `c`.
+    pub fn recolor(&mut self, v: usize, c: usize) {
+        let old = self.color_of[v] as usize;
+        if old == c {
+            return;
+        }
+        let pos = self.members[old]
+            .iter()
+            .position(|&x| x as usize == v)
+            .expect("membership list out of sync");
+        self.members[old].swap_remove(pos);
+        self.members[c].push(v as u32);
+        self.color_of[v] = c as u32;
+    }
+
+    /// Swaps the colors of vertices `u` and `v` (a size-preserving operation —
+    /// the move the adversary uses to dodge equal-color comparisons).
+    pub fn swap_colors(&mut self, u: usize, v: usize) {
+        let cu = self.color_of(u);
+        let cv = self.color_of(v);
+        if cu == cv {
+            return;
+        }
+        self.recolor(u, cv);
+        self.recolor(v, cu);
+    }
+
+    /// Checks the size condition: every class has `⌊n/k⌋` or `⌈n/k⌉` vertices.
+    pub fn is_equitable(&self) -> bool {
+        let n = self.num_vertices();
+        let k = self.num_colors();
+        if k == 0 {
+            return n == 0;
+        }
+        let lo = n / k;
+        let hi = n.div_ceil(k);
+        self.members.iter().all(|m| m.len() == lo || m.len() == hi)
+    }
+
+    /// Checks properness against an explicit edge list: no edge joins two
+    /// vertices of the same color.
+    pub fn is_proper_for(&self, edges: &[(usize, usize)]) -> bool {
+        edges
+            .iter()
+            .all(|&(u, v)| u == v || self.color_of(u) != self.color_of(v))
+    }
+}
+
+/// A coloring of weighted vertices in which every color class must keep a
+/// prescribed total weight.
+///
+/// The adversary's knowledge graph contracts vertices as it concedes
+/// equivalences, so vertex weights grow; the defining invariant of the
+/// adversary is that the *weight* of every color class stays `⌊n/k⌋` or
+/// `⌈n/k⌉` where `n` is the total weight.
+#[derive(Debug, Clone)]
+pub struct WeightedEquitableColoring {
+    color_of: Vec<u32>,
+    weight: Vec<u64>,
+    class_weight: Vec<u64>,
+    total_weight: u64,
+}
+
+impl WeightedEquitableColoring {
+    /// Creates a weighted coloring from explicit assignments and weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices have different lengths or a color is `>= k`.
+    pub fn new(assignment: &[usize], weights: &[u64], k: usize) -> Self {
+        assert_eq!(assignment.len(), weights.len(), "one weight per vertex required");
+        let mut class_weight = vec![0u64; k];
+        let mut color_of = Vec::with_capacity(assignment.len());
+        for (v, (&c, &w)) in assignment.iter().zip(weights).enumerate() {
+            assert!(c < k, "vertex {v} assigned color {c} >= k = {k}");
+            class_weight[c] += w;
+            color_of.push(c as u32);
+        }
+        let total_weight = weights.iter().sum();
+        Self {
+            color_of,
+            weight: weights.to_vec(),
+            class_weight,
+            total_weight,
+        }
+    }
+
+    /// Creates unit-weight vertices colored `v mod k`.
+    pub fn balanced_unit(n: usize, k: usize) -> Self {
+        assert!(k > 0 || n == 0, "need at least one color for a non-empty vertex set");
+        let assignment: Vec<usize> = (0..n).map(|v| v % k.max(1)).collect();
+        Self::new(&assignment, &vec![1u64; n], k.max(usize::from(n > 0)))
+    }
+
+    /// Number of vertices (including zero-weight tombstones left by merges).
+    pub fn num_vertices(&self) -> usize {
+        self.color_of.len()
+    }
+
+    /// Number of colors.
+    pub fn num_colors(&self) -> usize {
+        self.class_weight.len()
+    }
+
+    /// Total weight over all vertices.
+    pub fn total_weight(&self) -> u64 {
+        self.total_weight
+    }
+
+    /// The color of vertex `v`.
+    pub fn color_of(&self, v: usize) -> usize {
+        self.color_of[v] as usize
+    }
+
+    /// The weight of vertex `v`.
+    pub fn weight_of(&self, v: usize) -> u64 {
+        self.weight[v]
+    }
+
+    /// The total weight of color class `c`.
+    pub fn class_weight(&self, c: usize) -> u64 {
+        self.class_weight[c]
+    }
+
+    /// All class weights.
+    pub fn class_weights(&self) -> &[u64] {
+        &self.class_weight
+    }
+
+    /// Moves vertex `v` to color `c`, updating class weights.
+    pub fn recolor(&mut self, v: usize, c: usize) {
+        let old = self.color_of(v);
+        if old == c {
+            return;
+        }
+        self.class_weight[old] -= self.weight[v];
+        self.class_weight[c] += self.weight[v];
+        self.color_of[v] = c as u32;
+    }
+
+    /// Swaps the colors of `u` and `v`. Class weights change only if the two
+    /// vertices have different weights.
+    pub fn swap_colors(&mut self, u: usize, v: usize) {
+        let cu = self.color_of(u);
+        let cv = self.color_of(v);
+        if cu == cv {
+            return;
+        }
+        self.recolor(u, cv);
+        self.recolor(v, cu);
+    }
+
+    /// Merges vertex `src` into vertex `dst` (they must share a color): the
+    /// weight of `src` moves onto `dst` and `src` becomes a zero-weight
+    /// tombstone. This models the contraction performed when the adversary
+    /// concedes that two groups are equivalent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vertices have different colors (the adversary never
+    /// concedes equality across colors).
+    pub fn merge_into(&mut self, dst: usize, src: usize) {
+        assert_eq!(
+            self.color_of(dst),
+            self.color_of(src),
+            "only same-colored vertices can be contracted"
+        );
+        if dst == src {
+            return;
+        }
+        self.weight[dst] += self.weight[src];
+        self.weight[src] = 0;
+    }
+
+    /// Checks the weighted equitability condition: every class weight equals
+    /// `⌊W/k⌋` or `⌈W/k⌉` where `W` is the total weight.
+    pub fn is_equitable(&self) -> bool {
+        let k = self.num_colors() as u64;
+        if k == 0 {
+            return self.total_weight == 0;
+        }
+        let lo = self.total_weight / k;
+        let hi = self.total_weight.div_ceil(k);
+        self.class_weight.iter().all(|&w| w == lo || w == hi)
+    }
+
+    /// Checks properness against an explicit edge list, ignoring zero-weight
+    /// tombstone vertices.
+    pub fn is_proper_for(&self, edges: &[(usize, usize)]) -> bool {
+        edges.iter().all(|&(u, v)| {
+            u == v
+                || self.weight[u] == 0
+                || self.weight[v] == 0
+                || self.color_of(u) != self.color_of(v)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn balanced_coloring_is_equitable() {
+        for &(n, k) in &[(10usize, 5usize), (11, 5), (7, 3), (1, 1), (0, 1), (12, 12)] {
+            let c = EquitableColoring::balanced(n, k);
+            assert!(c.is_equitable(), "balanced({n},{k}) should be equitable");
+            assert_eq!(c.num_vertices(), n);
+            assert_eq!(c.class_sizes().iter().sum::<usize>(), n);
+        }
+    }
+
+    #[test]
+    fn recolor_and_swap_maintain_membership_lists() {
+        let mut c = EquitableColoring::balanced(6, 3);
+        assert_eq!(c.color_of(4), 1);
+        c.recolor(4, 2);
+        assert_eq!(c.color_of(4), 2);
+        assert!(c.members(2).contains(&4));
+        assert!(!c.members(1).contains(&4));
+        // Swap restores equitability broken by the recolor.
+        c.swap_colors(5, 4);
+        assert_eq!(c.color_of(5), 2);
+        assert_eq!(c.color_of(4), 2);
+    }
+
+    #[test]
+    fn swap_same_color_is_noop() {
+        let mut c = EquitableColoring::balanced(4, 2);
+        let before: Vec<usize> = (0..4).map(|v| c.color_of(v)).collect();
+        c.swap_colors(0, 2); // both color 0
+        let after: Vec<usize> = (0..4).map(|v| c.color_of(v)).collect();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn properness_check() {
+        let c = EquitableColoring::from_assignment(&[0, 1, 0, 1], 2);
+        assert!(c.is_proper_for(&[(0, 1), (2, 3)]));
+        assert!(!c.is_proper_for(&[(0, 2)]));
+        assert!(c.is_proper_for(&[(1, 1)]), "self loops are ignored");
+    }
+
+    #[test]
+    #[should_panic(expected = "assigned color")]
+    fn from_assignment_rejects_bad_color() {
+        let _ = EquitableColoring::from_assignment(&[0, 3], 2);
+    }
+
+    #[test]
+    fn weighted_balanced_unit_is_equitable() {
+        let w = WeightedEquitableColoring::balanced_unit(10, 5);
+        assert!(w.is_equitable());
+        assert_eq!(w.total_weight(), 10);
+        assert_eq!(w.class_weights(), &[2, 2, 2, 2, 2]);
+    }
+
+    #[test]
+    fn weighted_merge_moves_weight_and_keeps_class_weight() {
+        let mut w = WeightedEquitableColoring::balanced_unit(8, 4);
+        // Vertices 0 and 4 both have color 0.
+        assert_eq!(w.color_of(0), w.color_of(4));
+        w.merge_into(0, 4);
+        assert_eq!(w.weight_of(0), 2);
+        assert_eq!(w.weight_of(4), 0);
+        assert_eq!(w.class_weight(0), 2);
+        assert!(w.is_equitable());
+    }
+
+    #[test]
+    #[should_panic(expected = "same-colored")]
+    fn weighted_merge_rejects_cross_color() {
+        let mut w = WeightedEquitableColoring::balanced_unit(8, 4);
+        w.merge_into(0, 1);
+    }
+
+    #[test]
+    fn weighted_swap_preserves_equitability_for_equal_weights() {
+        let mut w = WeightedEquitableColoring::balanced_unit(9, 3);
+        assert!(w.is_equitable());
+        w.swap_colors(0, 1);
+        assert!(w.is_equitable());
+        assert_eq!(w.color_of(0), 1);
+        assert_eq!(w.color_of(1), 0);
+    }
+
+    #[test]
+    fn weighted_recolor_changes_class_weights() {
+        let mut w = WeightedEquitableColoring::new(&[0, 0, 1, 1], &[3, 1, 2, 2], 2);
+        assert_eq!(w.class_weight(0), 4);
+        assert_eq!(w.class_weight(1), 4);
+        assert!(w.is_equitable());
+        w.recolor(0, 1);
+        assert_eq!(w.class_weight(0), 1);
+        assert_eq!(w.class_weight(1), 7);
+        assert!(!w.is_equitable());
+    }
+
+    #[test]
+    fn weighted_properness_ignores_tombstones() {
+        let mut w = WeightedEquitableColoring::balanced_unit(4, 2);
+        w.merge_into(0, 2); // 2 becomes a tombstone with color 0
+        assert!(w.is_proper_for(&[(2, 0)]), "tombstone edges are ignored");
+        // A real same-color edge is still rejected.
+        assert!(!w.is_proper_for(&[(1, 3)]));
+    }
+
+    proptest! {
+        #[test]
+        fn balanced_class_sizes_differ_by_at_most_one(n in 0usize..200, k in 1usize..20) {
+            let c = EquitableColoring::balanced(n, k);
+            let sizes = c.class_sizes();
+            let min = sizes.iter().min().copied().unwrap_or(0);
+            let max = sizes.iter().max().copied().unwrap_or(0);
+            prop_assert!(max - min <= 1);
+            prop_assert!(c.is_equitable());
+        }
+
+        #[test]
+        fn recolor_keeps_partition(n in 1usize..60, k in 1usize..10, moves in proptest::collection::vec((0usize..60, 0usize..10), 0..50)) {
+            let mut c = EquitableColoring::balanced(n, k);
+            for (v, col) in moves {
+                c.recolor(v % n, col % k);
+            }
+            // Every vertex appears in exactly one membership list, matching color_of.
+            let mut seen = vec![0usize; n];
+            for col in 0..k {
+                for &v in c.members(col) {
+                    seen[v as usize] += 1;
+                    prop_assert_eq!(c.color_of(v as usize), col);
+                }
+            }
+            prop_assert!(seen.iter().all(|&s| s == 1));
+        }
+
+        #[test]
+        fn weighted_class_weights_stay_consistent(
+            n in 1usize..40,
+            k in 1usize..8,
+            ops in proptest::collection::vec((0usize..40, 0usize..40), 0..60)
+        ) {
+            let mut w = WeightedEquitableColoring::balanced_unit(n, k);
+            for (a, b) in ops {
+                let (a, b) = (a % n, b % n);
+                if w.color_of(a) == w.color_of(b) {
+                    if a != b && w.weight_of(a) > 0 && w.weight_of(b) > 0 {
+                        w.merge_into(a, b);
+                    }
+                } else {
+                    w.swap_colors(a, b);
+                }
+            }
+            // Recompute class weights from scratch and compare.
+            let mut recomputed = vec![0u64; w.num_colors()];
+            for v in 0..n {
+                recomputed[w.color_of(v)] += w.weight_of(v);
+            }
+            prop_assert_eq!(recomputed.as_slice(), w.class_weights());
+            prop_assert_eq!(w.total_weight(), n as u64);
+        }
+    }
+}

@@ -1,0 +1,127 @@
+//! Connected components of undirected edge sets.
+//!
+//! The equivalence relation discovered by comparisons is symmetric, so the
+//! subgraph of "same class" answers can be treated as undirected; its
+//! connected components are exactly the sets of elements currently known to
+//! be equivalent. For the `H_d` subgraph used by the constant-round algorithm
+//! these coincide with the strongly connected components of the directed
+//! version restricted to positive answers, and the test-suite checks that.
+
+use crate::UnionFind;
+
+/// Computes the connected components of the undirected graph on `n` vertices
+/// with the given edges.
+///
+/// Components are returned as sorted vertex lists ordered by smallest member —
+/// the same canonical format as [`crate::tarjan_scc`].
+pub fn connected_components(n: usize, edges: &[(usize, usize)]) -> Vec<Vec<usize>> {
+    let mut uf = UnionFind::new(n);
+    for &(u, v) in edges {
+        assert!(u < n && v < n, "edge endpoint out of range");
+        uf.union(u, v);
+    }
+    uf.groups()
+}
+
+/// Returns per-vertex component labels in `0..num_components`, numbered by
+/// each component's smallest vertex.
+pub fn component_labels(n: usize, edges: &[(usize, usize)]) -> Vec<usize> {
+    let mut uf = UnionFind::new(n);
+    for &(u, v) in edges {
+        uf.union(u, v);
+    }
+    uf.labels()
+}
+
+/// Returns the size of the largest connected component (0 for an empty graph).
+pub fn largest_component_size(n: usize, edges: &[(usize, usize)]) -> usize {
+    connected_components(n, edges)
+        .iter()
+        .map(|c| c.len())
+        .max()
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{tarjan_scc, DiGraph};
+    use proptest::prelude::*;
+
+    #[test]
+    fn no_edges_means_singletons() {
+        let comps = connected_components(3, &[]);
+        assert_eq!(comps, vec![vec![0], vec![1], vec![2]]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        assert!(connected_components(0, &[]).is_empty());
+        assert_eq!(largest_component_size(0, &[]), 0);
+    }
+
+    #[test]
+    fn path_is_one_component() {
+        let comps = connected_components(4, &[(0, 1), (1, 2), (2, 3)]);
+        assert_eq!(comps, vec![vec![0, 1, 2, 3]]);
+        assert_eq!(largest_component_size(4, &[(0, 1), (1, 2), (2, 3)]), 4);
+    }
+
+    #[test]
+    fn two_components() {
+        let comps = connected_components(5, &[(0, 1), (3, 4)]);
+        assert_eq!(comps, vec![vec![0, 1], vec![2], vec![3, 4]]);
+    }
+
+    #[test]
+    fn labels_match_components() {
+        let edges = [(0, 2), (2, 4), (1, 3)];
+        let labels = component_labels(6, &edges);
+        assert_eq!(labels[0], labels[2]);
+        assert_eq!(labels[2], labels[4]);
+        assert_eq!(labels[1], labels[3]);
+        assert_ne!(labels[0], labels[1]);
+        assert_ne!(labels[5], labels[0]);
+        assert_ne!(labels[5], labels[1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_edge_panics() {
+        let _ = connected_components(2, &[(0, 5)]);
+    }
+
+    proptest! {
+        #[test]
+        fn symmetric_closure_scc_equals_connected_components(
+            n in 1usize..30,
+            raw_edges in proptest::collection::vec((0usize..30, 0usize..30), 0..80)
+        ) {
+            // For a symmetric edge set, SCCs of the digraph with both
+            // directions equal the undirected connected components.
+            let edges: Vec<(usize, usize)> =
+                raw_edges.into_iter().map(|(u, v)| (u % n, v % n)).collect();
+            let mut g = DiGraph::new(n);
+            for &(u, v) in &edges {
+                g.add_edge(u, v);
+                g.add_edge(v, u);
+            }
+            let sccs = tarjan_scc(&g);
+            let comps = connected_components(n, &edges);
+            prop_assert_eq!(sccs, comps);
+        }
+
+        #[test]
+        fn component_sizes_sum_to_n(
+            n in 1usize..50,
+            raw_edges in proptest::collection::vec((0usize..50, 0usize..50), 0..100)
+        ) {
+            let edges: Vec<(usize, usize)> =
+                raw_edges.into_iter().map(|(u, v)| (u % n, v % n)).collect();
+            let comps = connected_components(n, &edges);
+            let total: usize = comps.iter().map(|c| c.len()).sum();
+            prop_assert_eq!(total, n);
+            prop_assert!(largest_component_size(n, &edges) <= n);
+        }
+    }
+}

@@ -1,0 +1,219 @@
+//! A compact adjacency-list directed graph.
+
+/// A directed graph on vertices `0..n` stored as adjacency lists.
+///
+/// The graph is deliberately simple: the workloads in this workspace build a
+/// graph once (e.g. the union of Hamiltonian cycles `H_d`, or the subgraph of
+/// comparisons that answered "same class") and then run one traversal over it,
+/// so an insert-only adjacency list is the right trade-off.
+///
+/// Parallel edges are permitted (they are harmless for reachability queries
+/// and SCC computations); [`DiGraph::dedup_edges`] removes them when a simple
+/// graph is required.
+#[derive(Debug, Clone, Default)]
+pub struct DiGraph {
+    adj: Vec<Vec<u32>>,
+    num_edges: usize,
+}
+
+impl DiGraph {
+    /// Creates a graph with `n` vertices and no edges.
+    pub fn new(n: usize) -> Self {
+        Self {
+            adj: vec![Vec::new(); n],
+            num_edges: 0,
+        }
+    }
+
+    /// Builds a graph from an edge list.
+    pub fn from_edges(n: usize, edges: &[(usize, usize)]) -> Self {
+        let mut g = Self::new(n);
+        for &(u, v) in edges {
+            g.add_edge(u, v);
+        }
+        g
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of directed edges (counting parallel edges).
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// Adds the directed edge `u -> v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint is out of range.
+    pub fn add_edge(&mut self, u: usize, v: usize) {
+        assert!(u < self.adj.len() && v < self.adj.len(), "edge endpoint out of range");
+        self.adj[u].push(v as u32);
+        self.num_edges += 1;
+    }
+
+    /// Out-neighbours of `u`.
+    pub fn neighbors(&self, u: usize) -> impl Iterator<Item = usize> + '_ {
+        self.adj[u].iter().map(|&v| v as usize)
+    }
+
+    /// Out-degree of `u`.
+    pub fn out_degree(&self, u: usize) -> usize {
+        self.adj[u].len()
+    }
+
+    /// Returns the reverse (transpose) graph.
+    pub fn reversed(&self) -> Self {
+        let mut rev = Self::new(self.num_vertices());
+        for u in 0..self.num_vertices() {
+            for v in self.neighbors(u) {
+                rev.add_edge(v, u);
+            }
+        }
+        rev
+    }
+
+    /// Removes parallel edges (keeps one copy of each distinct edge).
+    pub fn dedup_edges(&mut self) {
+        let mut total = 0;
+        for list in &mut self.adj {
+            list.sort_unstable();
+            list.dedup();
+            total += list.len();
+        }
+        self.num_edges = total;
+    }
+
+    /// Iterates over all edges as `(u, v)` pairs.
+    pub fn edges(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.adj
+            .iter()
+            .enumerate()
+            .flat_map(|(u, list)| list.iter().map(move |&v| (u, v as usize)))
+    }
+
+    /// Vertices reachable from `start` (including `start`), via BFS.
+    pub fn reachable_from(&self, start: usize) -> Vec<bool> {
+        let mut seen = vec![false; self.num_vertices()];
+        if self.adj.is_empty() {
+            return seen;
+        }
+        let mut queue = std::collections::VecDeque::new();
+        seen[start] = true;
+        queue.push_back(start);
+        while let Some(u) = queue.pop_front() {
+            for v in self.neighbors(u) {
+                if !seen[v] {
+                    seen[v] = true;
+                    queue.push_back(v);
+                }
+            }
+        }
+        seen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_graph() {
+        let g = DiGraph::new(0);
+        assert_eq!(g.num_vertices(), 0);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.edges().count(), 0);
+    }
+
+    #[test]
+    fn add_and_query_edges() {
+        let mut g = DiGraph::new(4);
+        g.add_edge(0, 1);
+        g.add_edge(0, 2);
+        g.add_edge(2, 3);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.out_degree(0), 2);
+        assert_eq!(g.out_degree(3), 0);
+        let n0: Vec<usize> = g.neighbors(0).collect();
+        assert_eq!(n0, vec![1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_edge_panics() {
+        let mut g = DiGraph::new(2);
+        g.add_edge(0, 2);
+    }
+
+    #[test]
+    fn reversed_swaps_directions() {
+        let g = DiGraph::from_edges(3, &[(0, 1), (1, 2), (2, 0)]);
+        let r = g.reversed();
+        let mut edges: Vec<(usize, usize)> = r.edges().collect();
+        edges.sort_unstable();
+        assert_eq!(edges, vec![(0, 2), (1, 0), (2, 1)]);
+    }
+
+    #[test]
+    fn dedup_removes_parallel_edges() {
+        let mut g = DiGraph::from_edges(2, &[(0, 1), (0, 1), (1, 0)]);
+        assert_eq!(g.num_edges(), 3);
+        g.dedup_edges();
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn reachability_on_a_path() {
+        let g = DiGraph::from_edges(5, &[(0, 1), (1, 2), (3, 4)]);
+        let from0 = g.reachable_from(0);
+        assert_eq!(from0, vec![true, true, true, false, false]);
+        let from3 = g.reachable_from(3);
+        assert_eq!(from3, vec![false, false, false, true, true]);
+    }
+
+    #[test]
+    fn self_loops_are_allowed() {
+        let g = DiGraph::from_edges(2, &[(0, 0), (0, 1)]);
+        assert_eq!(g.num_edges(), 2);
+        assert!(g.reachable_from(0)[0]);
+    }
+
+    proptest! {
+        #[test]
+        fn from_edges_matches_incremental(
+            n in 1usize..30,
+            raw_edges in proptest::collection::vec((0usize..30, 0usize..30), 0..80)
+        ) {
+            let edges: Vec<(usize, usize)> =
+                raw_edges.into_iter().map(|(u, v)| (u % n, v % n)).collect();
+            let built = DiGraph::from_edges(n, &edges);
+            let mut incremental = DiGraph::new(n);
+            for &(u, v) in &edges {
+                incremental.add_edge(u, v);
+            }
+            let a: Vec<(usize, usize)> = built.edges().collect();
+            let b: Vec<(usize, usize)> = incremental.edges().collect();
+            prop_assert_eq!(a, b);
+        }
+
+        #[test]
+        fn double_reverse_is_identity(
+            n in 1usize..25,
+            raw_edges in proptest::collection::vec((0usize..25, 0usize..25), 0..60)
+        ) {
+            let edges: Vec<(usize, usize)> =
+                raw_edges.into_iter().map(|(u, v)| (u % n, v % n)).collect();
+            let g = DiGraph::from_edges(n, &edges);
+            let rr = g.reversed().reversed();
+            let mut a: Vec<(usize, usize)> = g.edges().collect();
+            let mut b: Vec<(usize, usize)> = rr.edges().collect();
+            a.sort_unstable();
+            b.sort_unstable();
+            prop_assert_eq!(a, b);
+        }
+    }
+}

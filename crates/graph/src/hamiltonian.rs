@@ -1,0 +1,423 @@
+//! The `H_d` construction: a union of `d` independent random Hamiltonian cycles.
+//!
+//! Theorem 3 of the paper (quoting Goodrich, *Pipelined algorithms to detect
+//! cheating in long-term grid computations*) states that for any subset `W` of
+//! `λn` vertices, the union of `d` random Hamiltonian cycles induces a strongly
+//! connected component inside `W` of size greater than `γλn`, with probability
+//! at least `1 − e^{n[(1+λ)ln2 + d·t] + O(1)}` where
+//! `t = α ln α + β ln β − (1−λ)ln(1−λ)`, `α = 1 − (1−γ)/2·λ`,
+//! `β = 1 − (1+γ)/2·λ`.
+//!
+//! With `γ = 1/4` the paper bounds `t ≤ −λ²/8` for `λ ∈ (0, 0.4]` via an
+//! explicit Taylor-series computation; this module exposes both that bound and
+//! the resulting choice of `d`, plus the decomposition of the cycles into
+//! exclusive-read comparison rounds (each round a perfect or near-perfect
+//! matching).
+
+use crate::DiGraph;
+use ecs_rng::EcsRng;
+
+/// The natural logarithm of 2, used by the probability bound.
+const LN_2: f64 = std::f64::consts::LN_2;
+
+/// A union of `d` random Hamiltonian cycles on `n` vertices.
+#[derive(Debug, Clone)]
+pub struct HamiltonianUnion {
+    n: usize,
+    cycles: Vec<Vec<u32>>,
+}
+
+impl HamiltonianUnion {
+    /// Builds `H_d`: `d` independent uniformly random Hamiltonian cycles on
+    /// `0..n`, each determined by a random permutation of the vertices.
+    pub fn random<R: EcsRng + ?Sized>(n: usize, d: usize, rng: &mut R) -> Self {
+        let cycles = (0..d)
+            .map(|_| {
+                let mut perm: Vec<u32> = (0..n as u32).collect();
+                rng.shuffle(&mut perm);
+                perm
+            })
+            .collect();
+        Self { n, cycles }
+    }
+
+    /// Builds `H_d` from explicit permutations (used by tests).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any cycle is not a permutation of `0..n`.
+    pub fn from_permutations(n: usize, cycles: Vec<Vec<u32>>) -> Self {
+        for cycle in &cycles {
+            assert_eq!(cycle.len(), n, "cycle must visit every vertex exactly once");
+            let mut sorted = cycle.clone();
+            sorted.sort_unstable();
+            assert!(
+                sorted.iter().enumerate().all(|(i, &v)| i as u32 == v),
+                "cycle must be a permutation of 0..n"
+            );
+        }
+        Self { n, cycles }
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.n
+    }
+
+    /// Number of Hamiltonian cycles (`d`).
+    pub fn num_cycles(&self) -> usize {
+        self.cycles.len()
+    }
+
+    /// The underlying permutations.
+    pub fn cycles(&self) -> &[Vec<u32>] {
+        &self.cycles
+    }
+
+    /// All directed edges of `H_d` (successor edges along every cycle).
+    ///
+    /// For `n < 2` there are no edges.
+    pub fn directed_edges(&self) -> Vec<(usize, usize)> {
+        if self.n < 2 {
+            return Vec::new();
+        }
+        let mut edges = Vec::with_capacity(self.cycles.len() * self.n);
+        for cycle in &self.cycles {
+            for i in 0..self.n {
+                let u = cycle[i] as usize;
+                let v = cycle[(i + 1) % self.n] as usize;
+                edges.push((u, v));
+            }
+        }
+        edges
+    }
+
+    /// The distinct undirected comparison pairs `{u, v}` of `H_d`, with
+    /// `u < v`, deduplicated across cycles.
+    pub fn comparison_pairs(&self) -> Vec<(usize, usize)> {
+        let mut pairs: Vec<(usize, usize)> = self
+            .directed_edges()
+            .into_iter()
+            .filter(|&(u, v)| u != v)
+            .map(|(u, v)| (u.min(v), u.max(v)))
+            .collect();
+        pairs.sort_unstable();
+        pairs.dedup();
+        pairs
+    }
+
+    /// Converts `H_d` into a [`DiGraph`] (with parallel edges removed).
+    pub fn to_digraph(&self) -> DiGraph {
+        let mut g = DiGraph::from_edges(self.n, &self.directed_edges());
+        g.dedup_edges();
+        g
+    }
+
+    /// Decomposes all comparisons of `H_d` into exclusive-read rounds: each
+    /// round is a set of vertex-disjoint pairs.
+    ///
+    /// A Hamiltonian cycle on an even number of vertices splits into two
+    /// perfect matchings (alternating edges); on an odd number of vertices a
+    /// third, single-edge-short round is needed because the last edge shares a
+    /// vertex with both parities. The paper charges `2d` rounds for this step,
+    /// which this decomposition matches for even `n` and exceeds by at most
+    /// `d` rounds for odd `n` — still `O(d)`.
+    pub fn er_rounds(&self) -> Vec<Vec<(usize, usize)>> {
+        let n = self.n;
+        if n < 2 {
+            return Vec::new();
+        }
+        let mut rounds = Vec::new();
+        for cycle in &self.cycles {
+            if n == 2 {
+                rounds.push(vec![(cycle[0] as usize, cycle[1] as usize)]);
+                continue;
+            }
+            let edge = |i: usize| {
+                let u = cycle[i] as usize;
+                let v = cycle[(i + 1) % n] as usize;
+                (u, v)
+            };
+            let mut even_round = Vec::with_capacity(n / 2);
+            let mut odd_round = Vec::with_capacity(n / 2);
+            let mut leftover = Vec::new();
+            for i in 0..n {
+                if n % 2 == 1 && i == n - 1 {
+                    // The closing edge of an odd cycle conflicts with both
+                    // parities; give it its own round.
+                    leftover.push(edge(i));
+                } else if i % 2 == 0 {
+                    even_round.push(edge(i));
+                } else {
+                    odd_round.push(edge(i));
+                }
+            }
+            rounds.push(even_round);
+            rounds.push(odd_round);
+            if !leftover.is_empty() {
+                rounds.push(leftover);
+            }
+        }
+        rounds
+    }
+
+    /// The paper's Taylor-polynomial upper bound on the exponent term `t` for
+    /// `γ = 1/4`:
+    ///
+    /// `t ≤ −(3743/8192)λ⁴ + (19/256)λ³ − (15/64)λ²`,
+    ///
+    /// which is at most `−λ²/8` for `λ ∈ (0, 0.4]`.
+    pub fn exponent_bound(lambda: f64) -> f64 {
+        assert!(
+            lambda > 0.0 && lambda <= 0.4,
+            "the Taylor bound is stated for lambda in (0, 0.4], got {lambda}"
+        );
+        -3743.0 / 8192.0 * lambda.powi(4) + 19.0 / 256.0 * lambda.powi(3)
+            - 15.0 / 64.0 * lambda.powi(2)
+    }
+
+    /// The exact exponent term `t(λ, γ) = α ln α + β ln β − (1−λ)ln(1−λ)` from
+    /// Theorem 3, with `α = 1 − (1−γ)λ/2` and `β = 1 − (1+γ)λ/2`.
+    pub fn exponent_exact(lambda: f64, gamma: f64) -> f64 {
+        assert!(lambda > 0.0 && lambda < 1.0, "lambda must lie in (0, 1)");
+        assert!(gamma > 0.0 && gamma < 1.0, "gamma must lie in (0, 1)");
+        let alpha = 1.0 - (1.0 - gamma) / 2.0 * lambda;
+        let beta = 1.0 - (1.0 + gamma) / 2.0 * lambda;
+        alpha * alpha.ln() + beta * beta.ln() - (1.0 - lambda) * (1.0 - lambda).ln()
+    }
+
+    /// The number of Hamiltonian cycles `d` needed so that the failure
+    /// probability exponent `n[(1+λ)ln2 + d·t]` is negative with slack
+    /// (Theorem 3 with `γ = 1/4`), i.e. so Theorem 4's construction succeeds
+    /// with high probability.
+    ///
+    /// Uses the conservative `t ≤ −λ²/8` bound: `d = ⌈8(1+λ)ln2 / λ²⌉ + 1`.
+    pub fn required_cycles(lambda: f64) -> usize {
+        assert!(
+            lambda > 0.0 && lambda <= 0.4,
+            "lambda must lie in (0, 0.4], got {lambda}"
+        );
+        let d = (8.0 * (1.0 + lambda) * LN_2) / (lambda * lambda);
+        d.ceil() as usize + 1
+    }
+
+    /// A sharper choice of `d` using the exact exponent rather than the
+    /// `−λ²/8` relaxation. Still includes one extra cycle of slack.
+    pub fn required_cycles_exact(lambda: f64) -> usize {
+        let t = Self::exponent_exact(lambda, 0.25);
+        assert!(t < 0.0, "exponent must be negative for lambda = {lambda}");
+        let d = ((1.0 + lambda) * LN_2) / (-t);
+        d.ceil() as usize + 1
+    }
+
+    /// The failure-probability exponent per element, `(1+λ)ln2 + d·t`, using
+    /// the exact `t`. The overall failure probability is roughly
+    /// `e^{n · exponent}`, so a negative value means success with probability
+    /// approaching 1 exponentially fast in `n`.
+    pub fn failure_exponent(lambda: f64, d: usize) -> f64 {
+        (1.0 + lambda) * LN_2 + d as f64 * Self::exponent_exact(lambda, 0.25)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::connected::largest_component_size;
+    use ecs_rng::{SeedableEcsRng, Xoshiro256StarStar};
+    use proptest::prelude::*;
+
+    fn rng(seed: u64) -> Xoshiro256StarStar {
+        Xoshiro256StarStar::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn random_cycles_are_permutations() {
+        let h = HamiltonianUnion::random(50, 3, &mut rng(1));
+        assert_eq!(h.num_cycles(), 3);
+        for cycle in h.cycles() {
+            let mut sorted = cycle.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, (0..50).collect::<Vec<u32>>());
+        }
+    }
+
+    #[test]
+    fn directed_edge_count_is_d_times_n() {
+        let h = HamiltonianUnion::random(17, 4, &mut rng(2));
+        assert_eq!(h.directed_edges().len(), 4 * 17);
+    }
+
+    #[test]
+    fn tiny_graphs() {
+        let h0 = HamiltonianUnion::random(0, 2, &mut rng(3));
+        assert!(h0.directed_edges().is_empty());
+        assert!(h0.er_rounds().is_empty());
+        let h1 = HamiltonianUnion::random(1, 2, &mut rng(3));
+        assert!(h1.directed_edges().is_empty());
+        let h2 = HamiltonianUnion::random(2, 2, &mut rng(3));
+        assert_eq!(h2.comparison_pairs(), vec![(0, 1)]);
+        assert_eq!(h2.er_rounds().len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "permutation")]
+    fn from_permutations_rejects_non_permutation() {
+        let _ = HamiltonianUnion::from_permutations(3, vec![vec![0, 0, 2]]);
+    }
+
+    #[test]
+    fn er_rounds_are_matchings_and_cover_all_pairs() {
+        for &n in &[4usize, 5, 6, 9, 10, 33] {
+            let h = HamiltonianUnion::random(n, 3, &mut rng(n as u64));
+            let rounds = h.er_rounds();
+            // Every round must be a matching: no vertex appears twice.
+            for round in &rounds {
+                let mut seen = vec![false; n];
+                for &(u, v) in round {
+                    assert_ne!(u, v);
+                    assert!(!seen[u], "vertex {u} reused within a round (n={n})");
+                    assert!(!seen[v], "vertex {v} reused within a round (n={n})");
+                    seen[u] = true;
+                    seen[v] = true;
+                }
+            }
+            // The union of rounds must cover exactly the comparison pairs.
+            let mut from_rounds: Vec<(usize, usize)> = rounds
+                .iter()
+                .flatten()
+                .map(|&(u, v)| (u.min(v), u.max(v)))
+                .collect();
+            from_rounds.sort_unstable();
+            from_rounds.dedup();
+            assert_eq!(from_rounds, h.comparison_pairs());
+            // Round count: 2 per cycle for even n, 3 per cycle for odd n >= 3.
+            let per_cycle = if n % 2 == 0 { 2 } else { 3 };
+            assert_eq!(rounds.len(), per_cycle * h.num_cycles());
+        }
+    }
+
+    #[test]
+    fn exponent_bound_matches_paper_inequality() {
+        // The polynomial bound must be <= -lambda^2 / 8 on (0, 0.4].
+        let mut lambda = 0.01;
+        while lambda <= 0.4 {
+            let bound = HamiltonianUnion::exponent_bound(lambda);
+            assert!(
+                bound <= -lambda * lambda / 8.0 + 1e-12,
+                "bound {bound} violates -lambda^2/8 at lambda={lambda}"
+            );
+            lambda += 0.01;
+        }
+    }
+
+    #[test]
+    fn exact_exponent_is_negative_and_below_taylor_bound() {
+        for &lambda in &[0.05, 0.1, 0.2, 0.3, 0.4] {
+            let exact = HamiltonianUnion::exponent_exact(lambda, 0.25);
+            let taylor = HamiltonianUnion::exponent_bound(lambda);
+            assert!(exact < 0.0);
+            // The Taylor polynomial is an upper bound on t.
+            assert!(exact <= taylor + 1e-12, "exact {exact} vs taylor {taylor}");
+        }
+    }
+
+    #[test]
+    fn required_cycles_monotone_and_sufficient() {
+        let d_04 = HamiltonianUnion::required_cycles(0.4);
+        let d_02 = HamiltonianUnion::required_cycles(0.2);
+        let d_01 = HamiltonianUnion::required_cycles(0.1);
+        assert!(d_04 < d_02 && d_02 < d_01, "smaller lambda needs more cycles");
+        for &lambda in &[0.1, 0.2, 0.3, 0.4] {
+            let d = HamiltonianUnion::required_cycles(lambda);
+            assert!(
+                HamiltonianUnion::failure_exponent(lambda, d) < 0.0,
+                "required_cycles({lambda}) = {d} does not make the exponent negative"
+            );
+            let d_exact = HamiltonianUnion::required_cycles_exact(lambda);
+            assert!(d_exact <= d, "exact choice should never need more cycles");
+            assert!(HamiltonianUnion::failure_exponent(lambda, d_exact) < 0.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "lambda")]
+    fn required_cycles_rejects_large_lambda() {
+        let _ = HamiltonianUnion::required_cycles(0.5);
+    }
+
+    #[test]
+    fn induced_component_in_large_subsets_is_large() {
+        // Empirical check of Theorem 3's guarantee: for lambda = 0.25 and the
+        // prescribed d, every tested subset of size lambda*n contains a
+        // connected component (within the subset) of size > lambda*n/8.
+        let n = 400;
+        let lambda = 0.25;
+        let d = HamiltonianUnion::required_cycles_exact(lambda);
+        let mut r = rng(77);
+        let h = HamiltonianUnion::random(n, d, &mut r);
+        let w_size = (lambda * n as f64) as usize;
+        for trial in 0..20 {
+            let mut t = rng(1000 + trial);
+            let members = t.sample_indices(n, w_size);
+            let in_w: Vec<Option<usize>> = {
+                let mut map = vec![None; n];
+                for (local, &global) in members.iter().enumerate() {
+                    map[global] = Some(local);
+                }
+                map
+            };
+            let sub_edges: Vec<(usize, usize)> = h
+                .comparison_pairs()
+                .into_iter()
+                .filter_map(|(u, v)| match (in_w[u], in_w[v]) {
+                    (Some(a), Some(b)) => Some((a, b)),
+                    _ => None,
+                })
+                .collect();
+            let largest = largest_component_size(w_size, &sub_edges);
+            assert!(
+                largest * 8 > w_size,
+                "trial {trial}: largest component {largest} of subset {w_size} too small"
+            );
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn comparison_pairs_are_symmetric_dedup_of_edges(
+            n in 2usize..40,
+            d in 1usize..5,
+            seed in 0u64..1000,
+        ) {
+            let h = HamiltonianUnion::random(n, d, &mut rng(seed));
+            let pairs = h.comparison_pairs();
+            // Pairs are sorted, unique, and within range.
+            let mut sorted = pairs.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            prop_assert_eq!(&sorted, &pairs);
+            prop_assert!(pairs.iter().all(|&(u, v)| u < v && v < n));
+            // Each cycle contributes at most n pairs.
+            prop_assert!(pairs.len() <= d * n);
+            // A single Hamiltonian cycle on >= 3 vertices has exactly n pairs.
+            if d == 1 && n >= 3 {
+                prop_assert_eq!(pairs.len(), n);
+            }
+        }
+
+        #[test]
+        fn digraph_is_strongly_connected(
+            n in 2usize..60,
+            d in 1usize..4,
+            seed in 0u64..1000,
+        ) {
+            // A Hamiltonian cycle alone makes the digraph strongly connected.
+            let h = HamiltonianUnion::random(n, d, &mut rng(seed));
+            let g = h.to_digraph();
+            let sccs = crate::tarjan_scc(&g);
+            prop_assert_eq!(sccs.len(), 1);
+        }
+    }
+}

@@ -1,0 +1,331 @@
+//! Strongly connected components.
+//!
+//! Theorem 3 of the paper (from Goodrich's fault-diagnosis work) guarantees
+//! that the union of `d` random Hamiltonian cycles induces, inside every large
+//! enough vertex subset, a *strongly connected* component of linear size. The
+//! constant-round algorithm therefore needs an SCC routine over the subgraph
+//! of `H_d` edges whose comparisons answered "same class". Two independent
+//! implementations are provided — an iterative Tarjan and a Kosaraju — so the
+//! test-suite can cross-validate them on random graphs.
+
+use crate::DiGraph;
+
+/// Computes strongly connected components with an iterative Tarjan algorithm.
+///
+/// Returns the components as vectors of vertex indices; within a component the
+/// vertices are sorted, and components are ordered by their smallest vertex.
+/// The classic Tarjan emits components in reverse topological order, but the
+/// callers in this workspace treat components as unordered sets, so a
+/// deterministic canonical order is more useful.
+pub fn tarjan_scc(graph: &DiGraph) -> Vec<Vec<usize>> {
+    let n = graph.num_vertices();
+    const UNVISITED: u32 = u32::MAX;
+
+    let mut index = vec![UNVISITED; n];
+    let mut lowlink = vec![0u32; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<u32> = Vec::new();
+    let mut next_index = 0u32;
+    let mut components: Vec<Vec<usize>> = Vec::new();
+
+    // Explicit DFS state machine: (vertex, neighbour cursor).
+    enum Frame {
+        Enter(usize),
+        Resume(usize, usize),
+    }
+
+    for root in 0..n {
+        if index[root] != UNVISITED {
+            continue;
+        }
+        let mut call_stack = vec![Frame::Enter(root)];
+        while let Some(frame) = call_stack.pop() {
+            match frame {
+                Frame::Enter(v) => {
+                    index[v] = next_index;
+                    lowlink[v] = next_index;
+                    next_index += 1;
+                    stack.push(v as u32);
+                    on_stack[v] = true;
+                    call_stack.push(Frame::Resume(v, 0));
+                }
+                Frame::Resume(v, mut cursor) => {
+                    let neighbors: Vec<usize> = graph.neighbors(v).collect();
+                    let mut descended = false;
+                    while cursor < neighbors.len() {
+                        let w = neighbors[cursor];
+                        cursor += 1;
+                        if index[w] == UNVISITED {
+                            call_stack.push(Frame::Resume(v, cursor));
+                            call_stack.push(Frame::Enter(w));
+                            descended = true;
+                            break;
+                        } else if on_stack[w] {
+                            lowlink[v] = lowlink[v].min(index[w]);
+                        }
+                    }
+                    if descended {
+                        continue;
+                    }
+                    // All neighbours processed: maybe emit a component.
+                    if lowlink[v] == index[v] {
+                        let mut component = Vec::new();
+                        loop {
+                            let w = stack.pop().expect("tarjan stack underflow") as usize;
+                            on_stack[w] = false;
+                            component.push(w);
+                            if w == v {
+                                break;
+                            }
+                        }
+                        component.sort_unstable();
+                        components.push(component);
+                    }
+                    // Propagate lowlink to the parent frame, if any.
+                    if let Some(Frame::Resume(parent, _)) = call_stack.last() {
+                        let parent = *parent;
+                        lowlink[parent] = lowlink[parent].min(lowlink[v]);
+                    }
+                }
+            }
+        }
+    }
+
+    components.sort_by_key(|c| c[0]);
+    components
+}
+
+/// Computes strongly connected components with Kosaraju's two-pass algorithm.
+///
+/// Output format matches [`tarjan_scc`].
+pub fn kosaraju_scc(graph: &DiGraph) -> Vec<Vec<usize>> {
+    let n = graph.num_vertices();
+    // First pass: iterative DFS on the original graph recording finish order.
+    let mut visited = vec![false; n];
+    let mut finish_order: Vec<usize> = Vec::with_capacity(n);
+    for root in 0..n {
+        if visited[root] {
+            continue;
+        }
+        let mut stack: Vec<(usize, usize)> = vec![(root, 0)];
+        visited[root] = true;
+        while let Some(&mut (v, ref mut cursor)) = stack.last_mut() {
+            let neighbors: Vec<usize> = graph.neighbors(v).collect();
+            if *cursor < neighbors.len() {
+                let w = neighbors[*cursor];
+                *cursor += 1;
+                if !visited[w] {
+                    visited[w] = true;
+                    stack.push((w, 0));
+                }
+            } else {
+                finish_order.push(v);
+                stack.pop();
+            }
+        }
+    }
+
+    // Second pass: DFS on the transpose in reverse finish order.
+    let transpose = graph.reversed();
+    let mut component_of = vec![usize::MAX; n];
+    let mut components: Vec<Vec<usize>> = Vec::new();
+    for &root in finish_order.iter().rev() {
+        if component_of[root] != usize::MAX {
+            continue;
+        }
+        let id = components.len();
+        let mut members = Vec::new();
+        let mut stack = vec![root];
+        component_of[root] = id;
+        while let Some(v) = stack.pop() {
+            members.push(v);
+            for w in transpose.neighbors(v) {
+                if component_of[w] == usize::MAX {
+                    component_of[w] = id;
+                    stack.push(w);
+                }
+            }
+        }
+        members.sort_unstable();
+        components.push(members);
+    }
+
+    components.sort_by_key(|c| c[0]);
+    components
+}
+
+/// Returns, for each vertex, the index of its component in the output of
+/// [`tarjan_scc`].
+pub fn component_labels(graph: &DiGraph) -> Vec<usize> {
+    let components = tarjan_scc(graph);
+    let mut labels = vec![usize::MAX; graph.num_vertices()];
+    for (id, component) in components.iter().enumerate() {
+        for &v in component {
+            labels[v] = id;
+        }
+    }
+    labels
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn canon(mut sccs: Vec<Vec<usize>>) -> Vec<Vec<usize>> {
+        for c in &mut sccs {
+            c.sort_unstable();
+        }
+        sccs.sort();
+        sccs
+    }
+
+    #[test]
+    fn empty_graph_has_no_components() {
+        let g = DiGraph::new(0);
+        assert!(tarjan_scc(&g).is_empty());
+        assert!(kosaraju_scc(&g).is_empty());
+    }
+
+    #[test]
+    fn isolated_vertices_are_singletons() {
+        let g = DiGraph::new(4);
+        let sccs = tarjan_scc(&g);
+        assert_eq!(sccs.len(), 4);
+        assert!(sccs.iter().all(|c| c.len() == 1));
+    }
+
+    #[test]
+    fn directed_cycle_is_one_component() {
+        let g = DiGraph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]);
+        let sccs = tarjan_scc(&g);
+        assert_eq!(sccs.len(), 1);
+        assert_eq!(sccs[0], vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn directed_path_is_all_singletons() {
+        let g = DiGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let sccs = tarjan_scc(&g);
+        assert_eq!(sccs.len(), 4);
+    }
+
+    #[test]
+    fn two_cycles_joined_by_one_way_edge() {
+        // 0-1-2 cycle -> 3-4 cycle, joined by edge 2 -> 3 only.
+        let g = DiGraph::from_edges(
+            5,
+            &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 3), (2, 3)],
+        );
+        let sccs = canon(tarjan_scc(&g));
+        assert_eq!(sccs, vec![vec![0, 1, 2], vec![3, 4]]);
+    }
+
+    #[test]
+    fn self_loop_is_a_singleton_component() {
+        let g = DiGraph::from_edges(2, &[(0, 0)]);
+        let sccs = tarjan_scc(&g);
+        assert_eq!(sccs.len(), 2);
+    }
+
+    #[test]
+    fn kosaraju_matches_on_known_graph() {
+        let g = DiGraph::from_edges(
+            8,
+            &[
+                (0, 1),
+                (1, 2),
+                (2, 0),
+                (3, 1),
+                (3, 2),
+                (3, 4),
+                (4, 3),
+                (4, 5),
+                (5, 2),
+                (5, 6),
+                (6, 5),
+                (7, 4),
+                (7, 6),
+                (7, 7),
+            ],
+        );
+        assert_eq!(canon(tarjan_scc(&g)), canon(kosaraju_scc(&g)));
+    }
+
+    #[test]
+    fn labels_agree_with_components() {
+        let g = DiGraph::from_edges(6, &[(0, 1), (1, 0), (2, 3), (3, 2), (4, 5)]);
+        let labels = component_labels(&g);
+        assert_eq!(labels[0], labels[1]);
+        assert_eq!(labels[2], labels[3]);
+        assert_ne!(labels[0], labels[2]);
+        assert_ne!(labels[4], labels[5]);
+    }
+
+    #[test]
+    fn deep_chain_does_not_overflow_stack() {
+        // 200k-vertex path: a recursive Tarjan would blow the stack here.
+        let n = 200_000;
+        let edges: Vec<(usize, usize)> = (0..n - 1).map(|i| (i, i + 1)).collect();
+        let g = DiGraph::from_edges(n, &edges);
+        let sccs = tarjan_scc(&g);
+        assert_eq!(sccs.len(), n);
+    }
+
+    #[test]
+    fn long_cycle_does_not_overflow_stack() {
+        let n = 100_000;
+        let mut edges: Vec<(usize, usize)> = (0..n - 1).map(|i| (i, i + 1)).collect();
+        edges.push((n - 1, 0));
+        let g = DiGraph::from_edges(n, &edges);
+        let sccs = tarjan_scc(&g);
+        assert_eq!(sccs.len(), 1);
+        assert_eq!(sccs[0].len(), n);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn tarjan_equals_kosaraju_on_random_graphs(
+            n in 1usize..40,
+            raw_edges in proptest::collection::vec((0usize..40, 0usize..40), 0..200)
+        ) {
+            let edges: Vec<(usize, usize)> =
+                raw_edges.into_iter().map(|(u, v)| (u % n, v % n)).collect();
+            let g = DiGraph::from_edges(n, &edges);
+            prop_assert_eq!(canon(tarjan_scc(&g)), canon(kosaraju_scc(&g)));
+        }
+
+        #[test]
+        fn components_partition_the_vertices(
+            n in 1usize..40,
+            raw_edges in proptest::collection::vec((0usize..40, 0usize..40), 0..200)
+        ) {
+            let edges: Vec<(usize, usize)> =
+                raw_edges.into_iter().map(|(u, v)| (u % n, v % n)).collect();
+            let g = DiGraph::from_edges(n, &edges);
+            let sccs = tarjan_scc(&g);
+            let mut all: Vec<usize> = sccs.iter().flatten().copied().collect();
+            all.sort_unstable();
+            prop_assert_eq!(all, (0..n).collect::<Vec<_>>());
+        }
+
+        #[test]
+        fn mutual_reachability_iff_same_component(
+            n in 2usize..20,
+            raw_edges in proptest::collection::vec((0usize..20, 0usize..20), 0..80),
+            a in 0usize..20,
+            b in 0usize..20,
+        ) {
+            let edges: Vec<(usize, usize)> =
+                raw_edges.into_iter().map(|(u, v)| (u % n, v % n)).collect();
+            let a = a % n;
+            let b = b % n;
+            let g = DiGraph::from_edges(n, &edges);
+            let labels = component_labels(&g);
+            let mutual = g.reachable_from(a)[b] && g.reachable_from(b)[a];
+            prop_assert_eq!(labels[a] == labels[b], mutual);
+        }
+    }
+}

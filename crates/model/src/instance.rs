@@ -1,0 +1,202 @@
+//! Problem instances: hidden assignments of elements to equivalence classes.
+
+use crate::partition::Partition;
+use ecs_distributions::{sample_labels, ClassDistribution};
+use ecs_rng::EcsRng;
+
+/// A hidden ground-truth assignment of `n` elements to equivalence classes.
+///
+/// Algorithms never see the labels directly — they interrogate an
+/// [`crate::InstanceOracle`] built on top of the instance — but experiment
+/// code uses the instance to verify outputs and to report workload statistics
+/// (class count `k`, smallest class size `ℓ`, …).
+#[derive(Debug, Clone)]
+pub struct Instance {
+    truth: Partition,
+}
+
+impl Instance {
+    /// Builds an instance from explicit per-element class labels.
+    pub fn from_labels<L: Copy + Eq + std::hash::Hash>(labels: &[L]) -> Self {
+        Self {
+            truth: Partition::from_labels(labels),
+        }
+    }
+
+    /// Builds an instance with the given class sizes, assigning classes to
+    /// element positions uniformly at random.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any size is zero.
+    pub fn from_class_sizes<R: EcsRng + ?Sized>(sizes: &[usize], rng: &mut R) -> Self {
+        assert!(sizes.iter().all(|&s| s > 0), "class sizes must be positive");
+        let mut labels = Vec::with_capacity(sizes.iter().sum());
+        for (class, &size) in sizes.iter().enumerate() {
+            labels.extend(std::iter::repeat_n(class, size));
+        }
+        rng.shuffle(&mut labels);
+        Self::from_labels(&labels)
+    }
+
+    /// Builds an instance of `n` elements split into `k` classes whose sizes
+    /// differ by at most one (the "equal size" regime of Theorem 5 when
+    /// `k | n`), randomly placed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0` or `k > n`.
+    pub fn balanced<R: EcsRng + ?Sized>(n: usize, k: usize, rng: &mut R) -> Self {
+        assert!(k > 0 && k <= n, "need 1 <= k <= n, got k={k}, n={n}");
+        let base = n / k;
+        let extra = n % k;
+        let sizes: Vec<usize> = (0..k).map(|c| base + usize::from(c < extra)).collect();
+        Self::from_class_sizes(&sizes, rng)
+    }
+
+    /// Builds an instance whose element classes are drawn i.i.d. from a class
+    /// distribution (the Section 4 / Section 5 workload).
+    pub fn from_distribution<D: ClassDistribution, R: EcsRng + ?Sized>(
+        dist: &D,
+        n: usize,
+        rng: &mut R,
+    ) -> Self {
+        Self::from_labels(&sample_labels(dist, n, rng))
+    }
+
+    /// Number of elements.
+    pub fn n(&self) -> usize {
+        self.truth.len()
+    }
+
+    /// Number of equivalence classes (`k` in the paper).
+    pub fn num_classes(&self) -> usize {
+        self.truth.num_classes()
+    }
+
+    /// Size of the smallest equivalence class (`ℓ` in the paper).
+    pub fn smallest_class_size(&self) -> usize {
+        self.truth.smallest_class_size()
+    }
+
+    /// Size of the largest equivalence class.
+    pub fn largest_class_size(&self) -> usize {
+        self.truth.largest_class_size()
+    }
+
+    /// All class sizes.
+    pub fn class_sizes(&self) -> Vec<usize> {
+        self.truth.class_sizes()
+    }
+
+    /// The hidden ground-truth partition. Experiment code uses this to verify
+    /// algorithm output; algorithms themselves must only use the oracle.
+    pub fn ground_truth(&self) -> &Partition {
+        &self.truth
+    }
+
+    /// Whether two elements truly share a class (the oracle's answer source).
+    pub fn same_class(&self, a: usize, b: usize) -> bool {
+        self.truth.same_class(a, b)
+    }
+
+    /// Checks a claimed classification against the ground truth.
+    pub fn verify(&self, claimed: &Partition) -> bool {
+        claimed == &self.truth
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ecs_distributions::UniformClasses;
+    use ecs_rng::{SeedableEcsRng, Xoshiro256StarStar};
+    use proptest::prelude::*;
+
+    fn rng(seed: u64) -> Xoshiro256StarStar {
+        Xoshiro256StarStar::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn from_labels_basics() {
+        let inst = Instance::from_labels(&[5, 5, 2, 2, 2, 9]);
+        assert_eq!(inst.n(), 6);
+        assert_eq!(inst.num_classes(), 3);
+        assert_eq!(inst.smallest_class_size(), 1);
+        assert_eq!(inst.largest_class_size(), 3);
+        assert!(inst.same_class(0, 1));
+        assert!(!inst.same_class(0, 2));
+    }
+
+    #[test]
+    fn from_class_sizes_respects_sizes() {
+        let mut r = rng(1);
+        let inst = Instance::from_class_sizes(&[3, 5, 2], &mut r);
+        assert_eq!(inst.n(), 10);
+        assert_eq!(inst.num_classes(), 3);
+        let mut sizes = inst.class_sizes();
+        sizes.sort_unstable();
+        assert_eq!(sizes, vec![2, 3, 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_class_size_rejected() {
+        let mut r = rng(2);
+        let _ = Instance::from_class_sizes(&[3, 0], &mut r);
+    }
+
+    #[test]
+    fn balanced_sizes_differ_by_at_most_one() {
+        let mut r = rng(3);
+        for &(n, k) in &[(10usize, 3usize), (100, 7), (12, 12), (5, 1)] {
+            let inst = Instance::balanced(n, k, &mut r);
+            assert_eq!(inst.n(), n);
+            assert_eq!(inst.num_classes(), k);
+            let sizes = inst.class_sizes();
+            let min = sizes.iter().min().unwrap();
+            let max = sizes.iter().max().unwrap();
+            assert!(max - min <= 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "1 <= k <= n")]
+    fn balanced_rejects_k_larger_than_n() {
+        let mut r = rng(4);
+        let _ = Instance::balanced(3, 4, &mut r);
+    }
+
+    #[test]
+    fn from_distribution_has_plausible_class_count() {
+        let mut r = rng(5);
+        let inst = Instance::from_distribution(&UniformClasses::new(10), 5000, &mut r);
+        assert_eq!(inst.n(), 5000);
+        assert_eq!(inst.num_classes(), 10, "all 10 classes should be hit at n=5000");
+    }
+
+    #[test]
+    fn verify_accepts_truth_and_rejects_others() {
+        let inst = Instance::from_labels(&[0, 1, 0, 1]);
+        assert!(inst.verify(inst.ground_truth()));
+        assert!(inst.verify(&Partition::from_labels(&[9, 4, 9, 4])));
+        assert!(!inst.verify(&Partition::from_labels(&[0, 0, 1, 1])));
+        assert!(!inst.verify(&Partition::singletons(4)));
+    }
+
+    proptest! {
+        #[test]
+        fn shuffling_does_not_change_class_size_multiset(
+            sizes in proptest::collection::vec(1usize..8, 1..10),
+            seed in 0u64..500,
+        ) {
+            let mut r = rng(seed);
+            let inst = Instance::from_class_sizes(&sizes, &mut r);
+            let mut expected = sizes.clone();
+            expected.sort_unstable();
+            let mut got = inst.class_sizes();
+            got.sort_unstable();
+            prop_assert_eq!(got, expected);
+        }
+    }
+}

@@ -1,0 +1,44 @@
+//! The Valiant parallel comparison model for equivalence class sorting.
+//!
+//! The paper measures algorithms in Valiant's parallel comparison model: an
+//! algorithm proceeds in synchronous rounds, each round performs at most `p`
+//! pairwise equivalence tests (`p = n` processors throughout the paper), and
+//! *only comparisons are charged* — all bookkeeping between rounds is free.
+//! Two read disciplines are studied:
+//!
+//! * **exclusive-read (ER)** — an element may take part in at most one
+//!   comparison per round (the agents themselves shake hands);
+//! * **concurrent-read (CR)** — an element may appear in any number of
+//!   comparisons per round.
+//!
+//! This crate supplies everything an algorithm needs to be charged correctly:
+//!
+//! * [`Instance`] — a hidden ground-truth assignment of elements to classes,
+//!   generated from explicit sizes, a target class count, or one of the
+//!   distributions of Section 4.
+//! * [`Partition`] — the canonical representation of a (claimed or true)
+//!   classification, with equality testing.
+//! * [`EquivalenceOracle`] — the only window an algorithm has onto the truth.
+//! * [`ComparisonSession`] — counts comparisons and rounds, enforces the ER /
+//!   CR disciplines and the processor budget, and executes large comparison
+//!   batches in parallel with rayon.
+//! * [`schedule`] — helpers that decompose arbitrary comparison sets into
+//!   legal ER rounds (greedy edge colouring).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod instance;
+pub mod metrics;
+pub mod oracle;
+pub mod partition;
+pub mod schedule;
+pub mod session;
+pub mod transcript;
+
+pub use instance::Instance;
+pub use metrics::Metrics;
+pub use oracle::{EquivalenceOracle, InstanceOracle};
+pub use partition::Partition;
+pub use session::{ComparisonSession, ReadMode};
+pub use transcript::{RecordingOracle, Transcript};

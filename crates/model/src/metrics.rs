@@ -1,0 +1,151 @@
+//! Cost accounting in Valiant's parallel comparison model.
+
+/// The costs charged to an algorithm: total comparisons (work) and parallel
+/// comparison rounds (depth), together with enough per-round detail to sanity
+/// check processor utilisation.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Metrics {
+    comparisons: u64,
+    rounds: u64,
+    max_round_size: usize,
+    round_sizes: Vec<usize>,
+}
+
+impl Metrics {
+    /// Fresh, zeroed metrics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total number of equivalence tests performed.
+    pub fn comparisons(&self) -> u64 {
+        self.comparisons
+    }
+
+    /// Number of parallel comparison rounds charged.
+    pub fn rounds(&self) -> u64 {
+        self.rounds
+    }
+
+    /// The largest number of comparisons charged to a single round.
+    pub fn max_round_size(&self) -> usize {
+        self.max_round_size
+    }
+
+    /// The number of comparisons in each charged round, in order.
+    pub fn round_sizes(&self) -> &[usize] {
+        &self.round_sizes
+    }
+
+    /// Average processor utilisation, `comparisons / (rounds × processors)`,
+    /// in `[0, 1]` — how full the rounds were relative to the machine width.
+    pub fn utilisation(&self, processors: usize) -> f64 {
+        if self.rounds == 0 || processors == 0 {
+            return 0.0;
+        }
+        self.comparisons as f64 / (self.rounds as f64 * processors as f64)
+    }
+
+    /// Records one round containing `size` comparisons.
+    pub fn record_round(&mut self, size: usize) {
+        self.comparisons += size as u64;
+        self.rounds += 1;
+        self.max_round_size = self.max_round_size.max(size);
+        self.round_sizes.push(size);
+    }
+
+    /// Records a single comparison performed outside any round structure
+    /// (sequential algorithms). Each such comparison is its own round — in
+    /// Valiant's model a sequential algorithm has depth equal to its work.
+    pub fn record_single(&mut self) {
+        self.record_round(1);
+    }
+
+    /// Merges another metrics object into this one (summing work and depth);
+    /// used when an algorithm runs subphases with separate sessions.
+    pub fn absorb(&mut self, other: &Metrics) {
+        self.comparisons += other.comparisons;
+        self.rounds += other.rounds;
+        self.max_round_size = self.max_round_size.max(other.max_round_size);
+        self.round_sizes.extend_from_slice(&other.round_sizes);
+    }
+}
+
+impl std::fmt::Display for Metrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} comparisons over {} rounds (max round {})",
+            self.comparisons, self.rounds, self.max_round_size
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeroed_at_start() {
+        let m = Metrics::new();
+        assert_eq!(m.comparisons(), 0);
+        assert_eq!(m.rounds(), 0);
+        assert_eq!(m.max_round_size(), 0);
+        assert_eq!(m.utilisation(16), 0.0);
+    }
+
+    #[test]
+    fn record_round_accumulates() {
+        let mut m = Metrics::new();
+        m.record_round(10);
+        m.record_round(4);
+        m.record_round(0);
+        assert_eq!(m.comparisons(), 14);
+        assert_eq!(m.rounds(), 3);
+        assert_eq!(m.max_round_size(), 10);
+        assert_eq!(m.round_sizes(), &[10, 4, 0]);
+    }
+
+    #[test]
+    fn singles_are_one_per_round() {
+        let mut m = Metrics::new();
+        for _ in 0..5 {
+            m.record_single();
+        }
+        assert_eq!(m.comparisons(), 5);
+        assert_eq!(m.rounds(), 5);
+        assert_eq!(m.max_round_size(), 1);
+    }
+
+    #[test]
+    fn utilisation_is_work_over_width_times_depth() {
+        let mut m = Metrics::new();
+        m.record_round(8);
+        m.record_round(8);
+        assert!((m.utilisation(16) - 0.5).abs() < 1e-12);
+        assert!((m.utilisation(8) - 1.0).abs() < 1e-12);
+        assert_eq!(m.utilisation(0), 0.0);
+    }
+
+    #[test]
+    fn absorb_sums_both() {
+        let mut a = Metrics::new();
+        a.record_round(3);
+        let mut b = Metrics::new();
+        b.record_round(7);
+        b.record_round(2);
+        a.absorb(&b);
+        assert_eq!(a.comparisons(), 12);
+        assert_eq!(a.rounds(), 3);
+        assert_eq!(a.max_round_size(), 7);
+    }
+
+    #[test]
+    fn display_is_human_readable() {
+        let mut m = Metrics::new();
+        m.record_round(2);
+        let s = m.to_string();
+        assert!(s.contains("2 comparisons"));
+        assert!(s.contains("1 rounds"));
+    }
+}

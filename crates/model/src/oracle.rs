@@ -1,0 +1,133 @@
+//! Equivalence oracles: the only window an algorithm has onto the hidden
+//! classes.
+
+use crate::instance::Instance;
+
+/// Answers pairwise equivalence tests.
+///
+/// `Sync` is required so a [`crate::ComparisonSession`] can fan a round's
+/// comparisons out across rayon worker threads. Implementations must be
+/// *consistent*: answers must be realizable by some fixed partition (the
+/// ground-truth oracle trivially is; the lower-bound adversary in
+/// `ecs-adversary` maintains consistency explicitly).
+pub trait EquivalenceOracle: Sync {
+    /// Number of elements in the instance.
+    fn n(&self) -> usize;
+
+    /// Returns `true` if elements `a` and `b` belong to the same equivalence
+    /// class.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if `a` or `b` is out of range or `a == b`
+    /// (self-comparisons are never useful and usually indicate an algorithm
+    /// bug).
+    fn same(&self, a: usize, b: usize) -> bool;
+}
+
+/// The straightforward oracle that answers from an [`Instance`]'s ground
+/// truth.
+#[derive(Debug, Clone)]
+pub struct InstanceOracle<'a> {
+    instance: &'a Instance,
+}
+
+impl<'a> InstanceOracle<'a> {
+    /// Wraps an instance.
+    pub fn new(instance: &'a Instance) -> Self {
+        Self { instance }
+    }
+
+    /// The wrapped instance.
+    pub fn instance(&self) -> &'a Instance {
+        self.instance
+    }
+}
+
+impl EquivalenceOracle for InstanceOracle<'_> {
+    fn n(&self) -> usize {
+        self.instance.n()
+    }
+
+    fn same(&self, a: usize, b: usize) -> bool {
+        assert!(
+            a < self.instance.n() && b < self.instance.n(),
+            "comparison ({a}, {b}) out of range for n = {}",
+            self.instance.n()
+        );
+        debug_assert_ne!(a, b, "self-comparison requested");
+        self.instance.same_class(a, b)
+    }
+}
+
+/// An oracle defined by an explicit label vector — convenient in tests where
+/// constructing a full [`Instance`] is overkill.
+#[derive(Debug, Clone)]
+pub struct LabelOracle {
+    labels: Vec<u32>,
+}
+
+impl LabelOracle {
+    /// Builds the oracle from raw labels.
+    pub fn new(labels: Vec<u32>) -> Self {
+        Self { labels }
+    }
+}
+
+impl EquivalenceOracle for LabelOracle {
+    fn n(&self) -> usize {
+        self.labels.len()
+    }
+
+    fn same(&self, a: usize, b: usize) -> bool {
+        self.labels[a] == self.labels[b]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ecs_rng::{SeedableEcsRng, Xoshiro256StarStar};
+
+    #[test]
+    fn instance_oracle_answers_from_truth() {
+        let inst = Instance::from_labels(&[1, 1, 2, 2, 3]);
+        let oracle = InstanceOracle::new(&inst);
+        assert_eq!(oracle.n(), 5);
+        assert!(oracle.same(0, 1));
+        assert!(oracle.same(2, 3));
+        assert!(!oracle.same(0, 2));
+        assert!(!oracle.same(4, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn instance_oracle_rejects_out_of_range() {
+        let inst = Instance::from_labels(&[1, 2]);
+        let oracle = InstanceOracle::new(&inst);
+        let _ = oracle.same(0, 2);
+    }
+
+    #[test]
+    fn label_oracle_matches_instance_oracle() {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(3);
+        let inst = Instance::balanced(40, 5, &mut rng);
+        let labels: Vec<u32> = inst.ground_truth().labels().to_vec();
+        let a = InstanceOracle::new(&inst);
+        let b = LabelOracle::new(labels);
+        for i in 0..40 {
+            for j in 0..40 {
+                if i != j {
+                    assert_eq!(a.same(i, j), b.same(i, j));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn oracles_are_sync() {
+        fn assert_sync<T: Sync>() {}
+        assert_sync::<InstanceOracle<'_>>();
+        assert_sync::<LabelOracle>();
+    }
+}

@@ -1,0 +1,309 @@
+//! The comparison session: executes rounds, enforces the model, counts cost.
+
+use crate::metrics::Metrics;
+use crate::oracle::EquivalenceOracle;
+use rayon::prelude::*;
+
+/// Which read discipline a session enforces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReadMode {
+    /// Exclusive-read: every element participates in at most one comparison
+    /// per round.
+    Exclusive,
+    /// Concurrent-read: elements may appear in any number of comparisons per
+    /// round.
+    Concurrent,
+}
+
+/// Minimum batch size before a round's comparisons are evaluated on the rayon
+/// thread pool; below this the per-task overhead dwarfs the array lookups.
+const PARALLEL_THRESHOLD: usize = 4096;
+
+/// A charging session in Valiant's parallel comparison model.
+///
+/// Algorithms submit comparison rounds (or single sequential comparisons);
+/// the session validates them against the read discipline and processor
+/// budget, evaluates them against the oracle — in parallel via rayon for
+/// large batches — and accumulates [`Metrics`].
+///
+/// # Example
+///
+/// ```
+/// use ecs_model::{ComparisonSession, Instance, InstanceOracle, ReadMode};
+/// use ecs_rng::{SeedableEcsRng, Xoshiro256StarStar};
+///
+/// let mut rng = Xoshiro256StarStar::seed_from_u64(1);
+/// let instance = Instance::balanced(8, 2, &mut rng);
+/// let oracle = InstanceOracle::new(&instance);
+/// let mut session = ComparisonSession::new(&oracle, ReadMode::Exclusive);
+///
+/// let answers = session.execute_round(&[(0, 1), (2, 3), (4, 5), (6, 7)]);
+/// assert_eq!(answers.len(), 4);
+/// assert_eq!(session.metrics().rounds(), 1);
+/// assert_eq!(session.metrics().comparisons(), 4);
+/// ```
+pub struct ComparisonSession<'a, O: EquivalenceOracle> {
+    oracle: &'a O,
+    mode: ReadMode,
+    processors: usize,
+    metrics: Metrics,
+    parallel: bool,
+}
+
+impl<'a, O: EquivalenceOracle> ComparisonSession<'a, O> {
+    /// Creates a session with `n` processors (the paper's standing
+    /// assumption) and parallel batch evaluation enabled.
+    pub fn new(oracle: &'a O, mode: ReadMode) -> Self {
+        let processors = oracle.n().max(1);
+        Self {
+            oracle,
+            mode,
+            processors,
+            metrics: Metrics::new(),
+            parallel: true,
+        }
+    }
+
+    /// Creates a session with an explicit processor budget.
+    pub fn with_processors(oracle: &'a O, mode: ReadMode, processors: usize) -> Self {
+        assert!(processors > 0, "need at least one processor");
+        Self {
+            oracle,
+            mode,
+            processors,
+            metrics: Metrics::new(),
+            parallel: true,
+        }
+    }
+
+    /// Disables rayon evaluation (useful for deterministic profiling of the
+    /// charging logic itself).
+    pub fn sequential_evaluation(mut self) -> Self {
+        self.parallel = false;
+        self
+    }
+
+    /// The read discipline being enforced.
+    pub fn mode(&self) -> ReadMode {
+        self.mode
+    }
+
+    /// The processor budget per round.
+    pub fn processors(&self) -> usize {
+        self.processors
+    }
+
+    /// The number of elements in the underlying instance.
+    pub fn n(&self) -> usize {
+        self.oracle.n()
+    }
+
+    /// The accumulated cost so far.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Consumes the session and returns its metrics.
+    pub fn into_metrics(self) -> Metrics {
+        self.metrics
+    }
+
+    /// Performs a single comparison, charged as its own round (this is how
+    /// sequential algorithms are accounted: depth equals work).
+    pub fn compare(&mut self, a: usize, b: usize) -> bool {
+        self.metrics.record_single();
+        self.oracle.same(a, b)
+    }
+
+    /// Executes one parallel round of comparisons and returns one answer per
+    /// pair, in order.
+    ///
+    /// Validation and charging:
+    ///
+    /// * In [`ReadMode::Exclusive`] the pairs must form a matching — an
+    ///   element appearing twice panics, because it indicates a bug in the
+    ///   algorithm's schedule rather than a cost-model decision.
+    /// * If the batch exceeds the processor budget it is charged as
+    ///   `⌈batch / processors⌉` consecutive rounds, which is exactly what a
+    ///   `p`-processor machine would need.
+    pub fn execute_round(&mut self, pairs: &[(usize, usize)]) -> Vec<bool> {
+        if pairs.is_empty() {
+            return Vec::new();
+        }
+        if self.mode == ReadMode::Exclusive {
+            self.validate_matching(pairs);
+        }
+        let full_rounds = pairs.len() / self.processors;
+        let remainder = pairs.len() % self.processors;
+        for _ in 0..full_rounds {
+            self.metrics.record_round(self.processors);
+        }
+        if remainder > 0 {
+            self.metrics.record_round(remainder);
+        }
+        self.evaluate(pairs)
+    }
+
+    /// Executes a sequence of rounds (convenience for algorithms that already
+    /// produce a full ER schedule, e.g. the `H_d` decomposition).
+    pub fn execute_rounds(&mut self, rounds: &[Vec<(usize, usize)>]) -> Vec<Vec<bool>> {
+        rounds.iter().map(|r| self.execute_round(r)).collect()
+    }
+
+    fn validate_matching(&self, pairs: &[(usize, usize)]) {
+        let mut seen = std::collections::HashSet::with_capacity(pairs.len() * 2);
+        for &(a, b) in pairs {
+            assert_ne!(a, b, "ER round contains a self-comparison ({a}, {a})");
+            assert!(
+                seen.insert(a),
+                "ER round reuses element {a}: not a matching"
+            );
+            assert!(
+                seen.insert(b),
+                "ER round reuses element {b}: not a matching"
+            );
+        }
+    }
+
+    fn evaluate(&self, pairs: &[(usize, usize)]) -> Vec<bool> {
+        if self.parallel && pairs.len() >= PARALLEL_THRESHOLD {
+            pairs
+                .par_iter()
+                .map(|&(a, b)| self.oracle.same(a, b))
+                .collect()
+        } else {
+            pairs.iter().map(|&(a, b)| self.oracle.same(a, b)).collect()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::Instance;
+    use crate::oracle::{InstanceOracle, LabelOracle};
+    use ecs_rng::{SeedableEcsRng, Xoshiro256StarStar};
+
+    fn rng(seed: u64) -> Xoshiro256StarStar {
+        Xoshiro256StarStar::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn single_comparisons_charge_one_round_each() {
+        let oracle = LabelOracle::new(vec![0, 0, 1, 1]);
+        let mut s = ComparisonSession::new(&oracle, ReadMode::Exclusive);
+        assert!(s.compare(0, 1));
+        assert!(!s.compare(1, 2));
+        assert_eq!(s.metrics().comparisons(), 2);
+        assert_eq!(s.metrics().rounds(), 2);
+    }
+
+    #[test]
+    fn round_answers_match_truth() {
+        let mut r = rng(1);
+        let inst = Instance::balanced(100, 4, &mut r);
+        let oracle = InstanceOracle::new(&inst);
+        let mut s = ComparisonSession::new(&oracle, ReadMode::Concurrent);
+        let pairs: Vec<(usize, usize)> = (1..100).map(|i| (0, i)).collect();
+        let answers = s.execute_round(&pairs);
+        for (idx, &(a, b)) in pairs.iter().enumerate() {
+            assert_eq!(answers[idx], inst.same_class(a, b));
+        }
+        assert_eq!(s.metrics().rounds(), 1);
+        assert_eq!(s.metrics().comparisons(), 99);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a matching")]
+    fn er_round_rejects_element_reuse() {
+        let oracle = LabelOracle::new(vec![0, 0, 1, 1]);
+        let mut s = ComparisonSession::new(&oracle, ReadMode::Exclusive);
+        let _ = s.execute_round(&[(0, 1), (1, 2)]);
+    }
+
+    #[test]
+    fn cr_round_allows_element_reuse() {
+        let oracle = LabelOracle::new(vec![0, 0, 1, 1]);
+        let mut s = ComparisonSession::new(&oracle, ReadMode::Concurrent);
+        let answers = s.execute_round(&[(0, 1), (0, 2), (0, 3)]);
+        assert_eq!(answers, vec![true, false, false]);
+        assert_eq!(s.metrics().rounds(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-comparison")]
+    fn er_round_rejects_self_pairs() {
+        let oracle = LabelOracle::new(vec![0, 0]);
+        let mut s = ComparisonSession::new(&oracle, ReadMode::Exclusive);
+        let _ = s.execute_round(&[(1, 1)]);
+    }
+
+    #[test]
+    fn oversized_round_charged_as_multiple() {
+        // 10 elements => 10 processors, but a CR round with 25 comparisons.
+        let oracle = LabelOracle::new(vec![0; 10]);
+        let mut s = ComparisonSession::new(&oracle, ReadMode::Concurrent);
+        let pairs: Vec<(usize, usize)> = (0..25).map(|i| (i % 10, (i + 1) % 10)).collect();
+        let _ = s.execute_round(&pairs);
+        assert_eq!(s.metrics().rounds(), 3, "25 comparisons on 10 processors = 3 rounds");
+        assert_eq!(s.metrics().comparisons(), 25);
+        assert_eq!(s.metrics().round_sizes(), &[10, 10, 5]);
+    }
+
+    #[test]
+    fn explicit_processor_budget() {
+        let oracle = LabelOracle::new(vec![0; 100]);
+        let mut s = ComparisonSession::with_processors(&oracle, ReadMode::Concurrent, 8);
+        assert_eq!(s.processors(), 8);
+        let pairs: Vec<(usize, usize)> = (0..16).map(|i| (i, (i + 1) % 100)).collect();
+        let _ = s.execute_round(&pairs);
+        assert_eq!(s.metrics().rounds(), 2);
+    }
+
+    #[test]
+    fn empty_round_is_free() {
+        let oracle = LabelOracle::new(vec![0, 1]);
+        let mut s = ComparisonSession::new(&oracle, ReadMode::Exclusive);
+        let answers = s.execute_round(&[]);
+        assert!(answers.is_empty());
+        assert_eq!(s.metrics().rounds(), 0);
+    }
+
+    #[test]
+    fn large_batch_parallel_matches_sequential() {
+        let mut r = rng(2);
+        let inst = Instance::balanced(20_000, 7, &mut r);
+        let oracle = InstanceOracle::new(&inst);
+        let pairs: Vec<(usize, usize)> = (0..10_000).map(|i| (i, i + 10_000)).collect();
+
+        let mut parallel = ComparisonSession::new(&oracle, ReadMode::Exclusive);
+        let a = parallel.execute_round(&pairs);
+
+        let mut sequential =
+            ComparisonSession::new(&oracle, ReadMode::Exclusive).sequential_evaluation();
+        let b = sequential.execute_round(&pairs);
+
+        assert_eq!(a, b);
+        assert_eq!(parallel.metrics(), sequential.metrics());
+    }
+
+    #[test]
+    fn execute_rounds_runs_each_round() {
+        let oracle = LabelOracle::new(vec![0, 0, 1, 1]);
+        let mut s = ComparisonSession::new(&oracle, ReadMode::Exclusive);
+        let rounds = vec![vec![(0usize, 1usize)], vec![(2, 3)], vec![(0, 2), (1, 3)]];
+        let answers = s.execute_rounds(&rounds);
+        assert_eq!(answers, vec![vec![true], vec![true], vec![false, false]]);
+        assert_eq!(s.metrics().rounds(), 3);
+        assert_eq!(s.metrics().comparisons(), 4);
+    }
+
+    #[test]
+    fn into_metrics_returns_accumulated_cost() {
+        let oracle = LabelOracle::new(vec![0, 1]);
+        let mut s = ComparisonSession::new(&oracle, ReadMode::Exclusive);
+        let _ = s.compare(0, 1);
+        let m = s.into_metrics();
+        assert_eq!(m.comparisons(), 1);
+    }
+}

@@ -1,0 +1,341 @@
+//! Deterministic pseudo-random number generation substrate.
+//!
+//! Every experiment in this workspace must be exactly reproducible from a single
+//! `u64` seed: the Hamiltonian-cycle construction of the constant-round algorithm,
+//! the class-size samplers of the distribution-based analysis, and the workload
+//! generators of the benchmark harness all draw their randomness from the
+//! generators defined here rather than from an external crate, so that the
+//! figures in `EXPERIMENTS.md` can be regenerated bit-for-bit.
+//!
+//! The crate provides:
+//!
+//! * [`SplitMix64`] — a tiny, very fast generator used for seeding and for
+//!   cheap decorrelated streams.
+//! * [`Xoshiro256StarStar`] — the workhorse generator (Blackman & Vigna's
+//!   `xoshiro256**`), with `jump`/`long_jump` support for carving independent
+//!   parallel streams out of one seed.
+//! * The [`EcsRng`] trait — the uniform interface the rest of the workspace
+//!   programs against: unbiased integer ranges, floating point in `[0, 1)`,
+//!   Bernoulli draws, shuffling and sampling helpers.
+//!
+//! # Example
+//!
+//! ```
+//! use ecs_rng::{EcsRng, SeedableEcsRng, Xoshiro256StarStar};
+//!
+//! let mut rng = Xoshiro256StarStar::seed_from_u64(42);
+//! let die = rng.range_u64(1..=6);
+//! assert!((1..=6).contains(&die));
+//!
+//! let mut items: Vec<u32> = (0..10).collect();
+//! rng.shuffle(&mut items);
+//! assert_eq!(items.len(), 10);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod splitmix;
+mod xoshiro;
+pub mod seq;
+mod stream;
+
+pub use splitmix::SplitMix64;
+pub use xoshiro::Xoshiro256StarStar;
+pub use stream::StreamSplit;
+
+use core::ops::{Bound, RangeBounds};
+
+/// The random number generator interface used throughout the workspace.
+///
+/// Only [`EcsRng::next_u64`] is required; everything else is derived in a way
+/// that is identical for every implementor, so swapping generators never
+/// changes the *meaning* of a seed, only the underlying stream.
+pub trait EcsRng {
+    /// Returns the next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 uniformly random bits (the high half of a 64-bit draw).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Returns a uniformly random `u64` strictly below `bound` using Lemire's
+    /// multiply-and-shift rejection method, which is unbiased for every bound.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0`.
+    fn below_u64(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "below_u64 requires a positive bound");
+        // Lemire's nearly-divisionless unbiased bounded generation.
+        let mut x = self.next_u64();
+        let mut m = (x as u128).wrapping_mul(bound as u128);
+        let mut low = m as u64;
+        if low < bound {
+            // Rejection threshold: 2^64 mod bound.
+            let threshold = bound.wrapping_neg() % bound;
+            while low < threshold {
+                x = self.next_u64();
+                m = (x as u128).wrapping_mul(bound as u128);
+                low = m as u64;
+            }
+        }
+        (m >> 64) as u64
+    }
+
+    /// Returns a uniformly random `usize` strictly below `bound`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0`.
+    fn below(&mut self, bound: usize) -> usize {
+        self.below_u64(bound as u64) as usize
+    }
+
+    /// Returns a uniformly random `u64` from the given range.
+    ///
+    /// Both inclusive and exclusive upper bounds are supported; unbounded
+    /// ranges draw from the full `u64` domain on the unbounded side.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn range_u64<R: RangeBounds<u64>>(&mut self, range: R) -> u64 {
+        let lo = match range.start_bound() {
+            Bound::Included(&v) => v,
+            Bound::Excluded(&v) => v.checked_add(1).expect("range start overflow"),
+            Bound::Unbounded => 0,
+        };
+        let hi_inclusive = match range.end_bound() {
+            Bound::Included(&v) => v,
+            Bound::Excluded(&v) => v.checked_sub(1).expect("empty range"),
+            Bound::Unbounded => u64::MAX,
+        };
+        assert!(lo <= hi_inclusive, "range_u64 requires a non-empty range");
+        let span = hi_inclusive - lo;
+        if span == u64::MAX {
+            return self.next_u64();
+        }
+        lo + self.below_u64(span + 1)
+    }
+
+    /// Returns a uniformly random `usize` from the given range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn range_usize<R: RangeBounds<usize>>(&mut self, range: R) -> usize {
+        let lo = match range.start_bound() {
+            Bound::Included(&v) => v as u64,
+            Bound::Excluded(&v) => (v as u64).checked_add(1).expect("range start overflow"),
+            Bound::Unbounded => 0,
+        };
+        let hi_inclusive = match range.end_bound() {
+            Bound::Included(&v) => v as u64,
+            Bound::Excluded(&v) => (v as u64).checked_sub(1).expect("empty range"),
+            Bound::Unbounded => usize::MAX as u64,
+        };
+        self.range_u64(lo..=hi_inclusive) as usize
+    }
+
+    /// Returns a uniformly random `f64` in `[0, 1)` with 53 bits of precision.
+    fn f64(&mut self) -> f64 {
+        // 53 high bits scaled into the unit interval; the standard conversion.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Returns a uniformly random `f64` in the open interval `(0, 1)`.
+    ///
+    /// Useful for inverse-CDF sampling where `ln(0)` would be produced by a
+    /// zero draw.
+    fn f64_open(&mut self) -> f64 {
+        loop {
+            let x = self.f64();
+            if x > 0.0 {
+                return x;
+            }
+        }
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    fn bernoulli(&mut self, p: f64) -> bool {
+        if p >= 1.0 {
+            return true;
+        }
+        if p <= 0.0 {
+            return false;
+        }
+        self.f64() < p
+    }
+
+    /// Fisher–Yates shuffles the slice in place.
+    fn shuffle<T>(&mut self, slice: &mut [T]) {
+        seq::shuffle(self, slice);
+    }
+
+    /// Returns a reference to a uniformly random element of the slice, or
+    /// `None` if the slice is empty.
+    fn choose<'a, T>(&mut self, slice: &'a [T]) -> Option<&'a T> {
+        seq::choose(self, slice)
+    }
+
+    /// Samples `amount` distinct indices from `0..len` (Floyd's algorithm),
+    /// returned in random order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `amount > len`.
+    fn sample_indices(&mut self, len: usize, amount: usize) -> Vec<usize> {
+        seq::sample_indices(self, len, amount)
+    }
+
+    /// Returns a uniformly random permutation of `0..n`.
+    fn permutation(&mut self, n: usize) -> Vec<usize> {
+        let mut p: Vec<usize> = (0..n).collect();
+        self.shuffle(&mut p);
+        p
+    }
+}
+
+/// Generators that can be constructed deterministically from a `u64` seed.
+pub trait SeedableEcsRng: Sized {
+    /// Builds a generator whose entire stream is a pure function of `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng(seed: u64) -> Xoshiro256StarStar {
+        Xoshiro256StarStar::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn below_is_in_range() {
+        let mut r = rng(1);
+        for bound in [1u64, 2, 3, 7, 100, 1 << 40] {
+            for _ in 0..200 {
+                assert!(r.below_u64(bound) < bound);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive bound")]
+    fn below_zero_panics() {
+        rng(1).below_u64(0);
+    }
+
+    #[test]
+    fn range_inclusive_hits_endpoints() {
+        let mut r = rng(2);
+        let mut seen_lo = false;
+        let mut seen_hi = false;
+        for _ in 0..10_000 {
+            match r.range_u64(5..=8) {
+                5 => seen_lo = true,
+                8 => seen_hi = true,
+                v => assert!((5..=8).contains(&v)),
+            }
+        }
+        assert!(seen_lo && seen_hi, "both endpoints should be reachable");
+    }
+
+    #[test]
+    fn range_exclusive_never_hits_end() {
+        let mut r = rng(3);
+        for _ in 0..5_000 {
+            let v = r.range_usize(0..10);
+            assert!(v < 10);
+        }
+    }
+
+    #[test]
+    fn full_range_works() {
+        let mut r = rng(4);
+        // Just exercise the span == u64::MAX special case.
+        let _ = r.range_u64(..);
+        let _ = r.range_u64(0..=u64::MAX);
+    }
+
+    #[test]
+    fn f64_is_unit_interval() {
+        let mut r = rng(5);
+        for _ in 0..10_000 {
+            let x = r.f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn f64_mean_is_near_half() {
+        let mut r = rng(6);
+        let n = 100_000;
+        let sum: f64 = (0..n).map(|_| r.f64()).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean} too far from 0.5");
+    }
+
+    #[test]
+    fn bernoulli_extremes() {
+        let mut r = rng(7);
+        assert!(r.bernoulli(1.0));
+        assert!(r.bernoulli(1.5));
+        assert!(!r.bernoulli(0.0));
+        assert!(!r.bernoulli(-0.5));
+    }
+
+    #[test]
+    fn bernoulli_frequency() {
+        let mut r = rng(8);
+        let n = 100_000;
+        let hits = (0..n).filter(|_| r.bernoulli(0.25)).count();
+        let freq = hits as f64 / n as f64;
+        assert!((freq - 0.25).abs() < 0.01, "freq {freq} too far from 0.25");
+    }
+
+    #[test]
+    fn permutation_is_a_permutation() {
+        let mut r = rng(9);
+        let p = r.permutation(100);
+        let mut sorted = p.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = rng(1234);
+        let mut b = rng(1234);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = rng(1);
+        let mut b = rng(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 4, "streams from different seeds should diverge");
+    }
+
+    #[test]
+    fn below_is_roughly_uniform() {
+        // Chi-squared style sanity check on 8 buckets.
+        let mut r = rng(10);
+        let buckets = 8usize;
+        let n = 80_000;
+        let mut counts = vec![0usize; buckets];
+        for _ in 0..n {
+            counts[r.below(buckets)] += 1;
+        }
+        let expected = n as f64 / buckets as f64;
+        for (i, &c) in counts.iter().enumerate() {
+            let dev = (c as f64 - expected).abs() / expected;
+            assert!(dev < 0.05, "bucket {i} deviates by {dev}");
+        }
+    }
+}

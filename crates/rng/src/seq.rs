@@ -1,0 +1,221 @@
+//! Sequence helpers: shuffling, choosing, and sampling without replacement.
+//!
+//! These are free functions parameterised over [`EcsRng`] so that the trait's
+//! default methods can delegate here without requiring `Self: Sized` bounds in
+//! odd places.
+
+use crate::EcsRng;
+
+/// Fisher–Yates shuffle (Durstenfeld variant), uniform over all permutations.
+pub fn shuffle<R: EcsRng + ?Sized, T>(rng: &mut R, slice: &mut [T]) {
+    let n = slice.len();
+    if n < 2 {
+        return;
+    }
+    for i in (1..n).rev() {
+        let j = rng.below(i + 1);
+        slice.swap(i, j);
+    }
+}
+
+/// Returns a uniformly random element of `slice`, or `None` if it is empty.
+pub fn choose<'a, R: EcsRng + ?Sized, T>(rng: &mut R, slice: &'a [T]) -> Option<&'a T> {
+    if slice.is_empty() {
+        None
+    } else {
+        Some(&slice[rng.below(slice.len())])
+    }
+}
+
+/// Samples `amount` distinct indices from `0..len` using Floyd's algorithm and
+/// returns them in a uniformly random order.
+///
+/// Floyd's algorithm performs exactly `amount` insertions regardless of `len`,
+/// so sampling a handful of elements from a huge universe stays cheap.
+///
+/// # Panics
+///
+/// Panics if `amount > len`.
+pub fn sample_indices<R: EcsRng + ?Sized>(rng: &mut R, len: usize, amount: usize) -> Vec<usize> {
+    assert!(
+        amount <= len,
+        "cannot sample {amount} distinct indices from a universe of {len}"
+    );
+    if amount == 0 {
+        return Vec::new();
+    }
+    // Floyd's algorithm: for j in len-amount..len, insert a random index in
+    // 0..=j, replacing collisions with j itself.
+    let mut chosen: Vec<usize> = Vec::with_capacity(amount);
+    let mut set = std::collections::HashSet::with_capacity(amount * 2);
+    for j in (len - amount)..len {
+        let t = rng.below(j + 1);
+        let pick = if set.contains(&t) { j } else { t };
+        set.insert(pick);
+        chosen.push(pick);
+    }
+    // Floyd's algorithm is uniform over subsets but not over orderings.
+    shuffle(rng, &mut chosen);
+    chosen
+}
+
+/// Reservoir-samples `amount` items from an iterator of unknown length
+/// (Algorithm R). Returns fewer than `amount` items if the iterator is short.
+pub fn reservoir_sample<R: EcsRng + ?Sized, T, I>(rng: &mut R, iter: I, amount: usize) -> Vec<T>
+where
+    I: IntoIterator<Item = T>,
+{
+    let mut reservoir: Vec<T> = Vec::with_capacity(amount);
+    if amount == 0 {
+        return reservoir;
+    }
+    for (seen, item) in iter.into_iter().enumerate() {
+        if seen < amount {
+            reservoir.push(item);
+        } else {
+            let j = rng.below(seen + 1);
+            if j < amount {
+                reservoir[j] = item;
+            }
+        }
+    }
+    reservoir
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{SeedableEcsRng, Xoshiro256StarStar};
+
+    fn rng(seed: u64) -> Xoshiro256StarStar {
+        Xoshiro256StarStar::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn shuffle_preserves_multiset() {
+        let mut r = rng(1);
+        let mut v: Vec<u32> = (0..1000).map(|i| i % 17).collect();
+        let mut expected = v.clone();
+        shuffle(&mut r, &mut v);
+        expected.sort_unstable();
+        let mut got = v.clone();
+        got.sort_unstable();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn shuffle_tiny_slices() {
+        let mut r = rng(2);
+        let mut empty: [u8; 0] = [];
+        shuffle(&mut r, &mut empty);
+        let mut one = [42];
+        shuffle(&mut r, &mut one);
+        assert_eq!(one, [42]);
+    }
+
+    #[test]
+    fn shuffle_is_roughly_uniform_on_three_elements() {
+        // 3! = 6 permutations should each appear ~1/6 of the time.
+        let mut r = rng(3);
+        let trials = 60_000;
+        let mut counts = std::collections::HashMap::new();
+        for _ in 0..trials {
+            let mut v = [0u8, 1, 2];
+            shuffle(&mut r, &mut v);
+            *counts.entry(v).or_insert(0usize) += 1;
+        }
+        assert_eq!(counts.len(), 6);
+        for (&perm, &c) in &counts {
+            let freq = c as f64 / trials as f64;
+            assert!(
+                (freq - 1.0 / 6.0).abs() < 0.01,
+                "permutation {perm:?} frequency {freq}"
+            );
+        }
+    }
+
+    #[test]
+    fn choose_empty_is_none() {
+        let mut r = rng(4);
+        let empty: [u8; 0] = [];
+        assert!(choose(&mut r, &empty).is_none());
+    }
+
+    #[test]
+    fn choose_covers_all_elements() {
+        let mut r = rng(5);
+        let items = [10, 20, 30, 40];
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..1000 {
+            seen.insert(*choose(&mut r, &items).unwrap());
+        }
+        assert_eq!(seen.len(), items.len());
+    }
+
+    #[test]
+    fn sample_indices_distinct_and_in_range() {
+        let mut r = rng(6);
+        for &(len, amount) in &[(10usize, 10usize), (100, 7), (1, 1), (5, 0), (1000, 999)] {
+            let s = sample_indices(&mut r, len, amount);
+            assert_eq!(s.len(), amount);
+            let mut dedup = s.clone();
+            dedup.sort_unstable();
+            dedup.dedup();
+            assert_eq!(dedup.len(), amount, "indices must be distinct");
+            assert!(s.iter().all(|&i| i < len));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot sample")]
+    fn sample_more_than_universe_panics() {
+        let mut r = rng(7);
+        let _ = sample_indices(&mut r, 3, 4);
+    }
+
+    #[test]
+    fn sample_indices_is_roughly_uniform() {
+        // Each index of 0..6 should be included in a 3-subset with prob 1/2.
+        let mut r = rng(8);
+        let trials = 30_000;
+        let mut counts = [0usize; 6];
+        for _ in 0..trials {
+            for i in sample_indices(&mut r, 6, 3) {
+                counts[i] += 1;
+            }
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            let freq = c as f64 / trials as f64;
+            assert!((freq - 0.5).abs() < 0.02, "index {i} frequency {freq}");
+        }
+    }
+
+    #[test]
+    fn reservoir_sample_short_iterator() {
+        let mut r = rng(9);
+        let got = reservoir_sample(&mut r, 0..3usize, 10);
+        assert_eq!(got.len(), 3);
+    }
+
+    #[test]
+    fn reservoir_sample_inclusion_probability() {
+        let mut r = rng(10);
+        let trials = 20_000;
+        let mut count_first = 0usize;
+        let mut count_last = 0usize;
+        for _ in 0..trials {
+            let s = reservoir_sample(&mut r, 0..10usize, 4);
+            assert_eq!(s.len(), 4);
+            if s.contains(&0) {
+                count_first += 1;
+            }
+            if s.contains(&9) {
+                count_last += 1;
+            }
+        }
+        for (name, c) in [("first", count_first), ("last", count_last)] {
+            let freq = c as f64 / trials as f64;
+            assert!((freq - 0.4).abs() < 0.02, "{name} inclusion frequency {freq}");
+        }
+    }
+}

@@ -1,0 +1,80 @@
+//! Distribution-based analysis (Sections 4–5) in miniature: run the
+//! round-robin algorithm on inputs drawn from the paper's four distributions,
+//! fit best-fit lines where linearity is proven, and check the Theorem 7
+//! dominance bound.
+//!
+//! This is a scaled-down interactive version of the full `figure5` and
+//! `theorem7_dominance` binaries in `crates/bench`.
+//!
+//! ```text
+//! cargo run --release --example distribution_experiments
+//! ```
+
+use parallel_ecs::prelude::*;
+
+fn main() {
+    let seed = 2016;
+    let sizes: Vec<usize> = (1..=8).map(|i| i * 1_000).collect();
+    let trials = 3;
+
+    let configurations = vec![
+        AnyDistribution::uniform(10),
+        AnyDistribution::geometric(0.1),
+        AnyDistribution::poisson(5.0),
+        AnyDistribution::zeta(2.5),
+        AnyDistribution::zeta(1.5),
+    ];
+
+    for distribution in configurations {
+        let config = Figure5Config {
+            distribution,
+            sizes: sizes.clone(),
+            trials,
+            seed,
+        };
+        let series = figure5_series(&config);
+        println!("== {} ==", series.label);
+        for point in &series.points {
+            println!(
+                "  n = {:>6}: mean comparisons = {:>12.1} ({:.2} per element)",
+                point.n,
+                point.summary.mean(),
+                point.summary.mean() / point.n as f64
+            );
+        }
+        match &series.fit {
+            Some(fit) => println!(
+                "  best fit: {:.3}·n + {:.1}  (R² = {:.5}, max spread {:.2}%)\n",
+                fit.slope,
+                fit.intercept,
+                fit.r_squared,
+                100.0 * series.max_relative_spread()
+            ),
+            None => println!("  no linear fit — the paper leaves zeta with s < 2 open\n"),
+        }
+    }
+
+    // Theorem 7: measured comparisons vs twice the sum of draws from D_N(n).
+    println!("Theorem 7 dominance check (n = 4000):");
+    for distribution in [
+        AnyDistribution::uniform(25),
+        AnyDistribution::geometric(0.02),
+        AnyDistribution::poisson(25.0),
+    ] {
+        let result = dominance_experiment(&DominanceConfig {
+            distribution,
+            n: 4_000,
+            trials: 4,
+            seed,
+        });
+        println!(
+            "  {:<22} cross-class mean {:>11.1} ≤ bound mean {:>11.1}  ({:.0}% of trials below); total {:>11.1} ≤ bound + n ({:.0}%)",
+            result.label,
+            result.measured_cross_mean(),
+            result.bound_mean,
+            100.0 * result.fraction_cross_below_bound(),
+            result.measured_mean(),
+            100.0 * result.fraction_total_below_bound_plus_n()
+        );
+    }
+}

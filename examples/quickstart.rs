@@ -1,0 +1,60 @@
+//! Quickstart: classify elements into hidden equivalence classes with every
+//! algorithm in the library and compare their costs.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use parallel_ecs::prelude::*;
+
+fn main() {
+    // A hidden ground truth: 5 000 elements in 12 classes of equal size.
+    let mut rng = Xoshiro256StarStar::seed_from_u64(2016);
+    let n = 5_000;
+    let k = 12;
+    let instance = Instance::balanced(n, k, &mut rng);
+    let oracle = InstanceOracle::new(&instance);
+
+    println!("equivalence class sorting: n = {n}, k = {k} hidden classes\n");
+    println!(
+        "{:<34} {:>6} {:>10} {:>12} {:>9}",
+        "algorithm", "mode", "rounds", "comparisons", "correct"
+    );
+
+    // The paper's concurrent-read algorithm (Theorem 1): O(k + log log n) rounds.
+    report(&instance, "CR", &CrCompoundMerge::new(k), &oracle);
+
+    // The exclusive-read merge algorithm (Theorem 2): O(k log n) rounds.
+    report(&instance, "ER", &ErMergeSort::new(), &oracle);
+
+    // The constant-round algorithm (Theorem 4): needs every class to be large.
+    let lambda = (1.0 / k as f64).min(0.4);
+    report(&instance, "ER", &ErConstantRound::with_lambda(lambda, 7), &oracle);
+
+    // Sequential baselines.
+    report(&instance, "seq", &RoundRobin::new(), &oracle);
+    report(&instance, "seq", &RepresentativeScan::new(), &oracle);
+
+    println!("\nLower bound context (Theorem 5): with equal class sizes f = n/k = {},", n / k);
+    println!(
+        "any algorithm needs at least n²/(64f) = {} comparisons.",
+        (n as u64 * n as u64) / (64 * (n / k) as u64)
+    );
+}
+
+fn report<A: EcsAlgorithm, O: EquivalenceOracle>(
+    instance: &Instance,
+    mode: &str,
+    algorithm: &A,
+    oracle: &O,
+) {
+    let run = algorithm.sort(oracle);
+    println!(
+        "{:<34} {:>6} {:>10} {:>12} {:>9}",
+        algorithm.name(),
+        mode,
+        run.metrics.rounds(),
+        run.metrics.comparisons(),
+        instance.verify(&run.partition)
+    );
+}

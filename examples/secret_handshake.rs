@@ -1,0 +1,63 @@
+//! Secret handshakes at a political convention — the paper's motivating story.
+//!
+//! `n` interns each belong to one of `k` parties. Two interns can perform a
+//! zero-knowledge "secret handshake" that reveals only whether they are in the
+//! same party. Because each intern can shake at most one hand per round, this
+//! is the **exclusive-read** setting; the goal is for everyone to find their
+//! own party in as few parallel handshake rounds as possible.
+//!
+//! ```text
+//! cargo run --release --example secret_handshake
+//! ```
+
+use parallel_ecs::prelude::*;
+
+fn main() {
+    let n = 4_000;
+    // Party sizes are deliberately uneven, but every party holds at least 20%
+    // of the convention, so Theorem 4's constant-round algorithm applies.
+    let party_sizes = [1_400usize, 1_100, 800, 700];
+    let mut rng = Xoshiro256StarStar::seed_from_u64(42);
+    let instance = Instance::from_class_sizes(&party_sizes, &mut rng);
+    let oracle = InstanceOracle::new(&instance);
+    assert_eq!(instance.n(), n);
+
+    let lambda = instance.smallest_class_size() as f64 / n as f64;
+    println!("{n} interns, {} parties, smallest party fraction λ = {lambda:.3}\n", party_sizes.len());
+
+    // Constant-round classification (Theorem 4).
+    let constant = ErConstantRound::with_lambda(lambda.min(0.4), 1).sort(&oracle);
+    assert!(instance.verify(&constant.partition));
+    println!(
+        "Theorem 4 (constant rounds): {} handshake rounds, {} handshakes total",
+        constant.metrics.rounds(),
+        constant.metrics.comparisons()
+    );
+
+    // The general ER algorithm (Theorem 2) for comparison.
+    let merge = ErMergeSort::new().sort(&oracle);
+    assert!(instance.verify(&merge.partition));
+    println!(
+        "Theorem 2 (k log n rounds):  {} handshake rounds, {} handshakes total",
+        merge.metrics.rounds(),
+        merge.metrics.comparisons()
+    );
+
+    // A naive day at the convention: everyone queues up and shakes hands with
+    // one representative of each clique found so far.
+    let sequential = RepresentativeScan::new().sort(&oracle);
+    println!(
+        "sequential meet-and-greet:   {} rounds (one handshake each), {} handshakes total",
+        sequential.metrics.rounds(),
+        sequential.metrics.comparisons()
+    );
+
+    println!(
+        "\nEvery intern now knows their party; party sizes recovered: {:?}",
+        {
+            let mut sizes = constant.partition.class_sizes();
+            sizes.sort_unstable_by(|a, b| b.cmp(a));
+            sizes
+        }
+    );
+}

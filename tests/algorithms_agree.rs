@@ -1,0 +1,121 @@
+//! Cross-crate integration tests: every algorithm agrees with the ground
+//! truth and with every other algorithm, across a variety of workloads.
+
+use parallel_ecs::prelude::*;
+
+fn all_runs(instance: &Instance, seed: u64) -> Vec<(String, EcsRun)> {
+    let oracle = InstanceOracle::new(instance);
+    let k = instance.num_classes().max(1);
+    let mut runs = vec![
+        (
+            CrCompoundMerge::new(k).name(),
+            CrCompoundMerge::new(k).sort(&oracle),
+        ),
+        (ErMergeSort::new().name(), ErMergeSort::new().sort(&oracle)),
+        (
+            ErConstantRound::adaptive(seed).name(),
+            ErConstantRound::adaptive(seed).sort(&oracle),
+        ),
+        (RoundRobin::new().name(), RoundRobin::new().sort(&oracle)),
+        (
+            RepresentativeScan::new().name(),
+            RepresentativeScan::new().sort(&oracle),
+        ),
+    ];
+    if instance.n() <= 200 {
+        runs.push((NaiveAllPairs::new().name(), NaiveAllPairs::new().sort(&oracle)));
+    }
+    runs
+}
+
+#[test]
+fn all_algorithms_agree_on_balanced_instances() {
+    let mut rng = Xoshiro256StarStar::seed_from_u64(1);
+    for &(n, k) in &[(40usize, 4usize), (150, 3), (400, 10), (1000, 2)] {
+        let instance = Instance::balanced(n, k, &mut rng);
+        for (name, run) in all_runs(&instance, 7) {
+            assert!(
+                instance.verify(&run.partition),
+                "{name} failed on balanced n={n}, k={k}"
+            );
+        }
+    }
+}
+
+#[test]
+fn all_algorithms_agree_on_skewed_instances() {
+    let mut rng = Xoshiro256StarStar::seed_from_u64(2);
+    let size_sets: Vec<Vec<usize>> = vec![
+        vec![500, 1, 1, 1],
+        vec![100, 100, 5],
+        vec![64; 8],
+        vec![1; 60],
+        vec![333, 222, 111, 44],
+    ];
+    for sizes in size_sets {
+        let instance = Instance::from_class_sizes(&sizes, &mut rng);
+        for (name, run) in all_runs(&instance, 11) {
+            assert!(
+                instance.verify(&run.partition),
+                "{name} failed on class sizes {sizes:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn all_algorithms_agree_on_distribution_sampled_instances() {
+    let mut rng = Xoshiro256StarStar::seed_from_u64(3);
+    let distributions = [
+        AnyDistribution::uniform(10),
+        AnyDistribution::geometric(0.1),
+        AnyDistribution::poisson(5.0),
+        AnyDistribution::zeta(2.0),
+    ];
+    for dist in &distributions {
+        let instance = Instance::from_distribution(dist, 600, &mut rng);
+        for (name, run) in all_runs(&instance, 13) {
+            assert!(
+                instance.verify(&run.partition),
+                "{name} failed on {}",
+                dist.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn parallel_algorithms_use_far_fewer_rounds_than_sequential() {
+    let mut rng = Xoshiro256StarStar::seed_from_u64(4);
+    let instance = Instance::balanced(5_000, 5, &mut rng);
+    let oracle = InstanceOracle::new(&instance);
+
+    let cr = CrCompoundMerge::new(5).sort(&oracle);
+    let er = ErMergeSort::new().sort(&oracle);
+    let seq = RoundRobin::new().sort(&oracle);
+
+    assert!(cr.metrics.rounds() < 60);
+    assert!(er.metrics.rounds() < 200);
+    assert!(
+        seq.metrics.rounds() > 10 * er.metrics.rounds(),
+        "sequential depth {} should dwarf the parallel depth {}",
+        seq.metrics.rounds(),
+        er.metrics.rounds()
+    );
+    // All three agree on the classification.
+    assert_eq!(cr.partition, er.partition);
+    assert_eq!(er.partition, seq.partition);
+}
+
+#[test]
+fn work_of_parallel_algorithms_is_not_wildly_larger_than_nk() {
+    let mut rng = Xoshiro256StarStar::seed_from_u64(5);
+    let (n, k) = (3_000usize, 6usize);
+    let instance = Instance::balanced(n, k, &mut rng);
+    let oracle = InstanceOracle::new(&instance);
+    let cr = CrCompoundMerge::new(k).sort(&oracle);
+    let er = ErMergeSort::new().sort(&oracle);
+    let budget = (10 * n * k) as u64;
+    assert!(cr.metrics.comparisons() < budget, "CR work {}", cr.metrics.comparisons());
+    assert!(er.metrics.comparisons() < budget, "ER work {}", er.metrics.comparisons());
+}

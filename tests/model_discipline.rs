@@ -1,0 +1,181 @@
+//! Integration tests of the cost model discipline: the ER algorithms really
+//! do emit exclusive-read schedules, adversaries are consistent oracles, and
+//! the facade's prelude exposes everything needed to build a custom oracle.
+
+use parallel_ecs::prelude::*;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// An oracle wrapper that records every round's pairs via interior mutability
+/// so a test can re-validate the ER discipline independently of the session.
+struct AuditingOracle<'a> {
+    inner: InstanceOracle<'a>,
+    calls: AtomicU64,
+    seen_pairs: Mutex<Vec<(usize, usize)>>,
+}
+
+impl EquivalenceOracle for AuditingOracle<'_> {
+    fn n(&self) -> usize {
+        self.inner.n()
+    }
+    fn same(&self, a: usize, b: usize) -> bool {
+        self.calls.fetch_add(1, Ordering::Relaxed);
+        self.seen_pairs.lock().unwrap().push((a, b));
+        self.inner.same(a, b)
+    }
+}
+
+#[test]
+fn oracle_call_count_matches_charged_comparisons() {
+    let mut rng = Xoshiro256StarStar::seed_from_u64(1);
+    let instance = Instance::balanced(800, 4, &mut rng);
+    let oracle = AuditingOracle {
+        inner: InstanceOracle::new(&instance),
+        calls: AtomicU64::new(0),
+        seen_pairs: Mutex::new(Vec::new()),
+    };
+    for run in [
+        ErMergeSort::new().sort(&oracle),
+        CrCompoundMerge::new(4).sort(&oracle),
+        RoundRobin::new().sort(&oracle),
+    ] {
+        assert!(instance.verify(&run.partition));
+    }
+    let total_charged: u64 = {
+        // Re-run to get individual charges (runs above share the oracle).
+        let fresh = AuditingOracle {
+            inner: InstanceOracle::new(&instance),
+            calls: AtomicU64::new(0),
+            seen_pairs: Mutex::new(Vec::new()),
+        };
+        let run = ErMergeSort::new().sort(&fresh);
+        assert_eq!(
+            fresh.calls.load(Ordering::Relaxed),
+            run.metrics.comparisons(),
+            "every charged comparison corresponds to exactly one oracle call"
+        );
+        run.metrics.comparisons()
+    };
+    assert!(total_charged > 0);
+}
+
+#[test]
+fn no_algorithm_compares_an_element_with_itself() {
+    let mut rng = Xoshiro256StarStar::seed_from_u64(2);
+    let instance = Instance::balanced(300, 5, &mut rng);
+    let oracle = AuditingOracle {
+        inner: InstanceOracle::new(&instance),
+        calls: AtomicU64::new(0),
+        seen_pairs: Mutex::new(Vec::new()),
+    };
+    let _ = CrCompoundMerge::new(5).sort(&oracle);
+    let _ = ErMergeSort::new().sort(&oracle);
+    let _ = ErConstantRound::adaptive(3).sort(&oracle);
+    let _ = RoundRobin::new().sort(&oracle);
+    let pairs = oracle.seen_pairs.lock().unwrap();
+    assert!(pairs.iter().all(|&(a, b)| a != b));
+    assert!(pairs.iter().all(|&(a, b)| a < 300 && b < 300));
+}
+
+#[test]
+fn adversary_transcripts_are_realizable_partitions() {
+    // Whatever answers the adversary gives must be explained by its final
+    // committed partition.
+    let adversary = EqualSizeAdversary::new(128, 8);
+    let run = RepresentativeScan::new().sort(&adversary);
+    let committed = adversary.partition();
+    assert_eq!(run.partition, committed);
+    assert_eq!(committed.class_sizes(), vec![8; 16]);
+
+    let adversary = SmallestClassAdversary::new(130, 4);
+    let run = RepresentativeScan::new().sort(&adversary);
+    assert_eq!(run.partition, adversary.partition());
+    assert_eq!(adversary.partition().smallest_class_size(), 4);
+}
+
+#[test]
+fn custom_oracles_plug_into_the_session_directly() {
+    // Build a custom oracle (strings equal up to ASCII case) and classify it
+    // with the public session API rather than a ready-made algorithm.
+    struct CaseInsensitive(Vec<&'static str>);
+    impl EquivalenceOracle for CaseInsensitive {
+        fn n(&self) -> usize {
+            self.0.len()
+        }
+        fn same(&self, a: usize, b: usize) -> bool {
+            self.0[a].eq_ignore_ascii_case(self.0[b])
+        }
+    }
+    let oracle = CaseInsensitive(vec!["Rust", "SPAA", "rust", "spaa", "RUST", "paper"]);
+    let run = RepresentativeScan::new().sort(&oracle);
+    assert_eq!(run.partition.num_classes(), 3);
+    assert!(run.partition.same_class(0, 2));
+    assert!(run.partition.same_class(0, 4));
+    assert!(run.partition.same_class(1, 3));
+    assert!(!run.partition.same_class(0, 5));
+
+    // And through a raw session with explicit rounds.
+    let mut session = ComparisonSession::new(&oracle, ReadMode::Exclusive);
+    let answers = session.execute_round(&[(0, 2), (1, 3)]);
+    assert_eq!(answers, vec![true, true]);
+    assert_eq!(session.metrics().rounds(), 1);
+}
+
+#[test]
+fn every_algorithm_transcript_certifies_its_output() {
+    // No algorithm is allowed to "guess": the tests it performed must pin the
+    // claimed partition down uniquely (equality chains inside every class and
+    // at least one separating answer between every pair of classes).
+    let mut rng = Xoshiro256StarStar::seed_from_u64(21);
+    for &(n, k) in &[(60usize, 3usize), (200, 6), (350, 2)] {
+        let instance = Instance::balanced(n, k, &mut rng);
+
+        let checks: Vec<(String, Transcript, Partition)> = vec![
+            {
+                let oracle = RecordingOracle::new(InstanceOracle::new(&instance));
+                let run = CrCompoundMerge::new(k).sort(&oracle);
+                ("cr-compound".into(), oracle.into_transcript(), run.partition)
+            },
+            {
+                let oracle = RecordingOracle::new(InstanceOracle::new(&instance));
+                let run = ErMergeSort::new().sort(&oracle);
+                ("er-merge".into(), oracle.into_transcript(), run.partition)
+            },
+            {
+                let oracle = RecordingOracle::new(InstanceOracle::new(&instance));
+                let run = ErConstantRound::adaptive(5).sort(&oracle);
+                ("er-constant".into(), oracle.into_transcript(), run.partition)
+            },
+            {
+                let oracle = RecordingOracle::new(InstanceOracle::new(&instance));
+                let run = RoundRobin::new().sort(&oracle);
+                ("round-robin".into(), oracle.into_transcript(), run.partition)
+            },
+            {
+                let oracle = RecordingOracle::new(InstanceOracle::new(&instance));
+                let run = RepresentativeScan::new().sort(&oracle);
+                ("rep-scan".into(), oracle.into_transcript(), run.partition)
+            },
+        ];
+        for (name, transcript, partition) in checks {
+            assert!(instance.verify(&partition), "{name} wrong on n={n}, k={k}");
+            assert!(
+                transcript.certifies(n, &partition),
+                "{name}'s transcript does not certify its output on n={n}, k={k}"
+            );
+        }
+    }
+}
+
+#[test]
+fn metrics_absorb_and_utilisation_are_exposed() {
+    let mut rng = Xoshiro256StarStar::seed_from_u64(3);
+    let instance = Instance::balanced(1_000, 4, &mut rng);
+    let oracle = InstanceOracle::new(&instance);
+    let run = CrCompoundMerge::new(4).sort(&oracle);
+    let utilisation = run.metrics.utilisation(instance.n());
+    assert!(utilisation > 0.0 && utilisation <= 1.0);
+    let mut combined = Metrics::new();
+    combined.absorb(&run.metrics);
+    assert_eq!(combined.comparisons(), run.metrics.comparisons());
+}

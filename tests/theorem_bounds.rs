@@ -1,0 +1,164 @@
+//! Integration tests that check the paper's quantitative claims end-to-end at
+//! reduced scale: round bounds (Theorems 1, 2, 4), lower bounds (Theorems 5,
+//! 6), and distribution-based bounds (Theorems 7–9).
+
+use parallel_ecs::prelude::*;
+
+#[test]
+fn theorem1_rounds_scale_like_k_plus_loglog_n() {
+    let mut rng = Xoshiro256StarStar::seed_from_u64(10);
+    for &(n, k) in &[(2_000usize, 3usize), (20_000, 3), (20_000, 12)] {
+        let instance = Instance::balanced(n, k, &mut rng);
+        let run = CrCompoundMerge::new(k).sort(&InstanceOracle::new(&instance));
+        assert!(instance.verify(&run.partition));
+        let reference = k as f64 + (n as f64).log2().log2();
+        assert!(
+            (run.metrics.rounds() as f64) <= 6.0 * reference + 8.0,
+            "n={n}, k={k}: {} rounds vs reference {reference}",
+            run.metrics.rounds()
+        );
+    }
+}
+
+#[test]
+fn theorem2_rounds_scale_like_k_log_n() {
+    let mut rng = Xoshiro256StarStar::seed_from_u64(11);
+    for &(n, k) in &[(2_048usize, 4usize), (16_384, 4), (8_192, 16)] {
+        let instance = Instance::balanced(n, k, &mut rng);
+        let run = ErMergeSort::new().sort(&InstanceOracle::new(&instance));
+        assert!(instance.verify(&run.partition));
+        let reference = k as f64 * (n as f64).log2();
+        assert!(
+            (run.metrics.rounds() as f64) <= 2.5 * reference,
+            "n={n}, k={k}: {} rounds vs k·log2 n = {reference}",
+            run.metrics.rounds()
+        );
+    }
+}
+
+#[test]
+fn theorem4_rounds_are_independent_of_n() {
+    let lambda = 0.3;
+    let mut rng = Xoshiro256StarStar::seed_from_u64(12);
+    let mut rounds = Vec::new();
+    for &n in &[1_500usize, 6_000, 24_000] {
+        let instance = Instance::balanced(n, 3, &mut rng);
+        let run = ErConstantRound::with_lambda(lambda, 5).sort(&InstanceOracle::new(&instance));
+        assert!(instance.verify(&run.partition));
+        rounds.push(run.metrics.rounds());
+    }
+    let min = *rounds.iter().min().unwrap();
+    let max = *rounds.iter().max().unwrap();
+    assert!(
+        max <= min + 6,
+        "constant-round algorithm rounds varied too much across n: {rounds:?}"
+    );
+}
+
+#[test]
+fn theorem5_adversary_forces_quadratic_over_f() {
+    for &(n, f) in &[(256usize, 8usize), (512, 16)] {
+        let adversary = EqualSizeAdversary::new(n, f);
+        let run = RepresentativeScan::new().sort(&adversary);
+        assert_eq!(run.partition, adversary.partition());
+        assert!(adversary.comparisons() >= adversary.paper_lower_bound());
+        // The improvement over the old bound is visible: forced comparisons
+        // exceed the old n²/(64f²) bound by at least a factor ~f/2.
+        assert!(
+            adversary.comparisons() >= adversary.previous_lower_bound() * (f as u64 / 2),
+            "forced {} vs old bound {}",
+            adversary.comparisons(),
+            adversary.previous_lower_bound()
+        );
+    }
+}
+
+#[test]
+fn theorem6_adversary_protects_the_smallest_class() {
+    let adversary = SmallestClassAdversary::new(600, 6);
+    let run = RoundRobin::new().sort(&adversary);
+    assert_eq!(run.partition, adversary.partition());
+    assert!(adversary.comparisons() >= adversary.paper_lower_bound());
+    assert!(adversary.smallest_class_pinned());
+}
+
+#[test]
+fn theorem7_dominance_and_theorem8_linearity() {
+    // Cross-class comparisons must stay below the Theorem 7 bound, total
+    // comparisons below the bound plus n, and comparisons per element should
+    // stay bounded as n doubles (linearity).
+    for distribution in [
+        AnyDistribution::uniform(10),
+        AnyDistribution::geometric(0.1),
+        AnyDistribution::poisson(5.0),
+    ] {
+        let mut per_element = Vec::new();
+        for &n in &[2_000usize, 4_000, 8_000] {
+            let result = dominance_experiment(&DominanceConfig {
+                distribution,
+                n,
+                trials: 3,
+                seed: 77,
+            });
+            // Stochastic dominance is between distributions, so we compare
+            // means with a modest tolerance for sampling noise.
+            assert!(
+                result.measured_cross_mean() <= 1.15 * result.bound_mean,
+                "{}: cross-class mean {} above bound {}",
+                result.label,
+                result.measured_cross_mean(),
+                result.bound_mean
+            );
+            assert!(
+                result.measured_mean() <= 1.15 * (result.bound_mean + n as f64),
+                "{}: total mean {} above bound + n = {}",
+                result.label,
+                result.measured_mean(),
+                result.bound_mean + n as f64
+            );
+            per_element.push(result.measured_mean() / n as f64);
+        }
+        let min = per_element.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = per_element.iter().cloned().fold(0.0f64, f64::max);
+        assert!(
+            max <= 1.8 * min,
+            "{distribution:?}: per-element comparisons not stable across n: {per_element:?}"
+        );
+    }
+}
+
+#[test]
+fn theorem9_zeta_above_two_is_linear_in_expectation() {
+    let config = Figure5Config {
+        distribution: AnyDistribution::zeta(2.5),
+        sizes: vec![1_000, 2_000, 4_000, 8_000],
+        trials: 4,
+        seed: 5,
+    };
+    let series = figure5_series(&config);
+    let fit = series.fit.expect("paper claims a linear expectation for s = 2.5");
+    assert!(
+        fit.r_squared > 0.95,
+        "zeta(2.5) should look linear, R² = {}",
+        fit.r_squared
+    );
+}
+
+#[test]
+fn zeta_below_two_grows_superlinearly() {
+    // The open-question regime: comparisons per element should grow visibly
+    // as n grows (the paper observed super-linear behaviour for s = 1.1).
+    let config = Figure5Config {
+        distribution: AnyDistribution::zeta(1.1),
+        sizes: vec![500, 4_000],
+        trials: 3,
+        seed: 6,
+    };
+    let series = figure5_series(&config);
+    let small = series.points[0].summary.mean() / 500.0;
+    let large = series.points[1].summary.mean() / 4_000.0;
+    assert!(
+        large > 1.5 * small,
+        "zeta(1.1) per-element comparisons should grow: {small} -> {large}"
+    );
+}
