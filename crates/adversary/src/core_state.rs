@@ -56,7 +56,10 @@ impl AdversaryCore {
     /// Panics if the sizes are empty, contain zero, or the threshold is zero.
     pub fn new(sizes: &[usize], degree_threshold: usize, protected_color: Option<usize>) -> Self {
         assert!(!sizes.is_empty(), "need at least one color class");
-        assert!(sizes.iter().all(|&s| s > 0), "color class sizes must be positive");
+        assert!(
+            sizes.iter().all(|&s| s > 0),
+            "color class sizes must be positive"
+        );
         assert!(degree_threshold > 0, "degree threshold must be positive");
         if let Some(p) = protected_color {
             assert!(p < sizes.len(), "protected color out of range");
@@ -186,7 +189,7 @@ impl AdversaryCore {
             return;
         }
         let root = self.uf.find_immutable(element);
-        if self.degree(root) + 1 <= self.degree_threshold {
+        if self.degree(root) < self.degree_threshold {
             return;
         }
         if Some(self.color[element]) == self.protected_color {

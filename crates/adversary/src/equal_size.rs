@@ -27,7 +27,7 @@ impl EqualSizeAdversary {
     /// Panics if `f == 0` or `f` does not divide `n`.
     pub fn new(n: usize, f: usize) -> Self {
         assert!(f > 0, "class size must be positive");
-        assert!(n % f == 0, "f = {f} must divide n = {n}");
+        assert!(n.is_multiple_of(f), "f = {f} must divide n = {n}");
         let k = n / f;
         let sizes = vec![f; k];
         let threshold = (n / (4 * f)).max(1);
@@ -111,7 +111,10 @@ mod tests {
             assert_eq!(run.partition, adversary.partition(), "n={n}, f={f}");
             let mut sizes = run.partition.class_sizes();
             sizes.sort_unstable();
-            assert!(sizes.iter().all(|&s| s == f), "n={n}, f={f}: sizes {sizes:?}");
+            assert!(
+                sizes.iter().all(|&s| s == f),
+                "n={n}, f={f}: sizes {sizes:?}"
+            );
             assert!(
                 adversary.comparisons() >= adversary.paper_lower_bound(),
                 "n={n}, f={f}: {} comparisons below the n^2/64f bound {}",

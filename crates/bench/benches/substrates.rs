@@ -97,5 +97,12 @@ fn rng_throughput(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, union_find, scc, hamiltonian, er_scheduling, rng_throughput);
+criterion_group!(
+    benches,
+    union_find,
+    scc,
+    hamiltonian,
+    er_scheduling,
+    rng_throughput
+);
 criterion_main!(benches);

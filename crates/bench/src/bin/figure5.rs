@@ -51,7 +51,10 @@ fn main() {
             } else {
                 println!("(no fit: paper leaves this regime open — expect super-linear growth)\n");
             }
-            let path = format!("{out_dir}/figure5_{}.csv", label.replace(['(', ')', '=', ',', ' '], "_"));
+            let path = format!(
+                "{out_dir}/figure5_{}.csv",
+                label.replace(['(', ')', '=', ',', ' '], "_")
+            );
             table.write_csv(&path).expect("cannot write CSV");
             println!("wrote {path}\n");
         }

@@ -20,7 +20,11 @@ use ecs_distributions::ClassDistribution;
 fn main() {
     let args = Args::from_env();
     let out_dir = args.get_or("out", "results");
-    let scale = if args.has("full") { 1 } else { args.get_usize("scale", 20) };
+    let scale = if args.has("full") {
+        1
+    } else {
+        args.get_usize("scale", 20)
+    };
     let trials = args.get_usize("trials", if args.has("full") { 10 } else { 3 });
     let seed = args.get_u64("seed", 2016);
     std::fs::create_dir_all(&out_dir).expect("cannot create output directory");
@@ -75,8 +79,10 @@ fn main() {
     report.push('\n');
     report.push_str(&t6.to_markdown());
     report.push('\n');
-    t5.write_csv(format!("{out_dir}/theorem5_lower_bound.csv")).unwrap();
-    t6.write_csv(format!("{out_dir}/theorem6_lower_bound.csv")).unwrap();
+    t5.write_csv(format!("{out_dir}/theorem5_lower_bound.csv"))
+        .unwrap();
+    t6.write_csv(format!("{out_dir}/theorem6_lower_bound.csv"))
+        .unwrap();
 
     // Experiment E9: Theorem 7 dominance.
     println!("running Theorem 7 dominance experiment...");
@@ -100,12 +106,15 @@ fn main() {
     let dom = dominance_table(&results, n);
     report.push_str(&dom.to_markdown());
     report.push('\n');
-    dom.write_csv(format!("{out_dir}/theorem7_dominance.csv")).unwrap();
+    dom.write_csv(format!("{out_dir}/theorem7_dominance.csv"))
+        .unwrap();
 
     // Summary comparison of all algorithms on one instance.
     let summary = algorithm_comparison_table(2_000, 8, seed);
     report.push_str(&summary.to_markdown());
-    summary.write_csv(format!("{out_dir}/algorithm_comparison.csv")).unwrap();
+    summary
+        .write_csv(format!("{out_dir}/algorithm_comparison.csv"))
+        .unwrap();
 
     let report_path = format!("{out_dir}/report.md");
     std::fs::write(&report_path, &report).expect("cannot write report");

@@ -12,11 +12,11 @@ pub struct Args {
 impl Args {
     /// Parses the process's arguments (skipping the program name).
     pub fn from_env() -> Self {
-        Self::from_iter(std::env::args().skip(1))
+        Self::from_tokens(std::env::args().skip(1))
     }
 
     /// Parses an explicit argument list (used by tests).
-    pub fn from_iter<I: IntoIterator<Item = String>>(iter: I) -> Self {
+    pub fn from_tokens<I: IntoIterator<Item = String>>(iter: I) -> Self {
         let mut args = Args::default();
         let tokens: Vec<String> = iter.into_iter().collect();
         let mut i = 0;
@@ -80,7 +80,7 @@ mod tests {
     use super::*;
 
     fn args(parts: &[&str]) -> Args {
-        Args::from_iter(parts.iter().map(|s| s.to_string()))
+        Args::from_tokens(parts.iter().map(|s| s.to_string()))
     }
 
     #[test]

@@ -18,7 +18,10 @@ pub const ZETA_SS: [f64; 4] = [1.1, 1.5, 2.0, 2.5];
 /// All distributions of one panel.
 pub fn panel_distributions(panel: &str) -> Vec<AnyDistribution> {
     match panel {
-        "uniform" => UNIFORM_KS.iter().map(|&k| AnyDistribution::uniform(k)).collect(),
+        "uniform" => UNIFORM_KS
+            .iter()
+            .map(|&k| AnyDistribution::uniform(k))
+            .collect(),
         "geometric" => GEOMETRIC_PS
             .iter()
             .map(|&p| AnyDistribution::geometric(p))
@@ -41,7 +44,12 @@ pub fn panel_names() -> Vec<&'static str> {
 /// reproduces the paper's exact grid; larger divisors shrink every size for
 /// quick runs. The zeta panel automatically uses the smaller size grid, as in
 /// the paper.
-pub fn figure5_configs(panel: &str, scale_divisor: usize, trials: usize, seed: u64) -> Vec<Figure5Config> {
+pub fn figure5_configs(
+    panel: &str,
+    scale_divisor: usize,
+    trials: usize,
+    seed: u64,
+) -> Vec<Figure5Config> {
     panel_distributions(panel)
         .into_iter()
         .enumerate()
@@ -97,7 +105,14 @@ pub fn theorem5_grid() -> Vec<(usize, usize)> {
 
 /// The `(n, ℓ)` grid of the Theorem 6 lower-bound experiment.
 pub fn theorem6_grid() -> Vec<(usize, usize)> {
-    vec![(512, 4), (512, 16), (1_024, 4), (1_024, 16), (2_048, 8), (2_048, 32)]
+    vec![
+        (512, 4),
+        (512, 16),
+        (1_024, 4),
+        (1_024, 16),
+        (2_048, 8),
+        (2_048, 32),
+    ]
 }
 
 #[cfg(test)]

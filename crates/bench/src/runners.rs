@@ -23,7 +23,14 @@ pub fn figure5_table(series: &Figure5Series) -> Table {
     };
     let mut table = Table::new(
         format!("Figure 5 — {} — {}", series.label, fit_label),
-        &["n", "mean comparisons", "std dev", "min", "max", "comparisons/n"],
+        &[
+            "n",
+            "mean comparisons",
+            "std dev",
+            "min",
+            "max",
+            "comparisons/n",
+        ],
     );
     for point in &series.points {
         table.push_row(vec![
@@ -43,14 +50,24 @@ pub fn figure5_table(series: &Figure5Series) -> Table {
 pub fn theorem1_table(grid: &[(usize, usize)], seed: u64) -> Table {
     let mut table = Table::new(
         "Theorem 1 — CR rounds, O(k + log log n) expected",
-        &["n", "k", "rounds", "comparisons", "k + lglg n", "rounds / (k + lglg n)"],
+        &[
+            "n",
+            "k",
+            "rounds",
+            "comparisons",
+            "k + lglg n",
+            "rounds / (k + lglg n)",
+        ],
     );
     for (i, &(n, k)) in grid.iter().enumerate() {
         let mut rng = Xoshiro256StarStar::seed_from_u64(seed + i as u64);
         let instance = Instance::balanced(n, k, &mut rng);
         let oracle = InstanceOracle::new(&instance);
         let run = CrCompoundMerge::new(k).sort(&oracle);
-        assert!(instance.verify(&run.partition), "Theorem 1 run produced a wrong partition");
+        assert!(
+            instance.verify(&run.partition),
+            "Theorem 1 run produced a wrong partition"
+        );
         let reference = k as f64 + (n as f64).log2().log2();
         table.push_row(vec![
             n.to_string(),
@@ -68,14 +85,24 @@ pub fn theorem1_table(grid: &[(usize, usize)], seed: u64) -> Table {
 pub fn theorem2_table(grid: &[(usize, usize)], seed: u64) -> Table {
     let mut table = Table::new(
         "Theorem 2 — ER rounds, O(k log n) expected",
-        &["n", "k", "rounds", "comparisons", "k · log2 n", "rounds / (k log n)"],
+        &[
+            "n",
+            "k",
+            "rounds",
+            "comparisons",
+            "k · log2 n",
+            "rounds / (k log n)",
+        ],
     );
     for (i, &(n, k)) in grid.iter().enumerate() {
         let mut rng = Xoshiro256StarStar::seed_from_u64(seed + 100 + i as u64);
         let instance = Instance::balanced(n, k, &mut rng);
         let oracle = InstanceOracle::new(&instance);
         let run = ErMergeSort::new().sort(&oracle);
-        assert!(instance.verify(&run.partition), "Theorem 2 run produced a wrong partition");
+        assert!(
+            instance.verify(&run.partition),
+            "Theorem 2 run produced a wrong partition"
+        );
         let reference = k as f64 * (n as f64).log2();
         table.push_row(vec![
             n.to_string(),
@@ -94,7 +121,15 @@ pub fn theorem2_table(grid: &[(usize, usize)], seed: u64) -> Table {
 pub fn theorem4_table(lambdas: &[f64], sizes: &[usize], seed: u64) -> Table {
     let mut table = Table::new(
         "Theorem 4 — ER rounds for smallest class ≥ λn, O(1) expected",
-        &["lambda", "n", "k", "cycles d", "rounds", "comparisons", "comparisons/n"],
+        &[
+            "lambda",
+            "n",
+            "k",
+            "cycles d",
+            "rounds",
+            "comparisons",
+            "comparisons/n",
+        ],
     );
     for (i, &lambda) in lambdas.iter().enumerate() {
         // Use k = ⌊1/λ⌋ balanced classes so the smallest class has ≥ λn elements.
@@ -105,7 +140,10 @@ pub fn theorem4_table(lambdas: &[f64], sizes: &[usize], seed: u64) -> Table {
             let oracle = InstanceOracle::new(&instance);
             let algorithm = ErConstantRound::with_lambda(lambda, seed + j as u64);
             let run = algorithm.sort(&oracle);
-            assert!(instance.verify(&run.partition), "Theorem 4 run produced a wrong partition");
+            assert!(
+                instance.verify(&run.partition),
+                "Theorem 4 run produced a wrong partition"
+            );
             table.push_row(vec![
                 format!("{lambda}"),
                 n.to_string(),
@@ -305,6 +343,9 @@ mod tests {
         let md = table.to_markdown();
         assert!(md.contains("cr-compound"));
         assert!(md.contains("round-robin"));
-        assert!(!md.contains("false"), "every algorithm must classify correctly:\n{md}");
+        assert!(
+            !md.contains("false"),
+            "every algorithm must classify correctly:\n{md}"
+        );
     }
 }

@@ -128,7 +128,9 @@ impl Answer {
         F: Fn(usize, usize, usize, usize) -> bool,
     {
         if group.is_empty() {
-            return Answer { classes: Vec::new() };
+            return Answer {
+                classes: Vec::new(),
+            };
         }
         // Union-find over (answer index, class index) pairs, flattened.
         let offsets: Vec<usize> = group

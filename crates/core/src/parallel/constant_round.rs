@@ -98,9 +98,8 @@ impl ErConstantRound {
     ) -> Option<Vec<usize>> {
         let n = oracle.n();
         let d = self.cycles_for(lambda, n);
-        let mut rng = Xoshiro256StarStar::seed_from_u64(
-            SplitMix64::new(self.seed).derive(attempt_index),
-        );
+        let mut rng =
+            Xoshiro256StarStar::seed_from_u64(SplitMix64::new(self.seed).derive(attempt_index));
         let h = HamiltonianUnion::random(n, d, &mut rng);
 
         // Step 2: test every edge of H_d in ER rounds.

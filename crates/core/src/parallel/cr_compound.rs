@@ -106,10 +106,8 @@ impl CrCompoundMerge {
                         for a in 0..group[i].num_classes() {
                             for b in 0..group[j].num_classes() {
                                 offsets.insert((i, j, a, b), batch.len());
-                                batch.push((
-                                    group[i].representative(a),
-                                    group[j].representative(b),
-                                ));
+                                batch
+                                    .push((group[i].representative(a), group[j].representative(b)));
                             }
                         }
                     }
@@ -261,11 +259,17 @@ mod tests {
         let k = 4;
         let small = {
             let inst = Instance::balanced(1_000, k, &mut r);
-            CrCompoundMerge::new(k).sort(&InstanceOracle::new(&inst)).metrics.rounds()
+            CrCompoundMerge::new(k)
+                .sort(&InstanceOracle::new(&inst))
+                .metrics
+                .rounds()
         };
         let large = {
             let inst = Instance::balanced(64_000, k, &mut r);
-            CrCompoundMerge::new(k).sort(&InstanceOracle::new(&inst)).metrics.rounds()
+            CrCompoundMerge::new(k)
+                .sort(&InstanceOracle::new(&inst))
+                .metrics
+                .rounds()
         };
         // Doubling n six times should cost only a handful of extra rounds.
         assert!(

@@ -186,7 +186,10 @@ mod tests {
         let n = 2048;
         let rounds_for = |k: usize, r: &mut Xoshiro256StarStar| {
             let inst = Instance::balanced(n, k, r);
-            ErMergeSort::new().sort(&InstanceOracle::new(&inst)).metrics.rounds()
+            ErMergeSort::new()
+                .sort(&InstanceOracle::new(&inst))
+                .metrics
+                .rounds()
         };
         let r2 = rounds_for(2, &mut r);
         let r8 = rounds_for(8, &mut r);

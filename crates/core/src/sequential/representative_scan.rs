@@ -37,17 +37,17 @@ impl EcsAlgorithm for RepresentativeScan {
         // One representative and one member list per discovered class.
         let mut representatives: Vec<usize> = Vec::new();
         let mut labels: Vec<usize> = vec![usize::MAX; n];
-        for e in 0..n {
+        for (e, label) in labels.iter_mut().enumerate() {
             let mut assigned = false;
             for (class, &rep) in representatives.iter().enumerate() {
                 if session.compare(e, rep) {
-                    labels[e] = class;
+                    *label = class;
                     assigned = true;
                     break;
                 }
             }
             if !assigned {
-                labels[e] = representatives.len();
+                *label = representatives.len();
                 representatives.push(e);
             }
         }
@@ -86,7 +86,7 @@ mod tests {
 
     #[test]
     fn single_class_needs_n_minus_one_comparisons() {
-        let inst = Instance::from_labels(&vec![0u8; 50]);
+        let inst = Instance::from_labels(&[0u8; 50]);
         let oracle = InstanceOracle::new(&inst);
         let run = RepresentativeScan::new().sort(&oracle);
         assert_eq!(run.metrics.comparisons(), 49);

@@ -100,11 +100,7 @@ impl Knowledge {
             return;
         }
         debug_assert!(
-            !self
-                .diff
-                .get(&ra)
-                .map(|s| s.contains(&rb))
-                .unwrap_or(false),
+            !self.diff.get(&ra).map(|s| s.contains(&rb)).unwrap_or(false),
             "oracle inconsistency: groups known different answered equal"
         );
         self.uf.union(ra, rb);
@@ -209,7 +205,15 @@ mod tests {
     #[test]
     fn classifies_small_and_degenerate_instances() {
         let mut r = rng(1);
-        for &(n, k) in &[(1usize, 1usize), (2, 1), (2, 2), (3, 2), (50, 1), (50, 50), (60, 7)] {
+        for &(n, k) in &[
+            (1usize, 1usize),
+            (2, 1),
+            (2, 2),
+            (3, 2),
+            (50, 1),
+            (50, 50),
+            (60, 7),
+        ] {
             let inst = Instance::balanced(n, k, &mut r);
             let oracle = InstanceOracle::new(&inst);
             let run = RoundRobin::new().sort(&oracle);

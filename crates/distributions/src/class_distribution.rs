@@ -121,7 +121,10 @@ pub struct GeometricClasses {
 impl GeometricClasses {
     /// Creates a geometric distribution with heads probability `p ∈ (0, 1)`.
     pub fn new(p: f64) -> Self {
-        assert!(p > 0.0 && p < 1.0, "geometric parameter must lie in (0,1), got {p}");
+        assert!(
+            p > 0.0 && p < 1.0,
+            "geometric parameter must lie in (0,1), got {p}"
+        );
         Self { p }
     }
 
@@ -171,7 +174,10 @@ pub struct PoissonClasses {
 impl PoissonClasses {
     /// Creates a Poisson distribution with mean `λ > 0`.
     pub fn new(lambda: f64) -> Self {
-        assert!(lambda > 0.0, "poisson parameter must be positive, got {lambda}");
+        assert!(
+            lambda > 0.0,
+            "poisson parameter must be positive, got {lambda}"
+        );
         Self { lambda }
     }
 
@@ -390,7 +396,7 @@ mod tests {
     fn uniform_samples_cover_support() {
         let d = UniformClasses::new(10);
         let mut r = rng(2);
-        let mut seen = vec![false; 10];
+        let mut seen = [false; 10];
         for _ in 0..10_000 {
             seen[d.sample_class(&mut r)] = true;
         }

@@ -229,8 +229,10 @@ mod tests {
         let mut r = rng(3);
         let n = 50_000;
         let raw_mean: f64 = (0..n).map(|_| d.sample_class(&mut r) as f64).sum::<f64>() / n as f64;
-        let rank_mean: f64 =
-            (0..n).map(|_| ranks.sample_rank(&mut r) as f64).sum::<f64>() / n as f64;
+        let rank_mean: f64 = (0..n)
+            .map(|_| ranks.sample_rank(&mut r) as f64)
+            .sum::<f64>()
+            / n as f64;
         assert!(
             rank_mean < raw_mean,
             "rank mean {rank_mean} should be below raw mean {raw_mean}"
@@ -262,8 +264,7 @@ mod tests {
         let exact = cutoff.mean();
         let mut r = rng(5);
         let n = 200_000;
-        let empirical =
-            (0..n).map(|_| cutoff.sample(&mut r) as f64).sum::<f64>() / n as f64;
+        let empirical = (0..n).map(|_| cutoff.sample(&mut r) as f64).sum::<f64>() / n as f64;
         assert!(
             (exact - empirical).abs() < 0.02,
             "exact {exact} vs empirical {empirical}"
@@ -287,7 +288,10 @@ mod tests {
         let b_small = small.theorem7_bound(&mut r);
         let b_large = large.theorem7_bound(&mut r);
         assert!(b_small > 0);
-        assert!(b_large > 10 * b_small, "bound should grow roughly linearly in n");
+        assert!(
+            b_large > 10 * b_small,
+            "bound should grow roughly linearly in n"
+        );
     }
 
     #[test]

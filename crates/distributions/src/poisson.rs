@@ -105,7 +105,9 @@ mod tests {
         for &lambda in &[1.0, 5.0, 25.0, 40.0] {
             let mut rng = Xoshiro256StarStar::seed_from_u64(lambda as u64 + 3);
             let n = 100_000;
-            let samples: Vec<f64> = (0..n).map(|_| sample_poisson(lambda, &mut rng) as f64).collect();
+            let samples: Vec<f64> = (0..n)
+                .map(|_| sample_poisson(lambda, &mut rng) as f64)
+                .collect();
             let mean = samples.iter().sum::<f64>() / n as f64;
             let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
             assert!(

@@ -81,9 +81,9 @@ pub fn zeta_expected_sum(dist: &ZetaClasses, n: usize) -> Option<SumTailBound> {
 /// proves one: the comparison bound (2 × sum bound) for uniform, geometric,
 /// and Poisson, the expectation for zeta with `s > 2`, and `None` otherwise
 /// (zeta with `s ≤ 2`, the open case the experiments probe).
-pub fn paper_comparison_bound<D: ClassDistribution>(dist: &D, n: usize) -> Option<SumTailBound>
+pub fn paper_comparison_bound<D>(dist: &D, n: usize) -> Option<SumTailBound>
 where
-    D: Clone + 'static,
+    D: ClassDistribution + Clone + 'static,
 {
     // Dispatch on the kind tag so the function also works through
     // `AnyDistribution`.
@@ -168,13 +168,21 @@ mod tests {
         let bound = geometric_sum_bound(&geo, n);
         let cut = CutoffDistribution::new(geo, n);
         let sum = cut.sample_sum(n, &mut rng) as f64;
-        assert!(sum < bound.threshold, "geometric sum {sum} vs threshold {}", bound.threshold);
+        assert!(
+            sum < bound.threshold,
+            "geometric sum {sum} vs threshold {}",
+            bound.threshold
+        );
 
         let poi = PoissonClasses::new(25.0);
         let bound = poisson_sum_bound(&poi, n);
         let cut = CutoffDistribution::new(poi, n);
         let sum = cut.sample_sum(n, &mut rng) as f64;
-        assert!(sum < bound.threshold, "poisson sum {sum} vs threshold {}", bound.threshold);
+        assert!(
+            sum < bound.threshold,
+            "poisson sum {sum} vs threshold {}",
+            bound.threshold
+        );
 
         let uni = UniformClasses::new(25);
         let bound = uniform_sum_bound(&uni, n);

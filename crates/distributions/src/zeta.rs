@@ -54,7 +54,7 @@ pub fn sample_zeta<R: ecs_rng::EcsRng + ?Sized>(s: f64, rng: &mut R) -> usize {
         let x = u.powf(-1.0 / (s - 1.0)).floor();
         // Guard against overflow of the floor into absurd territory when u is
         // extremely small; resample in that case (probability ~ 2^-64).
-        if !(x >= 1.0 && x <= 1e18) {
+        if !(1.0..=1e18).contains(&x) {
             continue;
         }
         let t = (1.0 + 1.0 / x).powf(s - 1.0);
@@ -141,7 +141,13 @@ mod tests {
     #[test]
     fn heavy_tail_produces_large_ranks_for_small_s() {
         let mut rng = Xoshiro256StarStar::seed_from_u64(11);
-        let max = (0..50_000).map(|_| sample_zeta(1.1, &mut rng)).max().unwrap();
-        assert!(max > 1_000, "s = 1.1 should occasionally produce very large ranks, max {max}");
+        let max = (0..50_000)
+            .map(|_| sample_zeta(1.1, &mut rng))
+            .max()
+            .unwrap();
+        assert!(
+            max > 1_000,
+            "s = 1.1 should occasionally produce very large ranks, max {max}"
+        );
     }
 }

@@ -28,7 +28,10 @@ impl EquitableColoring {
     ///
     /// Panics if `k == 0` while `n > 0`.
     pub fn balanced(n: usize, k: usize) -> Self {
-        assert!(k > 0 || n == 0, "need at least one color for a non-empty vertex set");
+        assert!(
+            k > 0 || n == 0,
+            "need at least one color for a non-empty vertex set"
+        );
         let mut members = vec![Vec::new(); k];
         let mut color_of = Vec::with_capacity(n);
         for v in 0..n {
@@ -150,7 +153,11 @@ impl WeightedEquitableColoring {
     ///
     /// Panics if the slices have different lengths or a color is `>= k`.
     pub fn new(assignment: &[usize], weights: &[u64], k: usize) -> Self {
-        assert_eq!(assignment.len(), weights.len(), "one weight per vertex required");
+        assert_eq!(
+            assignment.len(),
+            weights.len(),
+            "one weight per vertex required"
+        );
         let mut class_weight = vec![0u64; k];
         let mut color_of = Vec::with_capacity(assignment.len());
         for (v, (&c, &w)) in assignment.iter().zip(weights).enumerate() {
@@ -169,7 +176,10 @@ impl WeightedEquitableColoring {
 
     /// Creates unit-weight vertices colored `v mod k`.
     pub fn balanced_unit(n: usize, k: usize) -> Self {
-        assert!(k > 0 || n == 0, "need at least one color for a non-empty vertex set");
+        assert!(
+            k > 0 || n == 0,
+            "need at least one color for a non-empty vertex set"
+        );
         let assignment: Vec<usize> = (0..n).map(|v| v % k.max(1)).collect();
         Self::new(&assignment, &vec![1u64; n], k.max(usize::from(n > 0)))
     }

@@ -50,7 +50,10 @@ impl DiGraph {
     ///
     /// Panics if either endpoint is out of range.
     pub fn add_edge(&mut self, u: usize, v: usize) {
-        assert!(u < self.adj.len() && v < self.adj.len(), "edge endpoint out of range");
+        assert!(
+            u < self.adj.len() && v < self.adj.len(),
+            "edge endpoint out of range"
+        );
         self.adj[u].push(v as u32);
         self.num_edges += 1;
     }

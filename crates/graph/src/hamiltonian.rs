@@ -326,7 +326,10 @@ mod tests {
         let d_04 = HamiltonianUnion::required_cycles(0.4);
         let d_02 = HamiltonianUnion::required_cycles(0.2);
         let d_01 = HamiltonianUnion::required_cycles(0.1);
-        assert!(d_04 < d_02 && d_02 < d_01, "smaller lambda needs more cycles");
+        assert!(
+            d_04 < d_02 && d_02 < d_01,
+            "smaller lambda needs more cycles"
+        );
         for &lambda in &[0.1, 0.2, 0.3, 0.4] {
             let d = HamiltonianUnion::required_cycles(lambda);
             assert!(

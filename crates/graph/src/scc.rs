@@ -213,10 +213,7 @@ mod tests {
     #[test]
     fn two_cycles_joined_by_one_way_edge() {
         // 0-1-2 cycle -> 3-4 cycle, joined by edge 2 -> 3 only.
-        let g = DiGraph::from_edges(
-            5,
-            &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 3), (2, 3)],
-        );
+        let g = DiGraph::from_edges(5, &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 3), (2, 3)]);
         let sccs = canon(tarjan_scc(&g));
         assert_eq!(sccs, vec![vec![0, 1, 2], vec![3, 4]]);
     }

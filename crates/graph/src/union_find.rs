@@ -30,7 +30,10 @@ pub struct UnionFind {
 impl UnionFind {
     /// Creates `n` singleton sets.
     pub fn new(n: usize) -> Self {
-        assert!(n <= u32::MAX as usize, "UnionFind supports up to u32::MAX elements");
+        assert!(
+            n <= u32::MAX as usize,
+            "UnionFind supports up to u32::MAX elements"
+        );
         Self {
             parent: (0..n as u32).collect(),
             size: vec![1; n],
@@ -134,14 +137,14 @@ impl UnionFind {
             std::collections::HashMap::new();
         let mut labels = vec![usize::MAX; n];
         let mut next = 0usize;
-        for x in 0..n {
+        for (x, slot) in labels.iter_mut().enumerate() {
             let r = self.find(x);
             let label = *label_of_root.entry(r).or_insert_with(|| {
                 let l = next;
                 next += 1;
                 l
             });
-            labels[x] = label;
+            *slot = label;
         }
         labels
     }

@@ -172,7 +172,11 @@ mod tests {
         let mut r = rng(5);
         let inst = Instance::from_distribution(&UniformClasses::new(10), 5000, &mut r);
         assert_eq!(inst.n(), 5000);
-        assert_eq!(inst.num_classes(), 10, "all 10 classes should be hit at n=5000");
+        assert_eq!(
+            inst.num_classes(),
+            10,
+            "all 10 classes should be hit at n=5000"
+        );
     }
 
     #[test]

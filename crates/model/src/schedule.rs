@@ -179,7 +179,9 @@ mod tests {
         all.dedup();
         assert_eq!(all.len(), 8, "every cross pair appears exactly once");
         // Pairs must keep (left, right) orientation.
-        assert!(all.iter().all(|&(a, b)| left.contains(&a) && right.contains(&b)));
+        assert!(all
+            .iter()
+            .all(|&(a, b)| left.contains(&a) && right.contains(&b)));
     }
 
     #[test]

@@ -245,7 +245,11 @@ mod tests {
         let mut s = ComparisonSession::new(&oracle, ReadMode::Concurrent);
         let pairs: Vec<(usize, usize)> = (0..25).map(|i| (i % 10, (i + 1) % 10)).collect();
         let _ = s.execute_round(&pairs);
-        assert_eq!(s.metrics().rounds(), 3, "25 comparisons on 10 processors = 3 rounds");
+        assert_eq!(
+            s.metrics().rounds(),
+            3,
+            "25 comparisons on 10 processors = 3 rounds"
+        );
         assert_eq!(s.metrics().comparisons(), 25);
         assert_eq!(s.metrics().round_sizes(), &[10, 10, 5]);
     }

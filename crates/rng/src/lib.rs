@@ -35,14 +35,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-mod splitmix;
-mod xoshiro;
 pub mod seq;
+mod splitmix;
 mod stream;
+mod xoshiro;
 
 pub use splitmix::SplitMix64;
-pub use xoshiro::Xoshiro256StarStar;
 pub use stream::StreamSplit;
+pub use xoshiro::Xoshiro256StarStar;
 
 use core::ops::{Bound, RangeBounds};
 

@@ -215,7 +215,10 @@ mod tests {
         }
         for (name, c) in [("first", count_first), ("last", count_last)] {
             let freq = c as f64 / trials as f64;
-            assert!((freq - 0.4).abs() < 0.02, "{name} inclusion frequency {freq}");
+            assert!(
+                (freq - 0.4).abs() < 0.02,
+                "{name} inclusion frequency {freq}"
+            );
         }
     }
 }

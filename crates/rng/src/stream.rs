@@ -85,7 +85,11 @@ mod tests {
                 seeds.insert(split.seed_for(&[i, j]));
             }
         }
-        assert_eq!(seeds.len(), 1000, "coordinate tuples must map to distinct seeds");
+        assert_eq!(
+            seeds.len(),
+            1000,
+            "coordinate tuples must map to distinct seeds"
+        );
     }
 
     #[test]

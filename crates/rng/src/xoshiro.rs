@@ -164,7 +164,10 @@ mod tests {
                 break;
             }
         }
-        assert!(differs, "fork(0) and fork(1) must produce different streams");
+        assert!(
+            differs,
+            "fork(0) and fork(1) must produce different streams"
+        );
     }
 
     #[test]

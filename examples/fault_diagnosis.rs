@@ -24,7 +24,10 @@ fn main() {
     let instance = Instance::from_class_sizes(&group_sizes, &mut rng);
     let oracle = InstanceOracle::new(&instance);
     let n = instance.n();
-    println!("fleet of {n} machines, {} hidden malware states", group_sizes.len());
+    println!(
+        "fleet of {n} machines, {} hidden malware states",
+        group_sizes.len()
+    );
 
     let run = CrCompoundMerge::new(group_sizes.len()).sort(&oracle);
     assert!(instance.verify(&run.partition));

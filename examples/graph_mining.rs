@@ -62,7 +62,11 @@ impl SmallGraph {
     /// here the signature is also complete in practice.
     fn wl_signature(&self) -> Vec<u64> {
         let mut colors: Vec<u64> = (0..self.n)
-            .map(|u| (0..self.n).filter(|&v| self.adjacency[u * self.n + v]).count() as u64)
+            .map(|u| {
+                (0..self.n)
+                    .filter(|&v| self.adjacency[u * self.n + v])
+                    .count() as u64
+            })
             .collect();
         for _ in 0..self.n {
             let mut next: Vec<u64> = Vec::with_capacity(self.n);
@@ -136,7 +140,10 @@ fn main() {
     let sequential = RepresentativeScan::new().sort(&oracle);
 
     let expected = Partition::from_labels(&truth);
-    assert_eq!(parallel.partition, expected, "isomorphism classes recovered exactly");
+    assert_eq!(
+        parallel.partition, expected,
+        "isomorphism classes recovered exactly"
+    );
     assert_eq!(sequential.partition, expected);
 
     println!(

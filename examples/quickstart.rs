@@ -29,13 +29,21 @@ fn main() {
 
     // The constant-round algorithm (Theorem 4): needs every class to be large.
     let lambda = (1.0 / k as f64).min(0.4);
-    report(&instance, "ER", &ErConstantRound::with_lambda(lambda, 7), &oracle);
+    report(
+        &instance,
+        "ER",
+        &ErConstantRound::with_lambda(lambda, 7),
+        &oracle,
+    );
 
     // Sequential baselines.
     report(&instance, "seq", &RoundRobin::new(), &oracle);
     report(&instance, "seq", &RepresentativeScan::new(), &oracle);
 
-    println!("\nLower bound context (Theorem 5): with equal class sizes f = n/k = {},", n / k);
+    println!(
+        "\nLower bound context (Theorem 5): with equal class sizes f = n/k = {},",
+        n / k
+    );
     println!(
         "any algorithm needs at least n²/(64f) = {} comparisons.",
         (n as u64 * n as u64) / (64 * (n / k) as u64)

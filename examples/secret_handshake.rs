@@ -23,7 +23,10 @@ fn main() {
     assert_eq!(instance.n(), n);
 
     let lambda = instance.smallest_class_size() as f64 / n as f64;
-    println!("{n} interns, {} parties, smallest party fraction λ = {lambda:.3}\n", party_sizes.len());
+    println!(
+        "{n} interns, {} parties, smallest party fraction λ = {lambda:.3}\n",
+        party_sizes.len()
+    );
 
     // Constant-round classification (Theorem 4).
     let constant = ErConstantRound::with_lambda(lambda.min(0.4), 1).sort(&oracle);

@@ -1,0 +1,286 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment for this workspace has no crates.io access, so this
+//! shim implements the subset of proptest the workspace's test suites use:
+//!
+//! * the [`proptest!`] macro (with an optional
+//!   `#![proptest_config(ProptestConfig::with_cases(n))]` header),
+//! * [`prop_assert!`], [`prop_assert_eq!`], [`prop_assert_ne!`] and
+//!   [`prop_assume!`],
+//! * range strategies (`0u8..10`, `-1e3f64..1e3`, inclusive variants), tuple
+//!   strategies, and [`collection::vec`].
+//!
+//! Generation is **deterministic**: each property's stream is seeded from a
+//! hash of the test's name (overridable with the `PROPTEST_SEED` environment
+//! variable), so a failure always reproduces. There is no shrinking — a
+//! failing case instead reports the exact generated inputs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod strategy;
+pub mod test_runner;
+
+/// Strategies for generating collections.
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// The admissible lengths of a generated collection.
+    ///
+    /// Converts from `usize` (exact length), `Range<usize>` and
+    /// `RangeInclusive<usize>`.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_inclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(exact: usize) -> Self {
+            Self {
+                lo: exact,
+                hi_inclusive: exact,
+            }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            Self {
+                lo: r.start,
+                hi_inclusive: r.end - 1,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty size range");
+            Self {
+                lo: *r.start(),
+                hi_inclusive: *r.end(),
+            }
+        }
+    }
+
+    /// A strategy producing `Vec<S::Value>` with lengths drawn from a
+    /// [`SizeRange`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Creates a strategy generating vectors whose elements come from
+    /// `element` and whose lengths lie in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let span = (self.size.hi_inclusive - self.size.lo) as u64;
+            let len = self.size.lo + rng.below(span + 1) as usize;
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// The commonly used exports, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Asserts a condition inside a [`proptest!`] property, failing the case
+/// (with the generated inputs reported) rather than panicking outright.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Asserts two expressions are equal inside a [`proptest!`] property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left),
+            stringify!($right),
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "{}\n  left: {:?}\n right: {:?}",
+            format!($($fmt)+),
+            left,
+            right
+        );
+    }};
+}
+
+/// Asserts two expressions are unequal inside a [`proptest!`] property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            left
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "{}\n  both: {:?}",
+            format!($($fmt)+),
+            left
+        );
+    }};
+}
+
+/// Discards the current case (without failing) when its precondition does not
+/// hold; the runner draws a replacement case.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond),
+            ));
+        }
+    };
+}
+
+/// Declares property tests: `fn name(arg in strategy, …) { body }` items, each
+/// run against many generated inputs.
+///
+/// An optional `#![proptest_config(expr)]` first token configures the number
+/// of cases for every property in the block.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_properties!(($config) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_properties!(
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        );
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_properties {
+    (($config:expr)) => {};
+    (($config:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $config;
+            let mut runner = $crate::test_runner::TestRunner::new(
+                config,
+                $crate::test_runner::seed_for(concat!(module_path!(), "::", stringify!($name))),
+            );
+            runner.run(&mut |rng: &mut $crate::test_runner::TestRng| {
+                let values = ($($crate::strategy::Strategy::sample(&($strat), rng),)+);
+                let described = format!("{:?}", values);
+                let ($($arg,)+) = values;
+                let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                outcome.map_err(|e| e.with_inputs(&described))
+            });
+        }
+        $crate::__proptest_properties!(($config) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn seeds_are_stable_per_name() {
+        let a = crate::test_runner::seed_for("x::y");
+        let b = crate::test_runner::seed_for("x::y");
+        let c = crate::test_runner::seed_for("x::z");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    proptest! {
+        #[test]
+        fn vec_lengths_respect_size_range(
+            v in crate::collection::vec(0u8..10, 3..7)
+        ) {
+            prop_assert!((3..7).contains(&v.len()));
+            prop_assert!(v.iter().all(|&x| x < 10));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn tuples_and_ranges(
+            (a, b) in (0usize..30, 0usize..30),
+            x in -1e3f64..1e3,
+            s in 1u64..=5,
+        ) {
+            prop_assert!(a < 30 && b < 30);
+            prop_assert!((-1e3..1e3).contains(&x));
+            prop_assert!((1..=5).contains(&s));
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(n in 0u32..10) {
+            prop_assume!(n != 3);
+            prop_assert_ne!(n, 3);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "inputs:")]
+    fn failing_property_reports_inputs() {
+        proptest! {
+            #[allow(unreachable_code)]
+            fn always_fails(n in 0u32..10) {
+                prop_assert!(n > 100, "n was {}", n);
+            }
+        }
+        always_fails();
+    }
+}

@@ -1,0 +1,165 @@
+//! Deterministic case generation and execution for [`crate::proptest!`].
+
+/// Configuration for a block of properties.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases required per property.
+    pub cases: u32,
+    /// Maximum number of `prop_assume!` rejections tolerated across a
+    /// property's whole run before it errors out.
+    pub max_global_rejects: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self {
+            cases: 256,
+            max_global_rejects: 1024,
+        }
+    }
+}
+
+impl ProptestConfig {
+    /// A default configuration overridden to run `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self {
+            cases,
+            ..Self::default()
+        }
+    }
+}
+
+/// Why a single generated case did not succeed.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The property is false for this input.
+    Fail(String),
+    /// The input did not satisfy a `prop_assume!` precondition.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// Creates a failure with the given message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        Self::Fail(message.into())
+    }
+
+    /// Creates a rejection with the given reason.
+    pub fn reject(reason: impl Into<String>) -> Self {
+        Self::Reject(reason.into())
+    }
+
+    /// Attaches the generated-input description to a failure message.
+    pub fn with_inputs(self, inputs: &str) -> Self {
+        match self {
+            Self::Fail(msg) => Self::Fail(format!("{msg}\n\tinputs: {inputs}")),
+            reject => reject,
+        }
+    }
+}
+
+/// The deterministic generator strategies sample from (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates a generator whose stream is a pure function of `seed`.
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Returns the next 64 uniformly random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Returns a value in `0..bound` (multiply-shift; the negligible bias is
+    /// irrelevant for test-case generation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "below requires a positive bound");
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+
+    /// Returns a uniformly random `f64` in `[0, 1)`.
+    pub fn f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Derives the per-property seed: `PROPTEST_SEED` if set, otherwise an
+/// FNV-1a hash of the property's fully qualified name, so every property has
+/// its own stable stream.
+pub fn seed_for(test_name: &str) -> u64 {
+    if let Ok(var) = std::env::var("PROPTEST_SEED") {
+        if let Ok(seed) = var.parse::<u64>() {
+            return seed;
+        }
+    }
+    let mut hash = 0xCBF2_9CE4_8422_2325u64;
+    for byte in test_name.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+/// Drives one property: draws cases, retries rejections, panics on failure.
+#[derive(Debug)]
+pub struct TestRunner {
+    config: ProptestConfig,
+    rng: TestRng,
+    seed: u64,
+}
+
+impl TestRunner {
+    /// Creates a runner for one property.
+    pub fn new(config: ProptestConfig, seed: u64) -> Self {
+        Self {
+            config,
+            rng: TestRng::new(seed),
+            seed,
+        }
+    }
+
+    /// Runs the property until `config.cases` cases pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics (failing the enclosing `#[test]`) on the first failing case or
+    /// when `prop_assume!` rejects more than `config.max_global_rejects`
+    /// candidate inputs.
+    pub fn run<F>(&mut self, case: &mut F)
+    where
+        F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+    {
+        let mut passed = 0u32;
+        let mut rejects = 0u32;
+        while passed < self.config.cases {
+            match case(&mut self.rng) {
+                Ok(()) => passed += 1,
+                Err(TestCaseError::Reject(reason)) => {
+                    rejects += 1;
+                    assert!(
+                        rejects <= self.config.max_global_rejects,
+                        "property rejected {rejects} inputs (last: {reason}); \
+                         weaken the prop_assume! or widen the strategies"
+                    );
+                }
+                Err(TestCaseError::Fail(message)) => panic!(
+                    "property failed after {passed} passing case(s) (seed {}):\n\t{message}",
+                    self.seed
+                ),
+            }
+        }
+    }
+}

@@ -1,0 +1,76 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! The build environment for this workspace has no crates.io access, so this
+//! shim provides the subset of rayon's parallel-iterator API the workspace
+//! uses — `par_iter()` and `into_par_iter()` — evaluated **sequentially**.
+//! Both methods hand back the ordinary `std` iterator, so every adapter
+//! (`map`, `filter`, `collect`, …) is available with identical, deterministic
+//! results; only the work-stealing parallelism is absent. Swapping in the
+//! real crate requires no source changes anywhere in the workspace.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// The rayon prelude: traits that add `par_iter` / `into_par_iter`.
+pub mod prelude {
+    /// Sequential stand-in for rayon's `IntoParallelIterator`.
+    ///
+    /// `into_par_iter()` simply forwards to [`IntoIterator::into_iter`].
+    pub trait IntoParallelIterator: IntoIterator + Sized {
+        /// Converts `self` into a (sequentially evaluated) "parallel" iterator.
+        fn into_par_iter(self) -> Self::IntoIter {
+            self.into_iter()
+        }
+    }
+
+    impl<I: IntoIterator> IntoParallelIterator for I {}
+
+    /// Sequential stand-in for rayon's `IntoParallelRefIterator`.
+    ///
+    /// `par_iter()` borrows the collection and forwards to the `&Self`
+    /// implementation of [`IntoIterator`].
+    pub trait IntoParallelRefIterator<'data> {
+        /// The iterator produced by [`Self::par_iter`].
+        type Iter: Iterator;
+
+        /// Returns a (sequentially evaluated) "parallel" iterator over
+        /// references into `self`.
+        fn par_iter(&'data self) -> Self::Iter;
+    }
+
+    impl<'data, C: ?Sized + 'data> IntoParallelRefIterator<'data> for C
+    where
+        &'data C: IntoIterator,
+    {
+        type Iter = <&'data C as IntoIterator>::IntoIter;
+
+        fn par_iter(&'data self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_matches_iter() {
+        let v = vec![1u32, 2, 3, 4];
+        let doubled: Vec<u32> = v.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6, 8]);
+    }
+
+    #[test]
+    fn into_par_iter_on_ranges() {
+        let squares: Vec<usize> = (0..5usize).into_par_iter().map(|i| i * i).collect();
+        assert_eq!(squares, vec![0, 1, 4, 9, 16]);
+    }
+
+    #[test]
+    fn par_iter_on_slices() {
+        let pairs: &[(usize, usize)] = &[(0, 1), (2, 3)];
+        let sums: Vec<usize> = pairs.par_iter().map(|&(a, b)| a + b).collect();
+        assert_eq!(sums, vec![1, 5]);
+    }
+}

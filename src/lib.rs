@@ -61,8 +61,8 @@ pub mod prelude {
         Table,
     };
     pub use ecs_core::{
-        Answer, CrCompoundMerge, EcsAlgorithm, EcsRun, ErConstantRound, ErMergeSort,
-        NaiveAllPairs, RepresentativeScan, RoundRobin,
+        Answer, CrCompoundMerge, EcsAlgorithm, EcsRun, ErConstantRound, ErMergeSort, NaiveAllPairs,
+        RepresentativeScan, RoundRobin,
     };
     pub use ecs_distributions::{
         class_distribution::AnyDistribution, ClassDistribution, CutoffDistribution,

@@ -23,7 +23,10 @@ fn all_runs(instance: &Instance, seed: u64) -> Vec<(String, EcsRun)> {
         ),
     ];
     if instance.n() <= 200 {
-        runs.push((NaiveAllPairs::new().name(), NaiveAllPairs::new().sort(&oracle)));
+        runs.push((
+            NaiveAllPairs::new().name(),
+            NaiveAllPairs::new().sort(&oracle),
+        ));
     }
     runs
 }
@@ -116,6 +119,14 @@ fn work_of_parallel_algorithms_is_not_wildly_larger_than_nk() {
     let cr = CrCompoundMerge::new(k).sort(&oracle);
     let er = ErMergeSort::new().sort(&oracle);
     let budget = (10 * n * k) as u64;
-    assert!(cr.metrics.comparisons() < budget, "CR work {}", cr.metrics.comparisons());
-    assert!(er.metrics.comparisons() < budget, "ER work {}", er.metrics.comparisons());
+    assert!(
+        cr.metrics.comparisons() < budget,
+        "CR work {}",
+        cr.metrics.comparisons()
+    );
+    assert!(
+        er.metrics.comparisons() < budget,
+        "ER work {}",
+        er.metrics.comparisons()
+    );
 }

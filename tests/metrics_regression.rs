@@ -1,0 +1,103 @@
+//! Round/comparison-budget regression tests.
+//!
+//! These pin the exact `Metrics` every algorithm charges on one fixed-seed
+//! instance, as guard rails for future performance work: an optimisation PR
+//! that changes comparison or round counts must update these baselines
+//! *deliberately* (and justify regressions against the paper's bounds), and a
+//! refactor that changes them *accidentally* fails here instead of silently
+//! altering the reproduced figures.
+//!
+//! Baselines were captured on `Instance::balanced(256, 8, seed 2016)` with
+//! the constant-round algorithm seeded at 7. If an intentional RNG change
+//! invalidates them (see `tests/rng_golden.rs`), regenerate by printing
+//! `run.metrics` for each algorithm on the same instance.
+
+use ecs_core::{
+    CrCompoundMerge, EcsAlgorithm, ErConstantRound, ErMergeSort, NaiveAllPairs, RepresentativeScan,
+    RoundRobin,
+};
+use ecs_model::{Instance, InstanceOracle, Metrics};
+use ecs_rng::{SeedableEcsRng, Xoshiro256StarStar};
+
+const N: usize = 256;
+const K: usize = 8;
+const INSTANCE_SEED: u64 = 2016;
+const ALGORITHM_SEED: u64 = 7;
+
+fn fixed_instance() -> Instance {
+    let mut rng = Xoshiro256StarStar::seed_from_u64(INSTANCE_SEED);
+    Instance::balanced(N, K, &mut rng)
+}
+
+fn check(name: &str, metrics: &Metrics, comparisons: u64, rounds: u64) {
+    assert_eq!(
+        (metrics.comparisons(), metrics.rounds()),
+        (comparisons, rounds),
+        "{name} cost changed on the pinned instance (was {comparisons} comparisons / \
+         {rounds} rounds, now {} / {}); if intentional, update this baseline",
+        metrics.comparisons(),
+        metrics.rounds(),
+    );
+}
+
+#[test]
+fn naive_all_pairs_budget() {
+    let instance = fixed_instance();
+    let run = NaiveAllPairs::new().sort(&InstanceOracle::new(&instance));
+    assert!(instance.verify(&run.partition));
+    // Brute force: exactly n(n-1)/2 sequential comparisons.
+    check("NaiveAllPairs", &run.metrics, 32_640, 32_640);
+}
+
+#[test]
+fn round_robin_budget() {
+    let instance = fixed_instance();
+    let run = RoundRobin::new().sort(&InstanceOracle::new(&instance));
+    assert!(instance.verify(&run.partition));
+    check("RoundRobin", &run.metrics, 1_188, 1_188);
+}
+
+#[test]
+fn representative_scan_budget() {
+    let instance = fixed_instance();
+    let run = RepresentativeScan::new().sort(&InstanceOracle::new(&instance));
+    assert!(instance.verify(&run.partition));
+    check("RepresentativeScan", &run.metrics, 1_144, 1_144);
+}
+
+#[test]
+fn er_merge_sort_budget() {
+    let instance = fixed_instance();
+    let run = ErMergeSort::new().sort(&InstanceOracle::new(&instance));
+    assert!(instance.verify(&run.partition));
+    check("ErMergeSort", &run.metrics, 2_115, 46);
+}
+
+#[test]
+fn er_constant_round_budget() {
+    let instance = fixed_instance();
+    let run = ErConstantRound::adaptive(ALGORITHM_SEED).sort(&InstanceOracle::new(&instance));
+    assert!(instance.verify(&run.partition));
+    check("ErConstantRound", &run.metrics, 6_528, 72);
+}
+
+#[test]
+fn cr_compound_merge_budget() {
+    let instance = fixed_instance();
+    let run = CrCompoundMerge::new(K).sort(&InstanceOracle::new(&instance));
+    assert!(instance.verify(&run.partition));
+    check("CrCompoundMerge", &run.metrics, 2_115, 11);
+}
+
+#[test]
+fn parallel_algorithms_beat_sequential_round_counts() {
+    // Sanity on the pinned baselines themselves: the parallel algorithms'
+    // depth is far below the sequential work, in line with the theorems.
+    let instance = fixed_instance();
+    let oracle = InstanceOracle::new(&instance);
+    let cr = CrCompoundMerge::new(K).sort(&oracle);
+    let er = ErMergeSort::new().sort(&oracle);
+    let seq = RoundRobin::new().sort(&oracle);
+    assert!(cr.metrics.rounds() < er.metrics.rounds());
+    assert!(er.metrics.rounds() < seq.metrics.rounds());
+}

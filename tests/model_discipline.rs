@@ -134,7 +134,11 @@ fn every_algorithm_transcript_certifies_its_output() {
             {
                 let oracle = RecordingOracle::new(InstanceOracle::new(&instance));
                 let run = CrCompoundMerge::new(k).sort(&oracle);
-                ("cr-compound".into(), oracle.into_transcript(), run.partition)
+                (
+                    "cr-compound".into(),
+                    oracle.into_transcript(),
+                    run.partition,
+                )
             },
             {
                 let oracle = RecordingOracle::new(InstanceOracle::new(&instance));
@@ -144,12 +148,20 @@ fn every_algorithm_transcript_certifies_its_output() {
             {
                 let oracle = RecordingOracle::new(InstanceOracle::new(&instance));
                 let run = ErConstantRound::adaptive(5).sort(&oracle);
-                ("er-constant".into(), oracle.into_transcript(), run.partition)
+                (
+                    "er-constant".into(),
+                    oracle.into_transcript(),
+                    run.partition,
+                )
             },
             {
                 let oracle = RecordingOracle::new(InstanceOracle::new(&instance));
                 let run = RoundRobin::new().sort(&oracle);
-                ("round-robin".into(), oracle.into_transcript(), run.partition)
+                (
+                    "round-robin".into(),
+                    oracle.into_transcript(),
+                    run.partition,
+                )
             },
             {
                 let oracle = RecordingOracle::new(InstanceOracle::new(&instance));

@@ -1,0 +1,112 @@
+//! Property: all six algorithms produce the identical partition.
+//!
+//! Every algorithm in the workspace must be correct for every consistent
+//! oracle, so on any instance they must all recover exactly the hidden
+//! ground-truth partition — regardless of how the class sizes were drawn.
+//! These properties exercise randomized instances (n ≤ 512, k ≤ 16) across
+//! balanced, zeta, Poisson, and geometric class distributions.
+
+use ecs_core::{
+    CrCompoundMerge, EcsAlgorithm, ErConstantRound, ErMergeSort, NaiveAllPairs, RepresentativeScan,
+    RoundRobin,
+};
+use ecs_distributions::class_distribution::AnyDistribution;
+use ecs_model::{Instance, InstanceOracle, Partition};
+use ecs_rng::{SeedableEcsRng, Xoshiro256StarStar};
+use proptest::prelude::*;
+
+/// Runs all six algorithms on the instance and returns `(name, partition)`
+/// pairs. `seed` feeds the randomized constant-round algorithm.
+fn all_partitions(instance: &Instance, seed: u64) -> Vec<(String, Partition)> {
+    let oracle = InstanceOracle::new(instance);
+    let k = instance.ground_truth().num_classes();
+    let runs: Vec<(&str, ecs_core::EcsRun)> = vec![
+        ("NaiveAllPairs", NaiveAllPairs::new().sort(&oracle)),
+        ("RoundRobin", RoundRobin::new().sort(&oracle)),
+        (
+            "RepresentativeScan",
+            RepresentativeScan::new().sort(&oracle),
+        ),
+        ("ErMergeSort", ErMergeSort::new().sort(&oracle)),
+        (
+            "ErConstantRound",
+            ErConstantRound::adaptive(seed).sort(&oracle),
+        ),
+        (
+            "CrCompoundMerge",
+            CrCompoundMerge::new(k.max(1)).sort(&oracle),
+        ),
+    ];
+    runs.into_iter()
+        .map(|(name, run)| (name.to_string(), run.partition))
+        .collect()
+}
+
+/// Asserts every algorithm's partition matches the instance's ground truth
+/// (and therefore every other algorithm's partition).
+macro_rules! assert_all_agree {
+    ($instance:expr, $seed:expr) => {{
+        let truth = $instance.ground_truth();
+        for (name, partition) in all_partitions(&$instance, $seed) {
+            prop_assert!(
+                $instance.verify(&partition),
+                "{} disagrees with ground truth: got {} classes, expected {}",
+                name,
+                partition.num_classes(),
+                truth.num_classes()
+            );
+            prop_assert_eq!(&partition, truth, "{} produced a different partition", name);
+        }
+    }};
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn algorithms_agree_on_balanced_instances(
+        seed in 0u64..10_000,
+        n in 1usize..=512,
+        k in 1usize..=16,
+    ) {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
+        let instance = Instance::balanced(n, k.min(n), &mut rng);
+        assert_all_agree!(instance, seed);
+    }
+
+    #[test]
+    fn algorithms_agree_on_zeta_instances(
+        seed in 0u64..10_000,
+        n in 1usize..=512,
+        s_tenths in 15u32..35,
+    ) {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
+        let dist = AnyDistribution::zeta(f64::from(s_tenths) / 10.0);
+        let instance = Instance::from_distribution(&dist, n, &mut rng);
+        assert_all_agree!(instance, seed);
+    }
+
+    #[test]
+    fn algorithms_agree_on_poisson_instances(
+        seed in 0u64..10_000,
+        n in 1usize..=512,
+        lambda_tenths in 5u32..160,
+    ) {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
+        let dist = AnyDistribution::poisson(f64::from(lambda_tenths) / 10.0);
+        let instance = Instance::from_distribution(&dist, n, &mut rng);
+        assert_all_agree!(instance, seed);
+    }
+
+    #[test]
+    fn algorithms_agree_on_geometric_instances(
+        seed in 0u64..10_000,
+        n in 1usize..=512,
+        p_hundredths in 2u32..90,
+    ) {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
+        let dist = AnyDistribution::geometric(f64::from(p_hundredths) / 100.0);
+        let instance = Instance::from_distribution(&dist, n, &mut rng);
+        assert_all_agree!(instance, seed);
+    }
+}

@@ -136,7 +136,9 @@ fn theorem9_zeta_above_two_is_linear_in_expectation() {
         seed: 5,
     };
     let series = figure5_series(&config);
-    let fit = series.fit.expect("paper claims a linear expectation for s = 2.5");
+    let fit = series
+        .fit
+        .expect("paper claims a linear expectation for s = 2.5");
     assert!(
         fit.r_squared > 0.95,
         "zeta(2.5) should look linear, R² = {}",
