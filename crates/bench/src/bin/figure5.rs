@@ -3,7 +3,10 @@
 //!
 //! ```text
 //! cargo run -p ecs-bench --release --bin figure5 -- [--dist uniform|geometric|poisson|zeta|all]
-//!     [--full] [--scale D] [--trials T] [--seed S] [--out results]
+//!     [--full] [--scale D] [--trials T] [--seed S] [--out results] [--threads N]
+//!
+//! `--threads N` runs the independent trials of each size on an N-thread
+//! work-stealing pool; results are bit-identical to a sequential run.
 //! ```
 //!
 //! By default the paper's size grids are divided by 10 so the whole figure
@@ -27,6 +30,8 @@ fn main() {
     let trials = args.get_usize("trials", if args.has("full") { 10 } else { 5 });
     let seed = args.get_u64("seed", 2016);
     let out_dir = args.get_or("out", "results");
+    let backend = args.execution_backend();
+    println!("execution backend: {}", backend.label());
     std::fs::create_dir_all(&out_dir).expect("cannot create output directory");
 
     let panels: Vec<&str> = if panel == "all" {
@@ -39,7 +44,7 @@ fn main() {
         println!("=== Figure 5 panel: {panel} (scale 1/{scale}, {trials} trials) ===\n");
         for config in paper::figure5_configs(panel, scale, trials, seed) {
             let label = config.distribution.name();
-            let series = figure5_series(&config);
+            let series = backend.install(|| figure5_series(&config));
             let table = figure5_table(&series);
             println!("{}", table.to_text());
             if let Some(fit) = &series.fit {

@@ -4,7 +4,12 @@
 //! Ω(n²/f²) / Ω(n²/ℓ²) bounds.
 //!
 //! ```text
-//! cargo run -p ecs-bench --release --bin lower_bounds -- [--out results]
+//! cargo run -p ecs-bench --release --bin lower_bounds -- [--out results] [--threads N]
+//!
+//! `--threads` is accepted for CLI uniformity but has no effect here: the
+//! adversary oracles are adaptive (answers depend on query order), so the
+//! algorithms driven against them issue single comparisons, which always
+//! evaluate inline.
 //! ```
 
 use ecs_bench::paper::{theorem5_grid, theorem6_grid};
@@ -14,6 +19,7 @@ use ecs_bench::Args;
 fn main() {
     let args = Args::from_env();
     let out_dir = args.get_or("out", "results");
+    let _ = args.execution_backend(); // accepted for uniformity; see module docs
     std::fs::create_dir_all(&out_dir).expect("cannot create output directory");
 
     let t5 = theorem5_table(&theorem5_grid());

@@ -2,7 +2,7 @@
 //! tables to `results/` (CSV) plus a combined Markdown report.
 //!
 //! ```text
-//! cargo run -p ecs-bench --release --bin reproduce_all -- [--out results] [--scale D]
+//! cargo run -p ecs-bench --release --bin reproduce_all -- [--out results] [--scale D] [--threads N]
 //! ```
 //!
 //! Pass `--full` to use the paper's exact grids (slow).
@@ -27,7 +27,9 @@ fn main() {
     };
     let trials = args.get_usize("trials", if args.has("full") { 10 } else { 3 });
     let seed = args.get_u64("seed", 2016);
+    let backend = args.execution_backend();
     std::fs::create_dir_all(&out_dir).expect("cannot create output directory");
+    println!("execution backend: {}", backend.label());
 
     let mut report = String::from("# Reproduction report\n\n");
 
@@ -35,7 +37,7 @@ fn main() {
     for panel in paper::panel_names() {
         println!("running Figure 5 panel '{panel}'...");
         for config in paper::figure5_configs(panel, scale, trials, seed) {
-            let series = figure5_series(&config);
+            let series = backend.install(|| figure5_series(&config));
             let table = figure5_table(&series);
             report.push_str(&table.to_markdown());
             report.push('\n');
@@ -57,10 +59,16 @@ fn main() {
         .filter(|&(n, k)| n >= 10 * k)
         .collect();
     for (table, path) in [
-        (theorem1_table(&small_grid, seed), "theorem1_rounds.csv"),
-        (theorem2_table(&small_grid, seed), "theorem2_rounds.csv"),
         (
-            theorem4_table(&paper::theorem4_lambdas(), &[1_000, 4_000], seed),
+            theorem1_table(&small_grid, seed, backend),
+            "theorem1_rounds.csv",
+        ),
+        (
+            theorem2_table(&small_grid, seed, backend),
+            "theorem2_rounds.csv",
+        ),
+        (
+            theorem4_table(&paper::theorem4_lambdas(), &[1_000, 4_000], seed, backend),
             "theorem4_rounds.csv",
         ),
     ] {
@@ -95,11 +103,13 @@ fn main() {
     ]
     .into_iter()
     .map(|distribution| {
-        dominance_experiment(&DominanceConfig {
-            distribution,
-            n,
-            trials,
-            seed,
+        backend.install(|| {
+            dominance_experiment(&DominanceConfig {
+                distribution,
+                n,
+                trials,
+                seed,
+            })
         })
     })
     .collect();
@@ -110,7 +120,7 @@ fn main() {
         .unwrap();
 
     // Summary comparison of all algorithms on one instance.
-    let summary = algorithm_comparison_table(2_000, 8, seed);
+    let summary = algorithm_comparison_table(2_000, 8, seed, backend);
     report.push_str(&summary.to_markdown());
     summary
         .write_csv(format!("{out_dir}/algorithm_comparison.csv"))

@@ -2,7 +2,7 @@
 //! elements in `O(k log n)` rounds.
 //!
 //! ```text
-//! cargo run -p ecs-bench --release --bin theorem2_rounds -- [--seed S] [--out results]
+//! cargo run -p ecs-bench --release --bin theorem2_rounds -- [--seed S] [--out results] [--threads N]
 //! ```
 
 use ecs_bench::paper::round_count_grid;
@@ -13,9 +13,11 @@ fn main() {
     let args = Args::from_env();
     let seed = args.get_u64("seed", 1);
     let out_dir = args.get_or("out", "results");
+    let backend = args.execution_backend();
     std::fs::create_dir_all(&out_dir).expect("cannot create output directory");
 
-    let table = theorem2_table(&round_count_grid(), seed);
+    println!("execution backend: {}", backend.label());
+    let table = theorem2_table(&round_count_grid(), seed, backend);
     println!("{}", table.to_text());
     let path = format!("{out_dir}/theorem2_rounds.csv");
     table.write_csv(&path).expect("cannot write CSV");

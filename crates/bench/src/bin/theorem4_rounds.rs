@@ -3,7 +3,7 @@
 //! with `n`.
 //!
 //! ```text
-//! cargo run -p ecs-bench --release --bin theorem4_rounds -- [--seed S] [--out results] [--full]
+//! cargo run -p ecs-bench --release --bin theorem4_rounds -- [--seed S] [--out results] [--full] [--threads N]
 //! ```
 
 use ecs_bench::paper::theorem4_lambdas;
@@ -21,7 +21,9 @@ fn main() {
     } else {
         vec![1_000, 4_000, 16_000]
     };
-    let table = theorem4_table(&theorem4_lambdas(), &sizes, seed);
+    let backend = args.execution_backend();
+    println!("execution backend: {}", backend.label());
+    let table = theorem4_table(&theorem4_lambdas(), &sizes, seed, backend);
     println!("{}", table.to_text());
     println!("(rounds stay flat as n grows within each λ block — the Theorem 4 claim)");
     let path = format!("{out_dir}/theorem4_rounds.csv");

@@ -4,7 +4,10 @@
 //! paper proves it.
 //!
 //! ```text
-//! cargo run -p ecs-bench --release --bin theorem7_dominance -- [--n N] [--trials T] [--out results]
+//! cargo run -p ecs-bench --release --bin theorem7_dominance -- [--n N] [--trials T] [--out results] [--threads N]
+//!
+//! `--threads N` runs the independent trials on an N-thread work-stealing
+//! pool; results are bit-identical to a sequential run.
 //! ```
 
 use ecs_analysis::{dominance_experiment, DominanceConfig};
@@ -18,8 +21,10 @@ fn main() {
     let trials = args.get_usize("trials", 8);
     let seed = args.get_u64("seed", 7);
     let out_dir = args.get_or("out", "results");
+    let backend = args.execution_backend();
     std::fs::create_dir_all(&out_dir).expect("cannot create output directory");
 
+    println!("execution backend: {}", backend.label());
     let distributions = vec![
         AnyDistribution::uniform(10),
         AnyDistribution::uniform(100),
@@ -31,17 +36,19 @@ fn main() {
         AnyDistribution::zeta(2.0),
     ];
 
-    let results: Vec<_> = distributions
-        .into_iter()
-        .map(|distribution| {
-            dominance_experiment(&DominanceConfig {
-                distribution,
-                n,
-                trials,
-                seed,
+    let results: Vec<_> = backend.install(|| {
+        distributions
+            .into_iter()
+            .map(|distribution| {
+                dominance_experiment(&DominanceConfig {
+                    distribution,
+                    n,
+                    trials,
+                    seed,
+                })
             })
-        })
-        .collect();
+            .collect()
+    });
 
     let table = dominance_table(&results, n);
     println!("{}", table.to_text());

@@ -1,5 +1,6 @@
 //! A minimal `--flag value` / `--switch` command-line parser.
 
+use ecs_model::ExecutionBackend;
 use std::collections::HashMap;
 
 /// Parsed command-line arguments: `--key value` pairs and bare `--switch`es.
@@ -73,6 +74,16 @@ impl Args {
     pub fn has(&self, name: &str) -> bool {
         self.switches.iter().any(|s| s == name)
     }
+
+    /// The execution backend selected by `--threads N`, falling back to the
+    /// `ECS_THREADS` environment variable when the flag is absent (`0`/`1`
+    /// and unparsable values select the sequential backend).
+    pub fn execution_backend(&self) -> ExecutionBackend {
+        match self.get("threads") {
+            Some(value) => ExecutionBackend::from_threads(value.parse().unwrap_or(1)),
+            None => ExecutionBackend::from_env(),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -112,5 +123,22 @@ mod tests {
     fn positional_tokens_are_ignored() {
         let a = args(&["stray", "--k", "9"]);
         assert_eq!(a.get_usize("k", 0), 9);
+    }
+
+    #[test]
+    fn threads_flag_selects_the_backend() {
+        use ecs_model::ExecutionBackend;
+        assert_eq!(
+            args(&["--threads", "4"]).execution_backend(),
+            ExecutionBackend::threaded(4)
+        );
+        assert_eq!(
+            args(&["--threads", "1"]).execution_backend(),
+            ExecutionBackend::Sequential
+        );
+        assert_eq!(
+            args(&["--threads", "junk"]).execution_backend(),
+            ExecutionBackend::Sequential
+        );
     }
 }

@@ -6,7 +6,7 @@ use ecs_analysis::{DominanceResult, Figure5Series, Table};
 use ecs_core::{
     CrCompoundMerge, EcsAlgorithm, ErConstantRound, ErMergeSort, RepresentativeScan, RoundRobin,
 };
-use ecs_model::{Instance, InstanceOracle};
+use ecs_model::{ExecutionBackend, Instance, InstanceOracle};
 use ecs_rng::{SeedableEcsRng, Xoshiro256StarStar};
 
 /// Renders one Figure 5 series as a table with per-size statistics and the
@@ -47,7 +47,7 @@ pub fn figure5_table(series: &Figure5Series) -> Table {
 
 /// Runs the Theorem 1 (CR compound merge) round-count experiment over a grid
 /// of `(n, k)` pairs.
-pub fn theorem1_table(grid: &[(usize, usize)], seed: u64) -> Table {
+pub fn theorem1_table(grid: &[(usize, usize)], seed: u64, backend: ExecutionBackend) -> Table {
     let mut table = Table::new(
         "Theorem 1 — CR rounds, O(k + log log n) expected",
         &[
@@ -63,7 +63,7 @@ pub fn theorem1_table(grid: &[(usize, usize)], seed: u64) -> Table {
         let mut rng = Xoshiro256StarStar::seed_from_u64(seed + i as u64);
         let instance = Instance::balanced(n, k, &mut rng);
         let oracle = InstanceOracle::new(&instance);
-        let run = CrCompoundMerge::new(k).sort(&oracle);
+        let run = CrCompoundMerge::new(k).sort_with_backend(&oracle, backend);
         assert!(
             instance.verify(&run.partition),
             "Theorem 1 run produced a wrong partition"
@@ -82,7 +82,7 @@ pub fn theorem1_table(grid: &[(usize, usize)], seed: u64) -> Table {
 }
 
 /// Runs the Theorem 2 (ER merge) round-count experiment.
-pub fn theorem2_table(grid: &[(usize, usize)], seed: u64) -> Table {
+pub fn theorem2_table(grid: &[(usize, usize)], seed: u64, backend: ExecutionBackend) -> Table {
     let mut table = Table::new(
         "Theorem 2 — ER rounds, O(k log n) expected",
         &[
@@ -98,7 +98,7 @@ pub fn theorem2_table(grid: &[(usize, usize)], seed: u64) -> Table {
         let mut rng = Xoshiro256StarStar::seed_from_u64(seed + 100 + i as u64);
         let instance = Instance::balanced(n, k, &mut rng);
         let oracle = InstanceOracle::new(&instance);
-        let run = ErMergeSort::new().sort(&oracle);
+        let run = ErMergeSort::new().sort_with_backend(&oracle, backend);
         assert!(
             instance.verify(&run.partition),
             "Theorem 2 run produced a wrong partition"
@@ -118,7 +118,12 @@ pub fn theorem2_table(grid: &[(usize, usize)], seed: u64) -> Table {
 
 /// Runs the Theorem 4 (constant rounds for large classes) experiment: for each
 /// `λ`, a sweep over `n` showing that rounds stay flat while `n` grows.
-pub fn theorem4_table(lambdas: &[f64], sizes: &[usize], seed: u64) -> Table {
+pub fn theorem4_table(
+    lambdas: &[f64],
+    sizes: &[usize],
+    seed: u64,
+    backend: ExecutionBackend,
+) -> Table {
     let mut table = Table::new(
         "Theorem 4 — ER rounds for smallest class ≥ λn, O(1) expected",
         &[
@@ -139,7 +144,7 @@ pub fn theorem4_table(lambdas: &[f64], sizes: &[usize], seed: u64) -> Table {
             let instance = Instance::balanced(n, k, &mut rng);
             let oracle = InstanceOracle::new(&instance);
             let algorithm = ErConstantRound::with_lambda(lambda, seed + j as u64);
-            let run = algorithm.sort(&oracle);
+            let run = algorithm.sort_with_backend(&oracle, backend);
             assert!(
                 instance.verify(&run.partition),
                 "Theorem 4 run produced a wrong partition"
@@ -259,7 +264,12 @@ pub fn dominance_table(results: &[DominanceResult], n: usize) -> Table {
 
 /// Compares all algorithms (parallel and sequential) on one instance; used by
 /// the `reproduce_all` summary and the quickstart-style reporting.
-pub fn algorithm_comparison_table(n: usize, k: usize, seed: u64) -> Table {
+pub fn algorithm_comparison_table(
+    n: usize,
+    k: usize,
+    seed: u64,
+    backend: ExecutionBackend,
+) -> Table {
     let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
     let instance = Instance::balanced(n, k, &mut rng);
     let oracle = InstanceOracle::new(&instance);
@@ -280,15 +290,23 @@ pub fn algorithm_comparison_table(n: usize, k: usize, seed: u64) -> Table {
     };
 
     let alg = CrCompoundMerge::new(k);
-    push(alg.name(), "CR", alg.sort(&oracle));
+    push(alg.name(), "CR", alg.sort_with_backend(&oracle, backend));
     let alg = ErMergeSort::new();
-    push(alg.name(), "ER", alg.sort(&oracle));
+    push(alg.name(), "ER", alg.sort_with_backend(&oracle, backend));
     let alg = ErConstantRound::with_lambda(lambda, seed);
-    push(alg.name(), "ER", alg.sort(&oracle));
+    push(alg.name(), "ER", alg.sort_with_backend(&oracle, backend));
     let alg = RoundRobin::new();
-    push(alg.name(), "sequential", alg.sort(&oracle));
+    push(
+        alg.name(),
+        "sequential",
+        alg.sort_with_backend(&oracle, backend),
+    );
     let alg = RepresentativeScan::new();
-    push(alg.name(), "sequential", alg.sort(&oracle));
+    push(
+        alg.name(),
+        "sequential",
+        alg.sort_with_backend(&oracle, backend),
+    );
 
     table
 }
@@ -316,15 +334,15 @@ mod tests {
     #[test]
     fn theorem1_and_2_tables_run_small_grids() {
         let grid = [(500usize, 2usize), (1_000, 4)];
-        let t1 = theorem1_table(&grid, 3);
-        let t2 = theorem2_table(&grid, 3);
+        let t1 = theorem1_table(&grid, 3, ExecutionBackend::Sequential);
+        let t2 = theorem2_table(&grid, 3, ExecutionBackend::Sequential);
         assert_eq!(t1.num_rows(), 2);
         assert_eq!(t2.num_rows(), 2);
     }
 
     #[test]
     fn theorem4_table_runs() {
-        let table = theorem4_table(&[0.4, 0.3], &[500, 1_000], 5);
+        let table = theorem4_table(&[0.4, 0.3], &[500, 1_000], 5, ExecutionBackend::Sequential);
         assert_eq!(table.num_rows(), 4);
     }
 
@@ -337,8 +355,27 @@ mod tests {
     }
 
     #[test]
+    fn tables_are_identical_across_backends() {
+        let grid = [(2_000usize, 3usize)];
+        let seq = theorem1_table(&grid, 3, ExecutionBackend::Sequential);
+        let thr = theorem1_table(
+            &grid,
+            3,
+            ExecutionBackend::Threaded {
+                threads: 4,
+                threshold: 1,
+            },
+        );
+        assert_eq!(
+            seq.to_markdown(),
+            thr.to_markdown(),
+            "threaded evaluation must not change any reported number"
+        );
+    }
+
+    #[test]
     fn comparison_table_lists_all_algorithms() {
-        let table = algorithm_comparison_table(300, 3, 9);
+        let table = algorithm_comparison_table(300, 3, 9, ExecutionBackend::Sequential);
         assert_eq!(table.num_rows(), 5);
         let md = table.to_markdown();
         assert!(md.contains("cr-compound"));

@@ -22,7 +22,10 @@
 //! Every algorithm runs against an [`ecs_model::EquivalenceOracle`] through an
 //! [`ecs_model::ComparisonSession`], which enforces the exclusive-read /
 //! concurrent-read disciplines and counts comparisons and rounds in Valiant's
-//! parallel comparison model.
+//! parallel comparison model. Round evaluation is pluggable: pass an
+//! [`ecs_model::ExecutionBackend`] to [`EcsAlgorithm::sort_with_backend`] to
+//! evaluate large rounds on a work-stealing pool of OS threads; partitions
+//! and metrics are bit-identical across backends.
 //!
 //! # Quick start
 //!

@@ -21,7 +21,7 @@
 
 use crate::run::{EcsAlgorithm, EcsRun};
 use ecs_graph::{HamiltonianUnion, UnionFind};
-use ecs_model::{ComparisonSession, EquivalenceOracle, Partition, ReadMode};
+use ecs_model::{ComparisonSession, EquivalenceOracle, ExecutionBackend, Partition, ReadMode};
 use ecs_rng::{SeedableEcsRng, SplitMix64, Xoshiro256StarStar};
 
 /// The constant-round exclusive-read algorithm (Theorem 4).
@@ -171,9 +171,13 @@ impl EcsAlgorithm for ErConstantRound {
         ReadMode::Exclusive
     }
 
-    fn sort<O: EquivalenceOracle>(&self, oracle: &O) -> EcsRun {
+    fn sort_with_backend<O: EquivalenceOracle>(
+        &self,
+        oracle: &O,
+        backend: ExecutionBackend,
+    ) -> EcsRun {
         let n = oracle.n();
-        let mut session = ComparisonSession::new(oracle, ReadMode::Exclusive);
+        let mut session = ComparisonSession::with_backend(oracle, ReadMode::Exclusive, backend);
         if n == 0 {
             return EcsRun::new(Partition::from_labels::<u32>(&[]), session.into_metrics());
         }

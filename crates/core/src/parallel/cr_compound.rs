@@ -19,7 +19,7 @@
 
 use crate::answer::Answer;
 use crate::run::{EcsAlgorithm, EcsRun};
-use ecs_model::{ComparisonSession, EquivalenceOracle, Partition, ReadMode};
+use ecs_model::{ComparisonSession, EquivalenceOracle, ExecutionBackend, Partition, ReadMode};
 
 /// The concurrent-read compounding-merge algorithm (Theorem 1).
 ///
@@ -146,9 +146,13 @@ impl EcsAlgorithm for CrCompoundMerge {
         ReadMode::Concurrent
     }
 
-    fn sort<O: EquivalenceOracle>(&self, oracle: &O) -> EcsRun {
+    fn sort_with_backend<O: EquivalenceOracle>(
+        &self,
+        oracle: &O,
+        backend: ExecutionBackend,
+    ) -> EcsRun {
         let n = oracle.n();
-        let mut session = ComparisonSession::new(oracle, ReadMode::Concurrent);
+        let mut session = ComparisonSession::with_backend(oracle, ReadMode::Concurrent, backend);
         if n == 0 {
             return EcsRun::new(Partition::from_labels::<u32>(&[]), session.into_metrics());
         }
@@ -301,6 +305,26 @@ mod tests {
         let oracle = InstanceOracle::new(&inst);
         let run = CrCompoundMerge::new(6).sort(&oracle);
         assert!(inst.verify(&run.partition));
+    }
+
+    #[test]
+    fn threaded_backend_is_bit_identical_to_sequential() {
+        let mut r = rng(7);
+        let inst = Instance::balanced(3_000, 5, &mut r);
+        let oracle = InstanceOracle::new(&inst);
+        let alg = CrCompoundMerge::new(5);
+        let seq = alg.sort_with_backend(&oracle, ExecutionBackend::Sequential);
+        // threshold 1 forces even tiny rounds through the pool.
+        let thr = alg.sort_with_backend(
+            &oracle,
+            ExecutionBackend::Threaded {
+                threads: 4,
+                threshold: 1,
+            },
+        );
+        assert!(inst.verify(&seq.partition));
+        assert_eq!(seq.partition, thr.partition);
+        assert_eq!(seq.metrics, thr.metrics);
     }
 
     proptest! {

@@ -14,7 +14,7 @@
 use crate::answer::Answer;
 use crate::run::{EcsAlgorithm, EcsRun};
 use ecs_model::schedule::bipartite_rounds;
-use ecs_model::{ComparisonSession, EquivalenceOracle, Partition, ReadMode};
+use ecs_model::{ComparisonSession, EquivalenceOracle, ExecutionBackend, Partition, ReadMode};
 
 /// The exclusive-read pairwise-merge algorithm (Theorem 2).
 #[derive(Debug, Clone, Copy, Default)]
@@ -108,9 +108,13 @@ impl EcsAlgorithm for ErMergeSort {
         ReadMode::Exclusive
     }
 
-    fn sort<O: EquivalenceOracle>(&self, oracle: &O) -> EcsRun {
+    fn sort_with_backend<O: EquivalenceOracle>(
+        &self,
+        oracle: &O,
+        backend: ExecutionBackend,
+    ) -> EcsRun {
         let n = oracle.n();
-        let mut session = ComparisonSession::new(oracle, ReadMode::Exclusive);
+        let mut session = ComparisonSession::with_backend(oracle, ReadMode::Exclusive, backend);
         if n == 0 {
             return EcsRun::new(Partition::from_labels::<u32>(&[]), session.into_metrics());
         }

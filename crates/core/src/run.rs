@@ -1,6 +1,6 @@
 //! The algorithm interface and its result type.
 
-use ecs_model::{EquivalenceOracle, Metrics, Partition, ReadMode};
+use ecs_model::{EquivalenceOracle, ExecutionBackend, Metrics, Partition, ReadMode};
 
 /// The outcome of running an equivalence class sorting algorithm: the
 /// discovered partition and the cost charged in Valiant's model.
@@ -34,8 +34,25 @@ pub trait EcsAlgorithm {
     /// time trivially satisfies it.
     fn read_mode(&self) -> ReadMode;
 
-    /// Classifies every element of the oracle's instance.
-    fn sort<O: EquivalenceOracle>(&self, oracle: &O) -> EcsRun;
+    /// Classifies every element of the oracle's instance, evaluating rounds
+    /// on the given [`ExecutionBackend`].
+    ///
+    /// The backend only selects which OS threads perform the oracle calls;
+    /// the returned partition and [`Metrics`] must be bit-identical across
+    /// backends (the model's charging is backend-independent and answers are
+    /// collected in submission order).
+    fn sort_with_backend<O: EquivalenceOracle>(
+        &self,
+        oracle: &O,
+        backend: ExecutionBackend,
+    ) -> EcsRun;
+
+    /// Classifies every element of the oracle's instance using the backend
+    /// selected by the environment ([`ExecutionBackend::from_env`], i.e. the
+    /// `ECS_THREADS` variable; sequential when unset).
+    fn sort<O: EquivalenceOracle>(&self, oracle: &O) -> EcsRun {
+        self.sort_with_backend(oracle, ExecutionBackend::from_env())
+    }
 }
 
 #[cfg(test)]

@@ -2,7 +2,7 @@
 
 use crate::run::{EcsAlgorithm, EcsRun};
 use ecs_graph::UnionFind;
-use ecs_model::{ComparisonSession, EquivalenceOracle, Partition, ReadMode};
+use ecs_model::{ComparisonSession, EquivalenceOracle, ExecutionBackend, Partition, ReadMode};
 
 /// Compares all `C(n, 2)` pairs of elements and unions the equal ones.
 ///
@@ -29,9 +29,13 @@ impl EcsAlgorithm for NaiveAllPairs {
         ReadMode::Exclusive
     }
 
-    fn sort<O: EquivalenceOracle>(&self, oracle: &O) -> EcsRun {
+    fn sort_with_backend<O: EquivalenceOracle>(
+        &self,
+        oracle: &O,
+        backend: ExecutionBackend,
+    ) -> EcsRun {
         let n = oracle.n();
-        let mut session = ComparisonSession::new(oracle, ReadMode::Exclusive);
+        let mut session = ComparisonSession::with_backend(oracle, ReadMode::Exclusive, backend);
         let mut uf = UnionFind::new(n);
         for a in 0..n {
             for b in (a + 1)..n {

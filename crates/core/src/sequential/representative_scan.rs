@@ -2,7 +2,7 @@
 //! representative per discovered class.
 
 use crate::run::{EcsAlgorithm, EcsRun};
-use ecs_model::{ComparisonSession, EquivalenceOracle, Partition, ReadMode};
+use ecs_model::{ComparisonSession, EquivalenceOracle, ExecutionBackend, Partition, ReadMode};
 
 /// Scans the elements once; each element is compared against one
 /// representative of every class discovered so far until a match is found (or
@@ -31,9 +31,13 @@ impl EcsAlgorithm for RepresentativeScan {
         ReadMode::Exclusive
     }
 
-    fn sort<O: EquivalenceOracle>(&self, oracle: &O) -> EcsRun {
+    fn sort_with_backend<O: EquivalenceOracle>(
+        &self,
+        oracle: &O,
+        backend: ExecutionBackend,
+    ) -> EcsRun {
         let n = oracle.n();
-        let mut session = ComparisonSession::new(oracle, ReadMode::Exclusive);
+        let mut session = ComparisonSession::with_backend(oracle, ReadMode::Exclusive, backend);
         // One representative and one member list per discovered class.
         let mut representatives: Vec<usize> = Vec::new();
         let mut labels: Vec<usize> = vec![usize::MAX; n];

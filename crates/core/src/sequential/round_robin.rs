@@ -16,7 +16,7 @@
 
 use crate::run::{EcsAlgorithm, EcsRun};
 use ecs_graph::UnionFind;
-use ecs_model::{ComparisonSession, EquivalenceOracle, Partition, ReadMode};
+use ecs_model::{ComparisonSession, EquivalenceOracle, ExecutionBackend, Partition, ReadMode};
 use std::collections::{HashMap, HashSet};
 
 /// The round-robin sequential equivalence class sorter.
@@ -131,9 +131,13 @@ impl EcsAlgorithm for RoundRobin {
         ReadMode::Exclusive
     }
 
-    fn sort<O: EquivalenceOracle>(&self, oracle: &O) -> EcsRun {
+    fn sort_with_backend<O: EquivalenceOracle>(
+        &self,
+        oracle: &O,
+        backend: ExecutionBackend,
+    ) -> EcsRun {
         let n = oracle.n();
-        let mut session = ComparisonSession::new(oracle, ReadMode::Exclusive);
+        let mut session = ComparisonSession::with_backend(oracle, ReadMode::Exclusive, backend);
         if n == 0 {
             return EcsRun::new(Partition::from_labels::<u32>(&[]), session.into_metrics());
         }

@@ -1,0 +1,237 @@
+//! Execution backends: how a round's comparisons are physically evaluated.
+//!
+//! The comparison *model* (rounds, processor budgets, metrics) is charged
+//! identically regardless of backend; the backend only decides which OS
+//! threads perform the oracle calls. Answers are always collected in
+//! submission order, so for pure oracles (anything answering from a fixed
+//! partition, like [`crate::InstanceOracle`]) partitions, comparison counts
+//! and round counts are **bit-identical** across backends and thread counts.
+//!
+//! Adaptive oracles whose answers depend on the *temporal order* of queries
+//! (e.g. lower-bound adversaries) should stick to [`ExecutionBackend::Sequential`];
+//! the algorithms used against them in this workspace only ever issue
+//! single-comparison rounds, which never reach the pool.
+
+use crate::oracle::EquivalenceOracle;
+use rayon::prelude::*;
+use rayon::{ThreadPool, ThreadPoolBuilder};
+use std::collections::HashMap;
+use std::sync::{Mutex, OnceLock};
+
+/// Smallest number of items a single pool task will process when a round is
+/// sharded, keeping chunks cache-friendly instead of pair-at-a-time.
+const MIN_CHUNK: usize = 1024;
+
+/// Where a [`crate::ComparisonSession`] evaluates each round's comparisons.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecutionBackend {
+    /// Evaluate every comparison on the calling thread.
+    #[default]
+    Sequential,
+    /// Evaluate large rounds on a work-stealing pool of OS threads.
+    Threaded {
+        /// Number of worker threads (values `<= 1` behave sequentially).
+        threads: usize,
+        /// Minimum round size dispatched to the pool; smaller rounds are
+        /// evaluated inline because per-task overhead would dwarf the array
+        /// lookups. Defaults to
+        /// [`ExecutionBackend::DEFAULT_PARALLEL_THRESHOLD`].
+        threshold: usize,
+    },
+}
+
+impl ExecutionBackend {
+    /// The default minimum round size evaluated on the pool. Below this the
+    /// fixed cost of queueing and waking workers exceeds the comparison work
+    /// itself (each comparison is two array reads).
+    pub const DEFAULT_PARALLEL_THRESHOLD: usize = 4096;
+
+    /// A threaded backend with the default parallel threshold.
+    pub fn threaded(threads: usize) -> Self {
+        ExecutionBackend::Threaded {
+            threads,
+            threshold: Self::DEFAULT_PARALLEL_THRESHOLD,
+        }
+    }
+
+    /// Maps a thread-count knob (e.g. a `--threads` flag) onto a backend:
+    /// `0` and `1` mean sequential, anything larger a threaded pool of that
+    /// size with the default threshold.
+    pub fn from_threads(threads: usize) -> Self {
+        if threads > 1 {
+            Self::threaded(threads)
+        } else {
+            ExecutionBackend::Sequential
+        }
+    }
+
+    /// Reads the backend from the `ECS_THREADS` environment variable
+    /// (unset, unparsable, `0` or `1` select [`ExecutionBackend::Sequential`]).
+    /// This is what [`crate::ComparisonSession::new`] uses, so exporting
+    /// `ECS_THREADS=4` routes every session in the process through the pool.
+    ///
+    /// The variable is read once and cached: sessions are created per
+    /// algorithm run (sometimes from several pool workers at once), and
+    /// `std::env::var` takes a process-global lock.
+    pub fn from_env() -> Self {
+        static FROM_ENV: OnceLock<ExecutionBackend> = OnceLock::new();
+        *FROM_ENV.get_or_init(|| match std::env::var("ECS_THREADS") {
+            Ok(value) => Self::from_threads(value.trim().parse().unwrap_or(1)),
+            Err(_) => ExecutionBackend::Sequential,
+        })
+    }
+
+    /// The number of OS threads this backend evaluates on.
+    pub fn threads(&self) -> usize {
+        match *self {
+            ExecutionBackend::Sequential => 1,
+            ExecutionBackend::Threaded { threads, .. } => threads.max(1),
+        }
+    }
+
+    /// Whether rounds can be evaluated on more than one OS thread.
+    pub fn is_parallel(&self) -> bool {
+        self.threads() > 1
+    }
+
+    /// A short human-readable label (`"sequential"`, `"threaded(4)"`) for
+    /// benchmark tables and CLI banners.
+    pub fn label(&self) -> String {
+        match *self {
+            ExecutionBackend::Sequential => "sequential".to_string(),
+            ExecutionBackend::Threaded { threads, .. } => format!("threaded({threads})"),
+        }
+    }
+
+    /// Runs `op` with this backend's pool installed as the current rayon
+    /// pool, so bare `par_iter()` calls inside `op` (e.g. trial-level
+    /// parallelism in the analysis crate) use this backend's thread count.
+    pub fn install<OP, R>(&self, op: OP) -> R
+    where
+        OP: FnOnce() -> R + Send,
+        R: Send,
+    {
+        shared_pool(self.threads()).install(op)
+    }
+
+    /// Evaluates one round of comparisons against the oracle, returning one
+    /// answer per pair in submission order.
+    pub fn evaluate<O: EquivalenceOracle + ?Sized>(
+        &self,
+        oracle: &O,
+        pairs: &[(usize, usize)],
+    ) -> Vec<bool> {
+        match *self {
+            ExecutionBackend::Threaded { threads, threshold }
+                if threads > 1 && pairs.len() >= threshold.max(1) =>
+            {
+                shared_pool(threads).install(|| {
+                    pairs
+                        .par_iter()
+                        .with_min_len(MIN_CHUNK.min(threshold.max(1)))
+                        .map(|&(a, b)| oracle.same(a, b))
+                        .collect()
+                })
+            }
+            _ => pairs.iter().map(|&(a, b)| oracle.same(a, b)).collect(),
+        }
+    }
+}
+
+/// Process-wide pool cache, one pool per distinct thread count. Sessions are
+/// created per algorithm run, so building (and tearing down) a pool per
+/// session would dominate; instead pools are built once and leaked — the
+/// number of distinct thread counts in a process is tiny.
+fn shared_pool(threads: usize) -> &'static ThreadPool {
+    static POOLS: OnceLock<Mutex<HashMap<usize, &'static ThreadPool>>> = OnceLock::new();
+    let mut pools = POOLS
+        .get_or_init(|| Mutex::new(HashMap::new()))
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    pools.entry(threads).or_insert_with(|| {
+        Box::leak(Box::new(
+            ThreadPoolBuilder::new()
+                .num_threads(threads.max(1))
+                .build()
+                .expect("cannot spawn execution backend thread pool"),
+        ))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::LabelOracle;
+
+    #[test]
+    fn default_is_sequential() {
+        assert_eq!(ExecutionBackend::default(), ExecutionBackend::Sequential);
+        assert_eq!(ExecutionBackend::Sequential.threads(), 1);
+        assert!(!ExecutionBackend::Sequential.is_parallel());
+    }
+
+    #[test]
+    fn threaded_constructor_uses_default_threshold() {
+        let backend = ExecutionBackend::threaded(4);
+        assert_eq!(
+            backend,
+            ExecutionBackend::Threaded {
+                threads: 4,
+                threshold: ExecutionBackend::DEFAULT_PARALLEL_THRESHOLD,
+            }
+        );
+        assert_eq!(backend.threads(), 4);
+        assert!(backend.is_parallel());
+        assert_eq!(backend.label(), "threaded(4)");
+    }
+
+    #[test]
+    fn from_threads_maps_low_counts_to_sequential() {
+        assert_eq!(
+            ExecutionBackend::from_threads(0),
+            ExecutionBackend::Sequential
+        );
+        assert_eq!(
+            ExecutionBackend::from_threads(1),
+            ExecutionBackend::Sequential
+        );
+        assert_eq!(ExecutionBackend::from_threads(2).threads(), 2);
+    }
+
+    #[test]
+    fn evaluate_matches_sequential_for_every_backend() {
+        let labels: Vec<u32> = (0..10_000u32).map(|i| i % 7).collect();
+        let oracle = LabelOracle::new(labels);
+        let pairs: Vec<(usize, usize)> = (0..5_000).map(|i| (i, i + 5_000)).collect();
+        let reference = ExecutionBackend::Sequential.evaluate(&oracle, &pairs);
+        for threads in [2, 4, 8] {
+            let backend = ExecutionBackend::Threaded {
+                threads,
+                threshold: 1,
+            };
+            assert_eq!(
+                backend.evaluate(&oracle, &pairs),
+                reference,
+                "threaded({threads}) diverged from sequential"
+            );
+        }
+    }
+
+    #[test]
+    fn small_rounds_stay_below_threshold() {
+        // Below the threshold the threaded backend must still answer
+        // correctly (inline), not drop to the pool.
+        let oracle = LabelOracle::new(vec![0, 0, 1, 1]);
+        let backend = ExecutionBackend::threaded(4);
+        assert_eq!(
+            backend.evaluate(&oracle, &[(0, 1), (1, 2), (2, 3)]),
+            vec![true, false, true]
+        );
+    }
+
+    #[test]
+    fn labels_render() {
+        assert_eq!(ExecutionBackend::Sequential.label(), "sequential");
+        assert_eq!(ExecutionBackend::threaded(8).label(), "threaded(8)");
+    }
+}

@@ -19,15 +19,19 @@
 //! * [`Partition`] — the canonical representation of a (claimed or true)
 //!   classification, with equality testing.
 //! * [`EquivalenceOracle`] — the only window an algorithm has onto the truth.
+//! * [`ExecutionBackend`] — where comparisons physically run: sequentially
+//!   on the calling thread, or sharded across a work-stealing pool of OS
+//!   threads, with answers always collected in submission order.
 //! * [`ComparisonSession`] — counts comparisons and rounds, enforces the ER /
-//!   CR disciplines and the processor budget, and executes large comparison
-//!   batches in parallel with rayon.
+//!   CR disciplines and the processor budget, and evaluates large comparison
+//!   batches through the selected [`ExecutionBackend`].
 //! * [`schedule`] — helpers that decompose arbitrary comparison sets into
 //!   legal ER rounds (greedy edge colouring).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod instance;
 pub mod metrics;
 pub mod oracle;
@@ -36,6 +40,7 @@ pub mod schedule;
 pub mod session;
 pub mod transcript;
 
+pub use backend::ExecutionBackend;
 pub use instance::Instance;
 pub use metrics::Metrics;
 pub use oracle::{EquivalenceOracle, InstanceOracle};

@@ -6,7 +6,12 @@ use crate::instance::Instance;
 /// Answers pairwise equivalence tests.
 ///
 /// `Sync` is required so a [`crate::ComparisonSession`] can fan a round's
-/// comparisons out across rayon worker threads. Implementations must be
+/// comparisons out across the worker threads of a
+/// [`crate::ExecutionBackend::Threaded`] backend, which calls
+/// [`EquivalenceOracle::same`] concurrently from several OS threads.
+/// Implementations answering from fixed data (like [`InstanceOracle`]) are
+/// naturally order-independent and give bit-identical results on every
+/// backend; implementations must in any case be
 /// *consistent*: answers must be realizable by some fixed partition (the
 /// ground-truth oracle trivially is; the lower-bound adversary in
 /// `ecs-adversary` maintains consistency explicitly).

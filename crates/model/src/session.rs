@@ -1,8 +1,8 @@
 //! The comparison session: executes rounds, enforces the model, counts cost.
 
+use crate::backend::ExecutionBackend;
 use crate::metrics::Metrics;
 use crate::oracle::EquivalenceOracle;
-use rayon::prelude::*;
 
 /// Which read discipline a session enforces.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -15,16 +15,16 @@ pub enum ReadMode {
     Concurrent,
 }
 
-/// Minimum batch size before a round's comparisons are evaluated on the rayon
-/// thread pool; below this the per-task overhead dwarfs the array lookups.
-const PARALLEL_THRESHOLD: usize = 4096;
-
 /// A charging session in Valiant's parallel comparison model.
 ///
 /// Algorithms submit comparison rounds (or single sequential comparisons);
 /// the session validates them against the read discipline and processor
-/// budget, evaluates them against the oracle — in parallel via rayon for
-/// large batches — and accumulates [`Metrics`].
+/// budget, evaluates them against the oracle through an
+/// [`ExecutionBackend`] — on a work-stealing pool of OS threads for large
+/// batches when a [`ExecutionBackend::Threaded`] backend is selected — and
+/// accumulates [`Metrics`]. Charging is independent of the backend, and
+/// answers are collected in submission order, so metrics and partitions are
+/// bit-identical across backends.
 ///
 /// # Example
 ///
@@ -47,20 +47,27 @@ pub struct ComparisonSession<'a, O: EquivalenceOracle> {
     mode: ReadMode,
     processors: usize,
     metrics: Metrics,
-    parallel: bool,
+    backend: ExecutionBackend,
 }
 
 impl<'a, O: EquivalenceOracle> ComparisonSession<'a, O> {
     /// Creates a session with `n` processors (the paper's standing
-    /// assumption) and parallel batch evaluation enabled.
+    /// assumption) and the backend selected by the environment
+    /// ([`ExecutionBackend::from_env`], i.e. the `ECS_THREADS` variable;
+    /// sequential when unset).
     pub fn new(oracle: &'a O, mode: ReadMode) -> Self {
+        Self::with_backend(oracle, mode, ExecutionBackend::from_env())
+    }
+
+    /// Creates a session evaluating rounds on an explicit backend.
+    pub fn with_backend(oracle: &'a O, mode: ReadMode, backend: ExecutionBackend) -> Self {
         let processors = oracle.n().max(1);
         Self {
             oracle,
             mode,
             processors,
             metrics: Metrics::new(),
-            parallel: true,
+            backend,
         }
     }
 
@@ -72,20 +79,26 @@ impl<'a, O: EquivalenceOracle> ComparisonSession<'a, O> {
             mode,
             processors,
             metrics: Metrics::new(),
-            parallel: true,
+            backend: ExecutionBackend::from_env(),
         }
     }
 
-    /// Disables rayon evaluation (useful for deterministic profiling of the
-    /// charging logic itself).
+    /// Forces sequential evaluation (useful for deterministic profiling of
+    /// the charging logic itself, and for adaptive oracles whose answers
+    /// depend on query order).
     pub fn sequential_evaluation(mut self) -> Self {
-        self.parallel = false;
+        self.backend = ExecutionBackend::Sequential;
         self
     }
 
     /// The read discipline being enforced.
     pub fn mode(&self) -> ReadMode {
         self.mode
+    }
+
+    /// The execution backend evaluating this session's rounds.
+    pub fn backend(&self) -> ExecutionBackend {
+        self.backend
     }
 
     /// The processor budget per round.
@@ -166,14 +179,7 @@ impl<'a, O: EquivalenceOracle> ComparisonSession<'a, O> {
     }
 
     fn evaluate(&self, pairs: &[(usize, usize)]) -> Vec<bool> {
-        if self.parallel && pairs.len() >= PARALLEL_THRESHOLD {
-            pairs
-                .par_iter()
-                .map(|&(a, b)| self.oracle.same(a, b))
-                .collect()
-        } else {
-            pairs.iter().map(|&(a, b)| self.oracle.same(a, b)).collect()
-        }
+        self.backend.evaluate(self.oracle, pairs)
     }
 }
 
@@ -280,7 +286,11 @@ mod tests {
         let oracle = InstanceOracle::new(&inst);
         let pairs: Vec<(usize, usize)> = (0..10_000).map(|i| (i, i + 10_000)).collect();
 
-        let mut parallel = ComparisonSession::new(&oracle, ReadMode::Exclusive);
+        let mut parallel = ComparisonSession::with_backend(
+            &oracle,
+            ReadMode::Exclusive,
+            ExecutionBackend::threaded(4),
+        );
         let a = parallel.execute_round(&pairs);
 
         let mut sequential =
@@ -289,6 +299,19 @@ mod tests {
 
         assert_eq!(a, b);
         assert_eq!(parallel.metrics(), sequential.metrics());
+    }
+
+    #[test]
+    fn backend_accessor_reports_selection() {
+        let oracle = LabelOracle::new(vec![0, 1]);
+        let s = ComparisonSession::with_backend(
+            &oracle,
+            ReadMode::Exclusive,
+            ExecutionBackend::threaded(2),
+        );
+        assert_eq!(s.backend(), ExecutionBackend::threaded(2));
+        let s = s.sequential_evaluation();
+        assert_eq!(s.backend(), ExecutionBackend::Sequential);
     }
 
     #[test]

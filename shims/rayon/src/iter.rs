@@ -1,0 +1,270 @@
+//! Parallel iterators over indexed sources (slices and ranges).
+//!
+//! The shim models what the workspace actually uses of rayon's iterator
+//! zoo: an **indexed source** (a slice or an integer range) composed with
+//! `map` adapters and terminated by `collect` / `for_each`. Evaluation
+//! chunks the index space, dispatches the chunks to the work-stealing pool
+//! ([`crate::pool`]), and reassembles the per-chunk outputs in index order,
+//! so results are identical to sequential evaluation for every thread count.
+
+use crate::pool;
+use std::ops::Range;
+
+/// A length-indexed source of items that can be evaluated chunk by chunk
+/// from any thread.
+pub trait IndexedSource: Sync {
+    /// The item type produced.
+    type Item: Send;
+
+    /// Total number of items.
+    fn len(&self) -> usize;
+
+    /// Whether the source is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Visits the items of `range` in index order.
+    fn for_each_in<F: FnMut(Self::Item)>(&self, range: Range<usize>, f: F);
+
+    /// Appends the items of `range` to `out`, in index order.
+    fn fill(&self, range: Range<usize>, out: &mut Vec<Self::Item>) {
+        self.for_each_in(range, |item| out.push(item));
+    }
+
+    /// The smallest chunk worth dispatching as one pool task (see
+    /// [`ParallelIterator::with_min_len`]).
+    fn min_len_hint(&self) -> usize {
+        1
+    }
+}
+
+/// A parallel iterator: an [`IndexedSource`] plus the adapter entry points.
+pub trait ParallelIterator: IndexedSource + Sized {
+    /// Maps each item through `op` (applied on the worker threads).
+    fn map<F, R>(self, op: F) -> Map<Self, F>
+    where
+        F: Fn(Self::Item) -> R + Sync,
+        R: Send,
+    {
+        Map { base: self, op }
+    }
+
+    /// Sets the minimum number of items a single pool task will process.
+    fn with_min_len(self, min: usize) -> MinLen<Self> {
+        MinLen {
+            base: self,
+            min: min.max(1),
+        }
+    }
+
+    /// Evaluates the iterator on the current pool and collects the results
+    /// in index order.
+    fn collect<C>(self) -> C
+    where
+        C: FromParallelIterator<Self::Item>,
+    {
+        C::from_par_iter(self)
+    }
+
+    /// Evaluates the iterator for its side effects.
+    fn for_each<F>(self, op: F)
+    where
+        F: Fn(Self::Item) + Sync,
+    {
+        let _: Vec<()> = self.map(op).collect();
+    }
+
+    /// The number of items (all indexed sources have known length).
+    fn count(self) -> usize {
+        self.len()
+    }
+}
+
+impl<S: IndexedSource + Sized> ParallelIterator for S {}
+
+/// Types that can be assembled from a parallel iterator.
+pub trait FromParallelIterator<T: Send> {
+    /// Runs the iterator on the current pool and builds `Self`.
+    fn from_par_iter<I>(iter: I) -> Self
+    where
+        I: ParallelIterator<Item = T>;
+}
+
+impl<T: Send> FromParallelIterator<T> for Vec<T> {
+    fn from_par_iter<I>(iter: I) -> Self
+    where
+        I: ParallelIterator<Item = T>,
+    {
+        let min = iter.min_len_hint();
+        pool::run_on_current(iter.len(), min, |range, out| iter.fill(range, out))
+    }
+}
+
+/// The `map` adapter.
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    base: S,
+    op: F,
+}
+
+impl<S, F, R> IndexedSource for Map<S, F>
+where
+    S: IndexedSource,
+    F: Fn(S::Item) -> R + Sync,
+    R: Send,
+{
+    type Item = R;
+
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+
+    fn for_each_in<G: FnMut(R)>(&self, range: Range<usize>, mut g: G) {
+        self.base.for_each_in(range, |item| g((self.op)(item)));
+    }
+
+    fn min_len_hint(&self) -> usize {
+        self.base.min_len_hint()
+    }
+}
+
+/// The `with_min_len` adapter.
+#[derive(Debug, Clone)]
+pub struct MinLen<S> {
+    base: S,
+    min: usize,
+}
+
+impl<S: IndexedSource> IndexedSource for MinLen<S> {
+    type Item = S::Item;
+
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+
+    fn for_each_in<F: FnMut(S::Item)>(&self, range: Range<usize>, f: F) {
+        self.base.for_each_in(range, f);
+    }
+
+    fn min_len_hint(&self) -> usize {
+        self.min.max(self.base.min_len_hint())
+    }
+}
+
+/// Parallel iterator over `&[T]`.
+#[derive(Debug)]
+pub struct SliceIter<'data, T> {
+    slice: &'data [T],
+}
+
+impl<'data, T: Sync> IndexedSource for SliceIter<'data, T> {
+    type Item = &'data T;
+
+    fn len(&self) -> usize {
+        self.slice.len()
+    }
+
+    fn for_each_in<F: FnMut(&'data T)>(&self, range: Range<usize>, f: F) {
+        self.slice[range].iter().for_each(f);
+    }
+
+    fn fill(&self, range: Range<usize>, out: &mut Vec<&'data T>) {
+        out.extend(self.slice[range].iter());
+    }
+}
+
+/// Parallel iterator over an integer range.
+#[derive(Debug, Clone)]
+pub struct RangeIter<T> {
+    start: T,
+    len: usize,
+}
+
+macro_rules! range_iter_impl {
+    ($($t:ty),*) => {$(
+        impl IndexedSource for RangeIter<$t> {
+            type Item = $t;
+
+            fn len(&self) -> usize {
+                self.len
+            }
+
+            fn for_each_in<F: FnMut($t)>(&self, range: Range<usize>, mut f: F) {
+                for i in range {
+                    f(self.start + i as $t);
+                }
+            }
+        }
+
+        impl IntoParallelIterator for Range<$t> {
+            type Item = $t;
+            type Iter = RangeIter<$t>;
+
+            fn into_par_iter(self) -> RangeIter<$t> {
+                let len = if self.end > self.start {
+                    (self.end - self.start) as usize
+                } else {
+                    0
+                };
+                RangeIter { start: self.start, len }
+            }
+        }
+    )*};
+}
+
+range_iter_impl!(usize, u32, u64);
+
+/// Conversion into a parallel iterator, mirroring rayon's trait of the same
+/// name.
+pub trait IntoParallelIterator {
+    /// The item type of the resulting iterator.
+    type Item: Send;
+    /// The resulting iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+
+    /// Converts `self` into a parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<'data, T: Sync> IntoParallelIterator for &'data [T] {
+    type Item = &'data T;
+    type Iter = SliceIter<'data, T>;
+
+    fn into_par_iter(self) -> SliceIter<'data, T> {
+        SliceIter { slice: self }
+    }
+}
+
+impl<'data, T: Sync> IntoParallelIterator for &'data Vec<T> {
+    type Item = &'data T;
+    type Iter = SliceIter<'data, T>;
+
+    fn into_par_iter(self) -> SliceIter<'data, T> {
+        SliceIter { slice: self }
+    }
+}
+
+/// Borrowing conversion (`par_iter()`), mirroring rayon's
+/// `IntoParallelRefIterator`.
+pub trait IntoParallelRefIterator<'data> {
+    /// The item type (a reference into `self`).
+    type Item: Send + 'data;
+    /// The resulting iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+
+    /// Returns a parallel iterator over references into `self`.
+    fn par_iter(&'data self) -> Self::Iter;
+}
+
+impl<'data, C: ?Sized + 'data> IntoParallelRefIterator<'data> for C
+where
+    &'data C: IntoParallelIterator,
+{
+    type Item = <&'data C as IntoParallelIterator>::Item;
+    type Iter = <&'data C as IntoParallelIterator>::Iter;
+
+    fn par_iter(&'data self) -> Self::Iter {
+        self.into_par_iter()
+    }
+}

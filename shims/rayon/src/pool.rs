@@ -1,0 +1,452 @@
+//! The work-stealing thread pool behind the shim's parallel iterators.
+//!
+//! Architecture:
+//!
+//! * **Workers.** [`ThreadPoolBuilder::build`] spawns `N` OS threads, each
+//!   owning one lock-protected deque. A worker pops its own deque from the
+//!   back (LIFO, cache-warm) and, when empty, steals from the other deques
+//!   from the front (FIFO, oldest work first).
+//! * **Sleeping.** An idle worker re-checks every deque while holding the
+//!   pool's sleep mutex and then blocks on a condvar; submitters notify under
+//!   the same mutex, so wakeups cannot be lost.
+//! * **Batches.** [`PoolShared::run_indexed`] splits an index space into
+//!   chunks (several per worker so stealing can rebalance), submits one task
+//!   per chunk round-robin across the deques, and blocks on a completion
+//!   latch. Each chunk writes into its own slot, so the final result vector
+//!   is assembled **in submission order** — results are bit-identical for
+//!   every thread count, including one.
+//! * **Panics.** A panic inside a chunk is caught in the worker, carried to
+//!   the submitting thread through the latch, and resumed there once the
+//!   whole batch has drained, so the pool itself never dies and borrowed
+//!   inputs are never observed after `run_indexed` returns.
+//!
+//! The one `unsafe` block in this crate lives in [`erase_lifetime`]: chunk
+//! tasks borrow the caller's closure and result latch, and their lifetime is
+//! erased to `'static` so they can sit in the worker deques. This is sound
+//! because `run_indexed` does not return (normally or by panic) until the
+//! latch counts every submitted task as finished.
+
+use std::collections::VecDeque;
+use std::ops::Range;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::thread::JoinHandle;
+
+/// A type-erased unit of work queued on the pool.
+type Task = Box<dyn FnOnce() + Send + 'static>;
+
+/// How many chunks `run_indexed` aims to create per worker; more than one so
+/// that work stealing can rebalance uneven chunk costs.
+const CHUNKS_PER_WORKER: usize = 4;
+
+thread_local! {
+    /// Stack of pools entered via [`ThreadPool::install`] on this thread.
+    static CURRENT_POOL: std::cell::RefCell<Vec<Arc<PoolShared>>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+    /// Whether this thread is a pool worker (nested batches run inline).
+    static IS_WORKER: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// Erases the lifetime of a queued task.
+///
+/// # Safety
+///
+/// The caller must not return control to the owner of any borrow captured by
+/// `task` until the task has finished running (or is known to have been
+/// dropped unexecuted). `run_indexed` guarantees this with its completion
+/// latch: it blocks until every submitted chunk has reported in.
+#[allow(unsafe_code)]
+unsafe fn erase_lifetime<'a>(task: Box<dyn FnOnce() + Send + 'a>) -> Task {
+    unsafe { std::mem::transmute(task) }
+}
+
+/// State shared between the pool handle and its workers.
+pub(crate) struct PoolShared {
+    /// One deque per worker.
+    queues: Vec<Mutex<VecDeque<Task>>>,
+    /// Round-robin cursor for distributing submitted tasks.
+    next_queue: AtomicUsize,
+    /// Paired with `wakeup`; guards the sleep / notify handshake.
+    sleep: Mutex<()>,
+    wakeup: Condvar,
+    shutdown: AtomicBool,
+}
+
+impl PoolShared {
+    fn new(threads: usize) -> Self {
+        Self {
+            queues: (0..threads).map(|_| Mutex::new(VecDeque::new())).collect(),
+            next_queue: AtomicUsize::new(0),
+            sleep: Mutex::new(()),
+            wakeup: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+        }
+    }
+
+    fn num_threads(&self) -> usize {
+        self.queues.len()
+    }
+
+    fn lock_queue(&self, index: usize) -> std::sync::MutexGuard<'_, VecDeque<Task>> {
+        self.queues[index]
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Pops local work (back) or steals from another deque (front).
+    fn find_task(&self, worker: usize) -> Option<Task> {
+        if let Some(task) = self.lock_queue(worker).pop_back() {
+            return Some(task);
+        }
+        let k = self.queues.len();
+        for offset in 1..k {
+            let victim = (worker + offset) % k;
+            if let Some(task) = self.lock_queue(victim).pop_front() {
+                return Some(task);
+            }
+        }
+        None
+    }
+
+    fn has_work(&self) -> bool {
+        (0..self.queues.len()).any(|i| !self.lock_queue(i).is_empty())
+    }
+
+    /// Queues a batch of tasks round-robin across the worker deques and wakes
+    /// every sleeper once.
+    fn submit_batch(&self, tasks: Vec<Task>) {
+        for task in tasks {
+            let idx = self.next_queue.fetch_add(1, Ordering::Relaxed) % self.queues.len();
+            self.lock_queue(idx).push_back(task);
+        }
+        let _guard = self
+            .sleep
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        self.wakeup.notify_all();
+    }
+
+    fn worker_loop(self: Arc<Self>, worker: usize) {
+        IS_WORKER.with(|w| w.set(true));
+        loop {
+            if let Some(task) = self.find_task(worker) {
+                task();
+                continue;
+            }
+            let guard = self
+                .sleep
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            if self.shutdown.load(Ordering::SeqCst) {
+                return;
+            }
+            if self.has_work() {
+                continue;
+            }
+            // Wakeups are notified under `sleep`, so re-checking the queues
+            // under the same lock makes lost wakeups impossible.
+            drop(
+                self.wakeup
+                    .wait(guard)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner),
+            );
+        }
+    }
+
+    /// Evaluates an index space chunkwise on the pool and returns the results
+    /// in index order. See the module docs for the determinism and panic
+    /// contracts.
+    pub(crate) fn run_indexed<T, F>(&self, len: usize, min_chunk: usize, eval: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(Range<usize>, &mut Vec<T>) + Sync,
+    {
+        let sequential = |len: usize| {
+            let mut out = Vec::with_capacity(len);
+            eval(0..len, &mut out);
+            out
+        };
+        if len == 0 {
+            return Vec::new();
+        }
+        let threads = self.num_threads();
+        let chunk_len = len
+            .div_ceil(threads * CHUNKS_PER_WORKER)
+            .max(min_chunk.max(1));
+        let num_chunks = len.div_ceil(chunk_len);
+        // Nested batches (a task itself calling into the pool) run inline:
+        // blocking a worker on a latch that other queued work must clear can
+        // deadlock a small pool, and inline evaluation is bit-identical.
+        if threads <= 1 || num_chunks <= 1 || IS_WORKER.with(|w| w.get()) {
+            return sequential(len);
+        }
+
+        let latch = BatchLatch::<T>::new(num_chunks);
+        let mut tasks: Vec<Task> = Vec::with_capacity(num_chunks);
+        for chunk in 0..num_chunks {
+            let start = chunk * chunk_len;
+            let end = ((chunk + 1) * chunk_len).min(len);
+            let latch_ref = &latch;
+            let eval_ref = &eval;
+            let task: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
+                let outcome = panic::catch_unwind(AssertUnwindSafe(|| {
+                    let mut out = Vec::with_capacity(end - start);
+                    eval_ref(start..end, &mut out);
+                    out
+                }));
+                latch_ref.complete(chunk, outcome);
+            });
+            // SAFETY: `latch.wait_and_collect()` below blocks until every one
+            // of these tasks has run, so the borrows of `eval` and `latch`
+            // cannot outlive this call.
+            #[allow(unsafe_code)]
+            let task = unsafe { erase_lifetime(task) };
+            tasks.push(task);
+        }
+        self.submit_batch(tasks);
+        latch.wait_and_collect(len)
+    }
+}
+
+/// Completion latch for one `run_indexed` batch: per-chunk result slots, a
+/// countdown, and the first captured panic.
+struct BatchLatch<T> {
+    state: Mutex<BatchState<T>>,
+    done: Condvar,
+}
+
+struct BatchState<T> {
+    results: Vec<Option<Vec<T>>>,
+    remaining: usize,
+    panic: Option<Box<dyn std::any::Any + Send>>,
+}
+
+impl<T: Send> BatchLatch<T> {
+    fn new(chunks: usize) -> Self {
+        Self {
+            state: Mutex::new(BatchState {
+                results: (0..chunks).map(|_| None).collect(),
+                remaining: chunks,
+                panic: None,
+            }),
+            done: Condvar::new(),
+        }
+    }
+
+    fn complete(&self, chunk: usize, outcome: std::thread::Result<Vec<T>>) {
+        let mut state = self
+            .state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        match outcome {
+            Ok(values) => state.results[chunk] = Some(values),
+            Err(payload) => {
+                state.panic.get_or_insert(payload);
+            }
+        }
+        state.remaining -= 1;
+        if state.remaining == 0 {
+            self.done.notify_all();
+        }
+    }
+
+    fn wait_and_collect(&self, len: usize) -> Vec<T> {
+        let mut state = self
+            .state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        while state.remaining > 0 {
+            state = self
+                .done
+                .wait(state)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+        if let Some(payload) = state.panic.take() {
+            drop(state);
+            panic::resume_unwind(payload);
+        }
+        let mut out = Vec::with_capacity(len);
+        for slot in state.results.iter_mut() {
+            out.append(slot.as_mut().expect("every chunk completed"));
+        }
+        out
+    }
+}
+
+/// Error returned by [`ThreadPoolBuilder::build`] when the pool cannot be
+/// constructed (e.g. the OS refuses to spawn a worker thread).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError {
+    message: String,
+}
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "failed to build thread pool: {}", self.message)
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Configures and builds a [`ThreadPool`], mirroring rayon's builder.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// Creates a builder with the default configuration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the number of worker threads; `0` (the default) selects the
+    /// environment default (`RAYON_NUM_THREADS`, then `ECS_THREADS`, then
+    /// the machine's available parallelism).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Spawns the workers and returns the pool.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let threads = if self.num_threads == 0 {
+            default_num_threads()
+        } else {
+            self.num_threads
+        };
+        let shared = Arc::new(PoolShared::new(threads));
+        let mut handles = Vec::with_capacity(threads);
+        for worker in 0..threads {
+            let shared = Arc::clone(&shared);
+            let handle = std::thread::Builder::new()
+                .name(format!("ecs-rayon-{worker}"))
+                .spawn(move || shared.worker_loop(worker))
+                .map_err(|e| ThreadPoolBuildError {
+                    message: e.to_string(),
+                })?;
+            handles.push(handle);
+        }
+        Ok(ThreadPool { shared, handles })
+    }
+}
+
+/// A work-stealing pool of OS threads.
+///
+/// Parallel iterators run on the pool named by the innermost enclosing
+/// [`ThreadPool::install`] call, falling back to the lazily-created global
+/// pool.
+pub struct ThreadPool {
+    shared: Arc<PoolShared>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl ThreadPool {
+    /// The number of worker threads in this pool.
+    pub fn current_num_threads(&self) -> usize {
+        self.shared.num_threads()
+    }
+
+    /// Runs `op` with this pool as the current pool: parallel iterators
+    /// evaluated inside `op` dispatch their chunks here.
+    ///
+    /// Unlike real rayon the operation itself executes on the calling thread;
+    /// only the iterator chunks move to the workers.
+    pub fn install<OP, R>(&self, op: OP) -> R
+    where
+        OP: FnOnce() -> R + Send,
+        R: Send,
+    {
+        CURRENT_POOL.with(|stack| stack.borrow_mut().push(Arc::clone(&self.shared)));
+        struct PopGuard;
+        impl Drop for PopGuard {
+            fn drop(&mut self) {
+                CURRENT_POOL.with(|stack| {
+                    stack.borrow_mut().pop();
+                });
+            }
+        }
+        let _guard = PopGuard;
+        op()
+    }
+
+    pub(crate) fn shared(&self) -> &PoolShared {
+        &self.shared
+    }
+}
+
+impl std::fmt::Debug for ThreadPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadPool")
+            .field("num_threads", &self.shared.num_threads())
+            .finish()
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        {
+            let _guard = self
+                .shared
+                .sleep
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            self.shared.wakeup.notify_all();
+        }
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// The default worker count: `RAYON_NUM_THREADS`, then `ECS_THREADS`, then
+/// the machine's available parallelism, clamped to at least one.
+fn default_num_threads() -> usize {
+    for var in ["RAYON_NUM_THREADS", "ECS_THREADS"] {
+        if let Ok(value) = std::env::var(var) {
+            if let Ok(n) = value.trim().parse::<usize>() {
+                if n >= 1 {
+                    return n;
+                }
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+fn global_pool() -> &'static ThreadPool {
+    static GLOBAL: OnceLock<ThreadPool> = OnceLock::new();
+    GLOBAL.get_or_init(|| {
+        ThreadPoolBuilder::new()
+            .build()
+            .expect("cannot spawn the global thread pool")
+    })
+}
+
+/// Runs an indexed batch on the current (installed) pool, or the global pool
+/// when none is installed. Used by the iterator layer's `collect`.
+pub(crate) fn run_on_current<T, F>(len: usize, min_chunk: usize, eval: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(Range<usize>, &mut Vec<T>) + Sync,
+{
+    let installed = CURRENT_POOL.with(|stack| stack.borrow().last().cloned());
+    match installed {
+        Some(shared) => shared.run_indexed(len, min_chunk, eval),
+        None => global_pool().shared().run_indexed(len, min_chunk, eval),
+    }
+}
+
+/// The number of threads parallel iterators would currently use: the
+/// innermost installed pool's size, or the global pool's.
+pub fn current_num_threads() -> usize {
+    let installed = CURRENT_POOL.with(|stack| stack.borrow().last().cloned());
+    match installed {
+        Some(shared) => shared.num_threads(),
+        None => global_pool().current_num_threads(),
+    }
+}

@@ -70,8 +70,8 @@ pub mod prelude {
     };
     pub use ecs_graph::{HamiltonianUnion, UnionFind};
     pub use ecs_model::{
-        ComparisonSession, EquivalenceOracle, Instance, InstanceOracle, Metrics, Partition,
-        ReadMode, RecordingOracle, Transcript,
+        ComparisonSession, EquivalenceOracle, ExecutionBackend, Instance, InstanceOracle, Metrics,
+        Partition, ReadMode, RecordingOracle, Transcript,
     };
     pub use ecs_rng::{EcsRng, SeedableEcsRng, SplitMix64, StreamSplit, Xoshiro256StarStar};
 }
