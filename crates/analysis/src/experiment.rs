@@ -7,7 +7,8 @@ use ecs_core::{EcsAlgorithm, RoundRobin};
 use ecs_distributions::{
     class_distribution::AnyDistribution, ClassDistribution, CutoffDistribution,
 };
-use ecs_model::{Instance, InstanceOracle};
+use ecs_model::throughput::Job;
+use ecs_model::{Instance, InstanceOracle, ThroughputPool};
 use ecs_rng::StreamSplit;
 use rayon::prelude::*;
 
@@ -123,26 +124,33 @@ pub fn paper_claims_linear(distribution: &AnyDistribution) -> bool {
     }
 }
 
-/// Runs one Figure 5 series: for every size and trial, draw an instance from
-/// the distribution, run the round-robin algorithm, and record the total
-/// comparisons. Trials run in parallel via rayon.
-pub fn figure5_series(config: &Figure5Config) -> Figure5Series {
-    let split = StreamSplit::new(config.seed);
+/// One Figure 5 trial: draw an instance addressed by `(n, trial)` from the
+/// config's seed, run round-robin, return the total comparisons. This is the
+/// *only* measurement code path — the serial loop, the per-size parallel
+/// loop, and the pooled grid all call it with identical stream coordinates,
+/// which is what makes their outputs bit-identical.
+fn figure5_trial(
+    distribution: &AnyDistribution,
+    split: StreamSplit,
+    n: usize,
+    trial: usize,
+) -> u64 {
+    let mut rng = split.stream(&[n as u64, trial as u64]);
+    let instance = Instance::from_distribution(distribution, n, &mut rng);
+    let oracle = InstanceOracle::new(&instance);
+    let run = RoundRobin::new().sort(&oracle);
+    debug_assert!(instance.verify(&run.partition));
+    run.metrics.comparisons()
+}
+
+/// Assembles a [`Figure5Series`] from the per-size trial measurements.
+fn assemble_figure5_series(config: &Figure5Config, per_size: Vec<Vec<u64>>) -> Figure5Series {
+    debug_assert_eq!(per_size.len(), config.sizes.len());
     let points: Vec<Figure5Point> = config
         .sizes
         .iter()
-        .map(|&n| {
-            let comparisons: Vec<u64> = (0..config.trials)
-                .into_par_iter()
-                .map(|trial| {
-                    let mut rng = split.stream(&[n as u64, trial as u64]);
-                    let instance = Instance::from_distribution(&config.distribution, n, &mut rng);
-                    let oracle = InstanceOracle::new(&instance);
-                    let run = RoundRobin::new().sort(&oracle);
-                    debug_assert!(instance.verify(&run.partition));
-                    run.metrics.comparisons()
-                })
-                .collect();
+        .zip(per_size)
+        .map(|(&n, comparisons)| {
             let summary =
                 Summary::from_slice(&comparisons.iter().map(|&c| c as f64).collect::<Vec<_>>());
             Figure5Point {
@@ -168,6 +176,68 @@ pub fn figure5_series(config: &Figure5Config) -> Figure5Series {
         fit,
         linear_expected,
     }
+}
+
+/// Runs one Figure 5 series: for every size and trial, draw an instance from
+/// the distribution, run the round-robin algorithm, and record the total
+/// comparisons. Trials of each size run in parallel via rayon; for
+/// whole-grid throughput across sizes and distributions, prefer
+/// [`figure5_grid`].
+pub fn figure5_series(config: &Figure5Config) -> Figure5Series {
+    let split = StreamSplit::new(config.seed);
+    let per_size: Vec<Vec<u64>> = config
+        .sizes
+        .iter()
+        .map(|&n| {
+            (0..config.trials)
+                .into_par_iter()
+                .map(|trial| figure5_trial(&config.distribution, split, n, trial))
+                .collect()
+        })
+        .collect();
+    assemble_figure5_series(config, per_size)
+}
+
+/// Runs a whole grid of Figure 5 configurations through one
+/// [`ThroughputPool`]: every `(config, size, trial)` job of the grid is
+/// submitted up front (one fairness session per config), so the pool stays
+/// saturated across size and distribution boundaries instead of draining at
+/// each per-size barrier. Results are bit-identical to calling
+/// [`figure5_series`] per config — the jobs run the same code on the same
+/// stream coordinates.
+pub fn figure5_grid(configs: &[Figure5Config], pool: &ThroughputPool) -> Vec<Figure5Series> {
+    let sessions: Vec<Vec<Job<'_, u64>>> = configs
+        .iter()
+        .map(|config| {
+            let split = StreamSplit::new(config.seed);
+            let mut jobs: Vec<Job<'_, u64>> =
+                Vec::with_capacity(config.sizes.len() * config.trials);
+            for &n in &config.sizes {
+                for trial in 0..config.trials {
+                    let distribution = &config.distribution;
+                    jobs.push(Box::new(move || {
+                        figure5_trial(distribution, split, n, trial)
+                    }));
+                }
+            }
+            jobs
+        })
+        .collect();
+
+    let per_config = pool.run_sessions(sessions);
+
+    configs
+        .iter()
+        .zip(per_config)
+        .map(|(config, flat)| {
+            let per_size: Vec<Vec<u64>> = if config.trials == 0 {
+                config.sizes.iter().map(|_| Vec::new()).collect()
+            } else {
+                flat.chunks(config.trials).map(<[u64]>::to_vec).collect()
+            };
+            assemble_figure5_series(config, per_size)
+        })
+        .collect()
 }
 
 /// Configuration for the Theorem 7 stochastic-dominance experiment.
@@ -286,31 +356,34 @@ impl ecs_model::EquivalenceOracle for CrossCountingOracle<'_> {
     }
 }
 
-/// Runs the Theorem 7 experiment: measures round-robin comparisons on inputs
-/// drawn from the distribution and compares them against the
-/// `2·Σ_{i=1}^n V_i` bound where `V_i ~ D_N(n)`.
-pub fn dominance_experiment(config: &DominanceConfig) -> DominanceResult {
+/// One Theorem 7 measurement trial: `(total, cross-class)` comparisons of a
+/// round-robin run on the instance addressed by `(1, trial)`. Shared by the
+/// per-config runner and the pooled grid so both measure identically.
+fn dominance_trial(
+    distribution: &AnyDistribution,
+    split: StreamSplit,
+    n: usize,
+    trial: usize,
+) -> (u64, u64) {
+    let mut rng = split.stream(&[1, trial as u64]);
+    let instance = Instance::from_distribution(distribution, n, &mut rng);
+    let oracle = CrossCountingOracle {
+        inner: InstanceOracle::new(&instance),
+        cross: std::sync::atomic::AtomicU64::new(0),
+    };
+    let run = RoundRobin::new().sort(&oracle);
+    debug_assert!(instance.verify(&run.partition));
+    (
+        run.metrics.comparisons(),
+        oracle.cross.load(std::sync::atomic::Ordering::Relaxed),
+    )
+}
+
+/// Assembles a [`DominanceResult`] from the measurement tuples (the cheap
+/// bound sampling runs inline; it is a handful of RNG draws per trial).
+fn assemble_dominance(config: &DominanceConfig, measurements: Vec<(u64, u64)>) -> DominanceResult {
     let split = StreamSplit::new(config.seed);
     let cutoff = CutoffDistribution::new(config.distribution, config.n);
-
-    let measurements: Vec<(u64, u64)> = (0..config.trials)
-        .into_par_iter()
-        .map(|trial| {
-            let mut rng = split.stream(&[1, trial as u64]);
-            let instance = Instance::from_distribution(&config.distribution, config.n, &mut rng);
-            let oracle = CrossCountingOracle {
-                inner: InstanceOracle::new(&instance),
-                cross: std::sync::atomic::AtomicU64::new(0),
-            };
-            let run = RoundRobin::new().sort(&oracle);
-            debug_assert!(instance.verify(&run.partition));
-            (
-                run.metrics.comparisons(),
-                oracle.cross.load(std::sync::atomic::Ordering::Relaxed),
-            )
-        })
-        .collect();
-
     let bound_samples: Vec<u64> = (0..config.trials)
         .map(|trial| {
             let mut rng = split.stream(&[2, trial as u64]);
@@ -326,6 +399,50 @@ pub fn dominance_experiment(config: &DominanceConfig) -> DominanceResult {
         bound_samples,
         bound_mean: 2.0 * config.n as f64 * cutoff.mean(),
     }
+}
+
+/// Runs the Theorem 7 experiment: measures round-robin comparisons on inputs
+/// drawn from the distribution and compares them against the
+/// `2·Σ_{i=1}^n V_i` bound where `V_i ~ D_N(n)`. Trials run in parallel via
+/// rayon; for whole-grid throughput across configurations, prefer
+/// [`dominance_grid`].
+pub fn dominance_experiment(config: &DominanceConfig) -> DominanceResult {
+    let split = StreamSplit::new(config.seed);
+    let measurements: Vec<(u64, u64)> = (0..config.trials)
+        .into_par_iter()
+        .map(|trial| dominance_trial(&config.distribution, split, config.n, trial))
+        .collect();
+    assemble_dominance(config, measurements)
+}
+
+/// Runs every configuration of a Theorem 7 dominance sweep through one
+/// [`ThroughputPool`], one fairness session per configuration, so all
+/// `configs × trials` measurement jobs share the pool instead of running as
+/// a serial loop of per-config barriers. Bit-identical to calling
+/// [`dominance_experiment`] per config.
+pub fn dominance_grid(configs: &[DominanceConfig], pool: &ThroughputPool) -> Vec<DominanceResult> {
+    let sessions: Vec<Vec<Job<'_, (u64, u64)>>> = configs
+        .iter()
+        .map(|config| {
+            let split = StreamSplit::new(config.seed);
+            (0..config.trials)
+                .map(|trial| {
+                    let distribution = &config.distribution;
+                    let n = config.n;
+                    Box::new(move || dominance_trial(distribution, split, n, trial))
+                        as Job<'_, (u64, u64)>
+                })
+                .collect()
+        })
+        .collect();
+
+    let per_config = pool.run_sessions(sessions);
+
+    configs
+        .iter()
+        .zip(per_config)
+        .map(|(config, measurements)| assemble_dominance(config, measurements))
+        .collect()
 }
 
 #[cfg(test)]
@@ -424,6 +541,71 @@ mod tests {
         // Cross-class counts are a subset of the totals.
         for (total, cross) in result.measured_total.iter().zip(&result.measured_cross) {
             assert!(cross <= total);
+        }
+    }
+
+    #[test]
+    fn pooled_grid_matches_per_config_series() {
+        let configs = vec![
+            Figure5Config {
+                distribution: AnyDistribution::uniform(10),
+                sizes: vec![200, 400],
+                trials: 3,
+                seed: 99,
+            },
+            Figure5Config {
+                distribution: AnyDistribution::zeta(2.5),
+                sizes: vec![150, 300, 450],
+                trials: 2,
+                seed: 7,
+            },
+        ];
+        for pool in [
+            ThroughputPool::new(ecs_model::ExecutionBackend::Sequential),
+            ThroughputPool::from_jobs(4),
+        ] {
+            let grid = figure5_grid(&configs, &pool);
+            assert_eq!(grid.len(), configs.len());
+            for (config, series) in configs.iter().zip(&grid) {
+                let reference = figure5_series(config);
+                assert_eq!(series.label, reference.label);
+                for (a, b) in series.points.iter().zip(&reference.points) {
+                    assert_eq!(a.n, b.n);
+                    assert_eq!(
+                        a.comparisons,
+                        b.comparisons,
+                        "{} trial measurements diverged between pooled and serial",
+                        pool.label()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pooled_dominance_grid_matches_per_config_runs() {
+        let configs = vec![
+            DominanceConfig {
+                distribution: AnyDistribution::uniform(25),
+                n: 600,
+                trials: 3,
+                seed: 11,
+            },
+            DominanceConfig {
+                distribution: AnyDistribution::geometric(0.3),
+                n: 400,
+                trials: 4,
+                seed: 5,
+            },
+        ];
+        let pool = ThroughputPool::from_jobs(3);
+        let grid = dominance_grid(&configs, &pool);
+        for (config, pooled) in configs.iter().zip(&grid) {
+            let reference = dominance_experiment(config);
+            assert_eq!(pooled.measured_total, reference.measured_total);
+            assert_eq!(pooled.measured_cross, reference.measured_cross);
+            assert_eq!(pooled.bound_samples, reference.bound_samples);
+            assert_eq!(pooled.bound_mean, reference.bound_mean);
         }
     }
 

@@ -19,8 +19,8 @@ pub mod report;
 pub mod stats;
 
 pub use experiment::{
-    dominance_experiment, figure5_series, DominanceConfig, DominanceResult, Figure5Config,
-    Figure5Point, Figure5Series,
+    dominance_experiment, dominance_grid, figure5_grid, figure5_series, DominanceConfig,
+    DominanceResult, Figure5Config, Figure5Point, Figure5Series,
 };
 pub use regression::LinearFit;
 pub use report::Table;

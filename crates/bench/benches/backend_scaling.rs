@@ -17,15 +17,12 @@
 //! the harness on every push without paying the full measurement cost).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ecs_bench::smoke;
 use ecs_core::{CrCompoundMerge, EcsAlgorithm};
 use ecs_distributions::class_distribution::AnyDistribution;
 use ecs_model::{ComparisonSession, ExecutionBackend, Instance, InstanceOracle, ReadMode};
 use ecs_rng::{SeedableEcsRng, Xoshiro256StarStar};
 use std::hint::black_box;
-
-fn smoke() -> bool {
-    std::env::var("ECS_BENCH_SMOKE").is_ok()
-}
 
 fn backends() -> Vec<ExecutionBackend> {
     vec![

@@ -4,7 +4,7 @@
 //! Ω(n²/f²) / Ω(n²/ℓ²) bounds.
 //!
 //! ```text
-//! cargo run -p ecs-bench --release --bin lower_bounds -- [--out results] [--threads N]
+//! cargo run -p ecs_bench --release --bin lower_bounds -- [--out results] [--threads N]
 //!
 //! `--threads` is accepted for CLI uniformity but has no effect here: the
 //! adversary oracles are adaptive (answers depend on query order), so the

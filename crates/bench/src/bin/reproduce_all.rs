@@ -2,42 +2,54 @@
 //! tables to `results/` (CSV) plus a combined Markdown report.
 //!
 //! ```text
-//! cargo run -p ecs-bench --release --bin reproduce_all -- [--out results] [--scale D] [--threads N]
+//! cargo run -p ecs_bench --release --bin reproduce_all -- [--out results] [--scale D]
+//!     [--threads N] [--jobs J]
 //! ```
 //!
-//! Pass `--full` to use the paper's exact grids (slow).
+//! Pass `--full` to use the paper's exact grids (slow). `--jobs J` runs all
+//! Figure 5 and Theorem 7 trials through one shared throughput pool;
+//! `ECS_BENCH_SMOKE=1` shrinks every grid to a CI-sized smoke run.
 
-use ecs_analysis::{dominance_experiment, figure5_series, DominanceConfig};
-use ecs_bench::paper;
 use ecs_bench::runners::{
-    algorithm_comparison_table, dominance_table, figure5_table, theorem1_table, theorem2_table,
-    theorem4_table, theorem5_table, theorem6_table,
+    algorithm_comparison_table, dominance_sweep, dominance_table, figure5_panel_series,
+    figure5_table, theorem1_table, theorem2_table, theorem4_table, theorem5_table, theorem6_table,
 };
-use ecs_bench::Args;
+use ecs_bench::{paper, smoke, Args};
 use ecs_distributions::class_distribution::AnyDistribution;
 use ecs_distributions::ClassDistribution;
 
 fn main() {
     let args = Args::from_env();
     let out_dir = args.get_or("out", "results");
+    // ECS_BENCH_SMOKE only shrinks the *defaults*; explicit flags always win.
     let scale = if args.has("full") {
         1
     } else {
-        args.get_usize("scale", 20)
+        args.get_usize("scale", if smoke() { 100 } else { 20 })
     };
-    let trials = args.get_usize("trials", if args.has("full") { 10 } else { 3 });
+    let default_trials = match (args.has("full"), smoke()) {
+        (true, _) => 10,
+        (false, true) => 2,
+        (false, false) => 3,
+    };
+    let trials = args.get_usize("trials", default_trials);
     let seed = args.get_u64("seed", 2016);
     let backend = args.execution_backend();
+    let pool = args.throughput_pool();
     std::fs::create_dir_all(&out_dir).expect("cannot create output directory");
-    println!("execution backend: {}", backend.label());
+    println!(
+        "execution backend: {}; throughput pool: {}",
+        backend.label(),
+        pool.label()
+    );
 
     let mut report = String::from("# Reproduction report\n\n");
 
-    // Experiments E1–E4: Figure 5 panels.
+    // Experiments E1–E4: Figure 5 panels, each panel's whole grid submitted
+    // to the shared throughput pool as one workload.
     for panel in paper::panel_names() {
         println!("running Figure 5 panel '{panel}'...");
-        for config in paper::figure5_configs(panel, scale, trials, seed) {
-            let series = backend.install(|| figure5_series(&config));
+        for (config, series) in figure5_panel_series(panel, scale, trials, seed, &pool) {
             let table = figure5_table(&series);
             report.push_str(&table.to_markdown());
             report.push('\n');
@@ -92,27 +104,22 @@ fn main() {
     t6.write_csv(format!("{out_dir}/theorem6_lower_bound.csv"))
         .unwrap();
 
-    // Experiment E9: Theorem 7 dominance.
+    // Experiment E9: Theorem 7 dominance, all distributions × trials through
+    // the same shared pool.
     println!("running Theorem 7 dominance experiment...");
     let n = 50_000 / scale.max(1);
-    let results: Vec<_> = [
-        AnyDistribution::uniform(10),
-        AnyDistribution::geometric(0.1),
-        AnyDistribution::poisson(5.0),
-        AnyDistribution::zeta(2.5),
-    ]
-    .into_iter()
-    .map(|distribution| {
-        backend.install(|| {
-            dominance_experiment(&DominanceConfig {
-                distribution,
-                n,
-                trials,
-                seed,
-            })
-        })
-    })
-    .collect();
+    let results = dominance_sweep(
+        vec![
+            AnyDistribution::uniform(10),
+            AnyDistribution::geometric(0.1),
+            AnyDistribution::poisson(5.0),
+            AnyDistribution::zeta(2.5),
+        ],
+        n,
+        trials,
+        seed,
+        &pool,
+    );
     let dom = dominance_table(&results, n);
     report.push_str(&dom.to_markdown());
     report.push('\n');

@@ -4,27 +4,30 @@
 //! paper proves it.
 //!
 //! ```text
-//! cargo run -p ecs-bench --release --bin theorem7_dominance -- [--n N] [--trials T] [--out results] [--threads N]
+//! cargo run -p ecs_bench --release --bin theorem7_dominance -- [--n N] [--trials T]
+//!     [--out results] [--threads N] [--jobs J]
 //!
-//! `--threads N` runs the independent trials on an N-thread work-stealing
-//! pool; results are bit-identical to a sequential run.
+//! `--jobs J` runs every trial of every distribution through one shared
+//! J-worker throughput pool (round-robin fairness across distributions);
+//! results are bit-identical to a serial run.
 //! ```
+//!
+//! Setting `ECS_BENCH_SMOKE=1` shrinks the sweep to a CI-sized smoke run.
 
-use ecs_analysis::{dominance_experiment, DominanceConfig};
-use ecs_bench::runners::dominance_table;
-use ecs_bench::Args;
+use ecs_bench::runners::{dominance_sweep, dominance_table};
+use ecs_bench::{smoke, Args};
 use ecs_distributions::class_distribution::AnyDistribution;
 
 fn main() {
     let args = Args::from_env();
-    let n = args.get_usize("n", 5_000);
-    let trials = args.get_usize("trials", 8);
+    let n = args.get_usize("n", if smoke() { 500 } else { 5_000 });
+    let trials = args.get_usize("trials", if smoke() { 2 } else { 8 });
     let seed = args.get_u64("seed", 7);
     let out_dir = args.get_or("out", "results");
-    let backend = args.execution_backend();
+    let pool = args.throughput_pool();
     std::fs::create_dir_all(&out_dir).expect("cannot create output directory");
 
-    println!("execution backend: {}", backend.label());
+    println!("throughput pool: {}", pool.label());
     let distributions = vec![
         AnyDistribution::uniform(10),
         AnyDistribution::uniform(100),
@@ -36,19 +39,7 @@ fn main() {
         AnyDistribution::zeta(2.0),
     ];
 
-    let results: Vec<_> = backend.install(|| {
-        distributions
-            .into_iter()
-            .map(|distribution| {
-                dominance_experiment(&DominanceConfig {
-                    distribution,
-                    n,
-                    trials,
-                    seed,
-                })
-            })
-            .collect()
-    });
+    let results = dominance_sweep(distributions, n, trials, seed, &pool);
 
     let table = dominance_table(&results, n);
     println!("{}", table.to_text());

@@ -1,9 +1,18 @@
-//! A minimal `--flag value` / `--switch` command-line parser.
+//! A minimal `--flag value` / `--flag=value` / `--switch` command-line
+//! parser.
+//!
+//! The parser has no flag declarations, so a bare `--switch` followed by a
+//! positional token is indistinguishable from a valued flag and is parsed as
+//! the latter; [`Args::has`] therefore reports a flag as present whether it
+//! was captured as a switch *or* as a `--key value` pair, so switch lookups
+//! never silently fail on that ambiguity. Values that themselves start with
+//! `--` can always be passed with the `--flag=value` spelling.
 
-use ecs_model::ExecutionBackend;
+use ecs_model::{ExecutionBackend, ThroughputPool};
 use std::collections::HashMap;
 
-/// Parsed command-line arguments: `--key value` pairs and bare `--switch`es.
+/// Parsed command-line arguments: `--key value` / `--key=value` pairs and
+/// bare `--switch`es.
 #[derive(Debug, Clone, Default)]
 pub struct Args {
     values: HashMap<String, String>,
@@ -24,7 +33,12 @@ impl Args {
         while i < tokens.len() {
             let token = &tokens[i];
             if let Some(name) = token.strip_prefix("--") {
-                if i + 1 < tokens.len() && !tokens[i + 1].starts_with("--") {
+                if let Some((key, value)) = name.split_once('=') {
+                    // `--flag=value`: unambiguous, and the only way to pass a
+                    // value that itself starts with `--`.
+                    args.values.insert(key.to_string(), value.to_string());
+                    i += 1;
+                } else if i + 1 < tokens.len() && !tokens[i + 1].starts_with("--") {
                     args.values.insert(name.to_string(), tokens[i + 1].clone());
                     i += 2;
                 } else {
@@ -70,9 +84,12 @@ impl Args {
             .unwrap_or(default)
     }
 
-    /// Whether a bare `--switch` was passed.
+    /// Whether `--name` was passed at all — as a bare switch *or* as a valued
+    /// flag. Checking both is what makes `--verbose out.json` (a switch
+    /// followed by a positional, which this declaration-free parser captures
+    /// as `verbose = "out.json"`) still count as `--verbose`.
     pub fn has(&self, name: &str) -> bool {
-        self.switches.iter().any(|s| s == name)
+        self.switches.iter().any(|s| s == name) || self.values.contains_key(name)
     }
 
     /// The execution backend selected by `--threads N`, falling back to the
@@ -84,6 +101,33 @@ impl Args {
             None => ExecutionBackend::from_env(),
         }
     }
+
+    /// The throughput pool selected by `--jobs N` (`0`/`1` run trials
+    /// serially), falling back to the `--threads` / `ECS_THREADS` backend
+    /// when the flag is absent — so `--threads N` alone still accelerates
+    /// trial-level work as before, while `--jobs` decouples trial throughput
+    /// from round-evaluation parallelism. A bare `--jobs` (no value) or an
+    /// unparsable count selects the machine's available parallelism rather
+    /// than being silently dropped; results are bit-identical for every
+    /// worker count either way.
+    pub fn throughput_pool(&self) -> ThroughputPool {
+        if !self.has("jobs") {
+            return ThroughputPool::new(self.execution_backend());
+        }
+        let available =
+            || std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+        let jobs = match self.get("jobs") {
+            Some(value) => value.parse().unwrap_or_else(|_| available()),
+            None => available(),
+        };
+        ThroughputPool::from_jobs(jobs)
+    }
+}
+
+/// Whether `ECS_BENCH_SMOKE` is set: reproduction binaries shrink their grids
+/// to a seconds-long smoke run (used by CI on every push).
+pub fn smoke() -> bool {
+    std::env::var("ECS_BENCH_SMOKE").is_ok()
 }
 
 #[cfg(test)]
@@ -126,6 +170,42 @@ mod tests {
     }
 
     #[test]
+    fn switch_followed_by_positional_still_registers() {
+        // Regression: `--verbose out.json` used to be captured only as a
+        // value flag, so `has("verbose")` silently returned false.
+        let a = args(&["--verbose", "out.json"]);
+        assert!(a.has("verbose"));
+        assert_eq!(a.get("verbose"), Some("out.json"));
+    }
+
+    #[test]
+    fn equals_syntax_parses_values() {
+        let a = args(&["--out=results", "--trials=5", "--label="]);
+        assert_eq!(a.get("out"), Some("results"));
+        assert_eq!(a.get_usize("trials", 0), 5);
+        assert_eq!(a.get("label"), Some(""));
+        assert!(a.has("out"), "valued flags count as present");
+    }
+
+    #[test]
+    fn equals_syntax_passes_values_starting_with_dashes() {
+        // Regression: `--flag --value` parsed `--value` as a separate switch,
+        // so values starting with `--` could never be passed.
+        let a = args(&["--prefix=--release", "--next"]);
+        assert_eq!(a.get("prefix"), Some("--release"));
+        assert!(a.has("next"));
+    }
+
+    #[test]
+    fn adjacent_switches_stay_switches() {
+        let a = args(&["--full", "--verbose", "--out", "dir"]);
+        assert!(a.has("full"));
+        assert!(a.has("verbose"));
+        assert_eq!(a.get("out"), Some("dir"));
+        assert_eq!(a.get("full"), None, "switches carry no value");
+    }
+
+    #[test]
     fn threads_flag_selects_the_backend() {
         use ecs_model::ExecutionBackend;
         assert_eq!(
@@ -139,6 +219,44 @@ mod tests {
         assert_eq!(
             args(&["--threads", "junk"]).execution_backend(),
             ExecutionBackend::Sequential
+        );
+    }
+
+    #[test]
+    fn jobs_flag_selects_the_throughput_pool() {
+        assert_eq!(
+            args(&["--jobs", "4"]).throughput_pool().label(),
+            "pooled(4)"
+        );
+        assert_eq!(args(&["--jobs", "1"]).throughput_pool().label(), "serial");
+        // Without --jobs the pool follows the --threads backend.
+        assert_eq!(
+            args(&["--threads", "8"]).throughput_pool().label(),
+            "pooled(8)"
+        );
+    }
+
+    #[test]
+    fn bare_or_malformed_jobs_is_not_silently_dropped() {
+        // `--jobs` as the last token (or before another `--flag`) parses as a
+        // switch, and a typo'd count parses as nothing usable; both must
+        // still select a pool (available parallelism) instead of falling
+        // back as if the flag were absent or silently going serial.
+        let expected = ThroughputPool::from_jobs(
+            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+        )
+        .label();
+        assert_eq!(args(&["--jobs"]).throughput_pool().label(), expected);
+        assert_eq!(
+            args(&["--jobs", "junk"]).throughput_pool().label(),
+            expected
+        );
+        assert_eq!(
+            args(&["--threads", "8", "--jobs"])
+                .throughput_pool()
+                .label(),
+            expected,
+            "bare --jobs must override the --threads fallback"
         );
     }
 }

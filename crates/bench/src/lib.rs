@@ -13,4 +13,4 @@ pub mod cli;
 pub mod paper;
 pub mod runners;
 
-pub use cli::Args;
+pub use cli::{smoke, Args};

@@ -1,13 +1,57 @@
 //! Measurement runners shared by the reproduction binaries.
 
+use crate::paper;
 use ecs_adversary::{EqualSizeAdversary, SmallestClassAdversary};
 use ecs_analysis::report::fmt_float;
-use ecs_analysis::{DominanceResult, Figure5Series, Table};
+use ecs_analysis::{
+    dominance_grid, figure5_grid, DominanceConfig, DominanceResult, Figure5Config, Figure5Series,
+    Table,
+};
 use ecs_core::{
     CrCompoundMerge, EcsAlgorithm, ErConstantRound, ErMergeSort, RepresentativeScan, RoundRobin,
 };
-use ecs_model::{ExecutionBackend, Instance, InstanceOracle};
+use ecs_distributions::class_distribution::AnyDistribution;
+use ecs_model::{ExecutionBackend, Instance, InstanceOracle, ThroughputPool};
 use ecs_rng::{SeedableEcsRng, Xoshiro256StarStar};
+
+/// Runs every Figure 5 configuration of one panel through the throughput
+/// pool — all `(distribution, size, trial)` jobs of the panel are queued as
+/// one workload, one fairness session per distribution — and returns
+/// `(config, series)` pairs in the panel's order. Results are bit-identical
+/// to the serial per-config loop.
+pub fn figure5_panel_series(
+    panel: &str,
+    scale: usize,
+    trials: usize,
+    seed: u64,
+    pool: &ThroughputPool,
+) -> Vec<(Figure5Config, Figure5Series)> {
+    let configs = paper::figure5_configs(panel, scale, trials, seed);
+    let series = figure5_grid(&configs, pool);
+    configs.into_iter().zip(series).collect()
+}
+
+/// Runs a Theorem 7 dominance sweep over several distributions through the
+/// throughput pool (one fairness session per distribution), bit-identical to
+/// running [`ecs_analysis::dominance_experiment`] per distribution.
+pub fn dominance_sweep(
+    distributions: Vec<AnyDistribution>,
+    n: usize,
+    trials: usize,
+    seed: u64,
+    pool: &ThroughputPool,
+) -> Vec<DominanceResult> {
+    let configs: Vec<DominanceConfig> = distributions
+        .into_iter()
+        .map(|distribution| DominanceConfig {
+            distribution,
+            n,
+            trials,
+            seed,
+        })
+        .collect();
+    dominance_grid(&configs, pool)
+}
 
 /// Renders one Figure 5 series as a table with per-size statistics and the
 /// best-fit line (when the paper predicts one).
@@ -371,6 +415,40 @@ mod tests {
             thr.to_markdown(),
             "threaded evaluation must not change any reported number"
         );
+    }
+
+    #[test]
+    fn panel_series_match_serial_per_config_runs() {
+        let pool = ThroughputPool::from_jobs(4);
+        let pooled = figure5_panel_series("uniform", 100, 2, 2016, &pool);
+        assert!(!pooled.is_empty());
+        for (config, series) in &pooled {
+            let reference = figure5_series(config);
+            for (a, b) in series.points.iter().zip(&reference.points) {
+                assert_eq!(
+                    a.comparisons, b.comparisons,
+                    "pooled panel diverged from the serial loop"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dominance_sweep_matches_serial_per_config_runs() {
+        use ecs_analysis::dominance_experiment;
+        let pool = ThroughputPool::from_jobs(2);
+        let distributions = vec![AnyDistribution::uniform(10), AnyDistribution::zeta(2.5)];
+        let pooled = dominance_sweep(distributions.clone(), 500, 3, 7, &pool);
+        for (distribution, result) in distributions.into_iter().zip(&pooled) {
+            let reference = dominance_experiment(&DominanceConfig {
+                distribution,
+                n: 500,
+                trials: 3,
+                seed: 7,
+            });
+            assert_eq!(result.measured_total, reference.measured_total);
+            assert_eq!(result.measured_cross, reference.measured_cross);
+        }
     }
 
     #[test]

@@ -142,7 +142,7 @@ impl ExecutionBackend {
 /// created per algorithm run, so building (and tearing down) a pool per
 /// session would dominate; instead pools are built once and leaked — the
 /// number of distinct thread counts in a process is tiny.
-fn shared_pool(threads: usize) -> &'static ThreadPool {
+pub(crate) fn shared_pool(threads: usize) -> &'static ThreadPool {
     static POOLS: OnceLock<Mutex<HashMap<usize, &'static ThreadPool>>> = OnceLock::new();
     let mut pools = POOLS
         .get_or_init(|| Mutex::new(HashMap::new()))

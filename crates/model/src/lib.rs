@@ -25,6 +25,10 @@
 //! * [`ComparisonSession`] — counts comparisons and rounds, enforces the ER /
 //!   CR disciplines and the processor budget, and evaluates large comparison
 //!   batches through the selected [`ExecutionBackend`].
+//! * [`ThroughputPool`] — multi-session throughput mode: many independent
+//!   `(instance, algorithm, backend)` jobs drained through the one shared
+//!   pool with round-robin fairness across sessions, per-job metrics
+//!   isolation, and results bit-identical to the serial loop.
 //! * [`schedule`] — helpers that decompose arbitrary comparison sets into
 //!   legal ER rounds (greedy edge colouring).
 
@@ -38,12 +42,14 @@ pub mod oracle;
 pub mod partition;
 pub mod schedule;
 pub mod session;
+pub mod throughput;
 pub mod transcript;
 
 pub use backend::ExecutionBackend;
 pub use instance::Instance;
-pub use metrics::Metrics;
+pub use metrics::{Metrics, RoundSizeHistogram};
 pub use oracle::{EquivalenceOracle, InstanceOracle};
 pub use partition::Partition;
 pub use session::{ComparisonSession, ReadMode};
+pub use throughput::ThroughputPool;
 pub use transcript::{RecordingOracle, Transcript};

@@ -1,20 +1,150 @@
 //! Cost accounting in Valiant's parallel comparison model.
 
+/// Number of power-of-two buckets in [`RoundSizeHistogram`]: bucket 0 holds
+/// empty rounds, bucket `i >= 1` holds sizes with bit-width `i`, so every
+/// `usize` has a bucket.
+const HISTOGRAM_BUCKETS: usize = usize::BITS as usize + 1;
+
+/// The default number of rounds for which [`Metrics`] keeps an exact
+/// per-round size trace before falling back to the histogram alone. A
+/// sequential Θ(n²) run charges one round per comparison, so an unbounded
+/// trace would store O(n²) entries; this cap bounds it while keeping the
+/// exact trace available for every realistically-inspected run.
+pub const DEFAULT_ROUND_TRACE_LIMIT: usize = 4096;
+
+/// A bounded summary of per-round comparison counts: rounds are bucketed by
+/// the bit-width of their size (0, 1, 2–3, 4–7, 8–15, ...), so the memory
+/// footprint is constant no matter how many rounds are charged.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RoundSizeHistogram {
+    counts: [u64; HISTOGRAM_BUCKETS],
+}
+
+impl Default for RoundSizeHistogram {
+    fn default() -> Self {
+        Self {
+            counts: [0; HISTOGRAM_BUCKETS],
+        }
+    }
+}
+
+impl RoundSizeHistogram {
+    /// The bucket index for a round of `size` comparisons.
+    fn bucket(size: usize) -> usize {
+        (usize::BITS - size.leading_zeros()) as usize
+    }
+
+    fn record(&mut self, size: usize) {
+        self.counts[Self::bucket(size)] += 1;
+    }
+
+    fn merge(&mut self, other: &Self) {
+        for (mine, theirs) in self.counts.iter_mut().zip(&other.counts) {
+            *mine += theirs;
+        }
+    }
+
+    /// Total number of rounds recorded (across all buckets).
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Number of recorded rounds whose size falls in the same power-of-two
+    /// bucket as `size` (bucket 0 is exactly the empty rounds; bucket `i` is
+    /// sizes in `[2^(i-1), 2^i - 1]`).
+    pub fn count_for_size(&self, size: usize) -> u64 {
+        self.counts[Self::bucket(size)]
+    }
+
+    /// The non-empty buckets as `(smallest size in bucket, largest size in
+    /// bucket, rounds)` triples, smallest sizes first.
+    pub fn nonzero_buckets(&self) -> Vec<(usize, usize, u64)> {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|&(_, &count)| count > 0)
+            .map(|(bucket, &count)| match bucket {
+                0 => (0, 0, count),
+                _ => (
+                    1usize << (bucket - 1),
+                    if bucket == HISTOGRAM_BUCKETS - 1 {
+                        usize::MAX
+                    } else {
+                        (1usize << bucket) - 1
+                    },
+                    count,
+                ),
+            })
+            .collect()
+    }
+}
+
 /// The costs charged to an algorithm: total comparisons (work) and parallel
 /// comparison rounds (depth), together with enough per-round detail to sanity
 /// check processor utilisation.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+///
+/// Per-round sizes are kept in two forms: a constant-size
+/// [`RoundSizeHistogram`] that never grows, and an exact in-order trace that
+/// is retained only up to a configurable limit
+/// ([`DEFAULT_ROUND_TRACE_LIMIT`] rounds by default, see
+/// [`Metrics::with_trace_limit`]). Once a run charges more rounds than the
+/// limit, the trace is discarded ([`Metrics::round_sizes`] returns `None`)
+/// and only the bounded summaries keep growing — a sequential Θ(n²) run
+/// therefore stores O(1) size data instead of O(n²).
+#[derive(Debug, Clone)]
 pub struct Metrics {
     comparisons: u64,
     rounds: u64,
     max_round_size: usize,
-    round_sizes: Vec<usize>,
+    histogram: RoundSizeHistogram,
+    /// Exact per-round sizes while `rounds <= trace_limit`; emptied and
+    /// abandoned once the limit is crossed.
+    trace: Vec<usize>,
+    trace_limit: usize,
+    trace_complete: bool,
 }
 
+impl Default for Metrics {
+    fn default() -> Self {
+        Self::with_trace_limit(DEFAULT_ROUND_TRACE_LIMIT)
+    }
+}
+
+/// Equality compares the *observable* cost state — comparisons, rounds,
+/// maximum round size, histogram, and the exact trace (or its absence) — so
+/// two runs charged identically compare equal even if their trace limits were
+/// configured differently but both retained (or both dropped) the trace.
+impl PartialEq for Metrics {
+    fn eq(&self, other: &Self) -> bool {
+        self.comparisons == other.comparisons
+            && self.rounds == other.rounds
+            && self.max_round_size == other.max_round_size
+            && self.histogram == other.histogram
+            && self.round_sizes() == other.round_sizes()
+    }
+}
+
+impl Eq for Metrics {}
+
 impl Metrics {
-    /// Fresh, zeroed metrics.
+    /// Fresh, zeroed metrics with the default round-trace limit.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Fresh, zeroed metrics that keep the exact per-round size trace for up
+    /// to `limit` rounds (`0` disables the trace entirely; `usize::MAX`
+    /// restores the old unbounded behaviour for small diagnostic runs).
+    pub fn with_trace_limit(limit: usize) -> Self {
+        Self {
+            comparisons: 0,
+            rounds: 0,
+            max_round_size: 0,
+            histogram: RoundSizeHistogram::default(),
+            trace: Vec::new(),
+            trace_limit: limit,
+            trace_complete: true,
+        }
     }
 
     /// Total number of equivalence tests performed.
@@ -32,9 +162,21 @@ impl Metrics {
         self.max_round_size
     }
 
-    /// The number of comparisons in each charged round, in order.
-    pub fn round_sizes(&self) -> &[usize] {
-        &self.round_sizes
+    /// The number of comparisons in each charged round, in order — `None`
+    /// once the run outgrew the trace limit (use [`Metrics::histogram`] for
+    /// the always-available bounded summary).
+    pub fn round_sizes(&self) -> Option<&[usize]> {
+        if self.trace_complete {
+            Some(&self.trace)
+        } else {
+            None
+        }
+    }
+
+    /// The bounded per-round size summary (power-of-two buckets); available
+    /// for runs of any length.
+    pub fn histogram(&self) -> &RoundSizeHistogram {
+        &self.histogram
     }
 
     /// Average processor utilisation, `comparisons / (rounds × processors)`,
@@ -51,7 +193,8 @@ impl Metrics {
         self.comparisons += size as u64;
         self.rounds += 1;
         self.max_round_size = self.max_round_size.max(size);
-        self.round_sizes.push(size);
+        self.histogram.record(size);
+        self.push_trace(size);
     }
 
     /// Records a single comparison performed outside any round structure
@@ -62,12 +205,39 @@ impl Metrics {
     }
 
     /// Merges another metrics object into this one (summing work and depth);
-    /// used when an algorithm runs subphases with separate sessions.
+    /// used when an algorithm runs subphases with separate sessions. The
+    /// exact trace survives only if both sides retained theirs and the
+    /// combination still fits this object's limit.
     pub fn absorb(&mut self, other: &Metrics) {
         self.comparisons += other.comparisons;
         self.rounds += other.rounds;
         self.max_round_size = self.max_round_size.max(other.max_round_size);
-        self.round_sizes.extend_from_slice(&other.round_sizes);
+        self.histogram.merge(&other.histogram);
+        match other.round_sizes() {
+            Some(sizes)
+                if self.trace_complete && self.trace.len() + sizes.len() <= self.trace_limit =>
+            {
+                self.trace.extend_from_slice(sizes);
+            }
+            _ => self.drop_trace(),
+        }
+    }
+
+    fn push_trace(&mut self, size: usize) {
+        if !self.trace_complete {
+            return;
+        }
+        if self.trace.len() < self.trace_limit {
+            self.trace.push(size);
+        } else {
+            self.drop_trace();
+        }
+    }
+
+    /// Abandons the exact trace and releases its memory.
+    fn drop_trace(&mut self) {
+        self.trace_complete = false;
+        self.trace = Vec::new();
     }
 }
 
@@ -92,6 +262,8 @@ mod tests {
         assert_eq!(m.rounds(), 0);
         assert_eq!(m.max_round_size(), 0);
         assert_eq!(m.utilisation(16), 0.0);
+        assert_eq!(m.round_sizes(), Some(&[][..]));
+        assert_eq!(m.histogram().total(), 0);
     }
 
     #[test]
@@ -103,7 +275,11 @@ mod tests {
         assert_eq!(m.comparisons(), 14);
         assert_eq!(m.rounds(), 3);
         assert_eq!(m.max_round_size(), 10);
-        assert_eq!(m.round_sizes(), &[10, 4, 0]);
+        assert_eq!(m.round_sizes(), Some(&[10, 4, 0][..]));
+        assert_eq!(m.histogram().total(), 3);
+        assert_eq!(m.histogram().count_for_size(0), 1);
+        assert_eq!(m.histogram().count_for_size(4), 1);
+        assert_eq!(m.histogram().count_for_size(10), 1);
     }
 
     #[test]
@@ -115,6 +291,39 @@ mod tests {
         assert_eq!(m.comparisons(), 5);
         assert_eq!(m.rounds(), 5);
         assert_eq!(m.max_round_size(), 1);
+        assert_eq!(m.histogram().count_for_size(1), 5);
+    }
+
+    #[test]
+    fn trace_is_bounded_but_counters_keep_going() {
+        let mut m = Metrics::with_trace_limit(8);
+        for _ in 0..100 {
+            m.record_single();
+        }
+        assert_eq!(m.rounds(), 100);
+        assert_eq!(m.comparisons(), 100);
+        assert_eq!(
+            m.round_sizes(),
+            None,
+            "trace must be dropped past the limit"
+        );
+        assert_eq!(m.histogram().total(), 100);
+        assert_eq!(m.histogram().count_for_size(1), 100);
+        // The dropped trace releases its memory.
+        assert_eq!(m.trace.capacity(), 0);
+    }
+
+    #[test]
+    fn trace_limit_zero_disables_tracing() {
+        let mut m = Metrics::with_trace_limit(0);
+        assert_eq!(
+            m.round_sizes(),
+            Some(&[][..]),
+            "no rounds yet: trivially complete"
+        );
+        m.record_round(3);
+        assert_eq!(m.round_sizes(), None);
+        assert_eq!(m.histogram().count_for_size(3), 1);
     }
 
     #[test]
@@ -138,6 +347,58 @@ mod tests {
         assert_eq!(a.comparisons(), 12);
         assert_eq!(a.rounds(), 3);
         assert_eq!(a.max_round_size(), 7);
+        assert_eq!(a.round_sizes(), Some(&[3, 7, 2][..]));
+        assert_eq!(a.histogram().total(), 3);
+    }
+
+    #[test]
+    fn absorb_drops_trace_when_either_side_overflowed() {
+        let mut big = Metrics::with_trace_limit(2);
+        for _ in 0..5 {
+            big.record_single();
+        }
+        assert_eq!(big.round_sizes(), None);
+        let mut a = Metrics::new();
+        a.record_round(3);
+        a.absorb(&big);
+        assert_eq!(a.round_sizes(), None);
+        assert_eq!(a.rounds(), 6);
+        assert_eq!(a.histogram().total(), 6);
+    }
+
+    #[test]
+    fn equality_ignores_the_configured_limit_until_it_bites() {
+        let mut a = Metrics::with_trace_limit(100);
+        let mut b = Metrics::with_trace_limit(200);
+        for m in [&mut a, &mut b] {
+            m.record_round(4);
+            m.record_round(9);
+        }
+        assert_eq!(a, b, "same charges, both traces retained");
+        let mut c = Metrics::with_trace_limit(1);
+        c.record_round(4);
+        c.record_round(9);
+        assert_ne!(a, c, "c dropped its trace, a kept it");
+    }
+
+    #[test]
+    fn histogram_buckets_are_powers_of_two() {
+        let mut m = Metrics::new();
+        for size in [0, 1, 2, 3, 4, 7, 8, 1024] {
+            m.record_round(size);
+        }
+        let buckets = m.histogram().nonzero_buckets();
+        assert_eq!(
+            buckets,
+            vec![
+                (0, 0, 1),
+                (1, 1, 1),
+                (2, 3, 2),
+                (4, 7, 2),
+                (8, 15, 1),
+                (1024, 2047, 1),
+            ]
+        );
     }
 
     #[test]

@@ -66,7 +66,10 @@ impl EquivalenceOracle for InstanceOracle<'_> {
 }
 
 /// An oracle defined by an explicit label vector — convenient in tests where
-/// constructing a full [`Instance`] is overkill.
+/// constructing a full [`Instance`] is overkill. Enforces the same
+/// bounds/self-comparison contract as [`InstanceOracle`]: out-of-range
+/// indices fail with a diagnostic message, and self-comparisons are rejected
+/// in debug builds.
 #[derive(Debug, Clone)]
 pub struct LabelOracle {
     labels: Vec<u32>,
@@ -85,6 +88,12 @@ impl EquivalenceOracle for LabelOracle {
     }
 
     fn same(&self, a: usize, b: usize) -> bool {
+        assert!(
+            a < self.labels.len() && b < self.labels.len(),
+            "comparison ({a}, {b}) out of range for n = {}",
+            self.labels.len()
+        );
+        debug_assert_ne!(a, b, "self-comparison requested");
         self.labels[a] == self.labels[b]
     }
 }
@@ -127,6 +136,21 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn label_oracle_rejects_out_of_range() {
+        let oracle = LabelOracle::new(vec![1, 2]);
+        let _ = oracle.same(0, 2);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "self-comparison")]
+    fn label_oracle_rejects_self_comparison_in_debug() {
+        let oracle = LabelOracle::new(vec![1, 2]);
+        let _ = oracle.same(1, 1);
     }
 
     #[test]

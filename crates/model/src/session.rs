@@ -59,27 +59,35 @@ impl<'a, O: EquivalenceOracle> ComparisonSession<'a, O> {
         Self::with_backend(oracle, mode, ExecutionBackend::from_env())
     }
 
-    /// Creates a session evaluating rounds on an explicit backend.
+    /// Creates a session evaluating rounds on an explicit backend, with `n`
+    /// processors.
     pub fn with_backend(oracle: &'a O, mode: ReadMode, backend: ExecutionBackend) -> Self {
-        let processors = oracle.n().max(1);
-        Self {
-            oracle,
-            mode,
-            processors,
-            metrics: Metrics::new(),
-            backend,
-        }
+        Self::with_processors_and_backend(oracle, mode, oracle.n().max(1), backend)
     }
 
-    /// Creates a session with an explicit processor budget.
+    /// Creates a session with an explicit processor budget and the backend
+    /// selected by the environment ([`ExecutionBackend::from_env`]).
     pub fn with_processors(oracle: &'a O, mode: ReadMode, processors: usize) -> Self {
+        Self::with_processors_and_backend(oracle, mode, processors, ExecutionBackend::from_env())
+    }
+
+    /// Creates a session with an explicit processor budget *and* an explicit
+    /// backend. This is the fully-specified constructor every other one
+    /// routes through; the throughput pool uses it so that a job's explicitly
+    /// chosen backend is never silently overridden by `ECS_THREADS`.
+    pub fn with_processors_and_backend(
+        oracle: &'a O,
+        mode: ReadMode,
+        processors: usize,
+        backend: ExecutionBackend,
+    ) -> Self {
         assert!(processors > 0, "need at least one processor");
         Self {
             oracle,
             mode,
             processors,
             metrics: Metrics::new(),
-            backend: ExecutionBackend::from_env(),
+            backend,
         }
     }
 
@@ -257,7 +265,24 @@ mod tests {
             "25 comparisons on 10 processors = 3 rounds"
         );
         assert_eq!(s.metrics().comparisons(), 25);
-        assert_eq!(s.metrics().round_sizes(), &[10, 10, 5]);
+        assert_eq!(s.metrics().round_sizes(), Some(&[10, 10, 5][..]));
+    }
+
+    #[test]
+    fn explicit_processors_and_backend_are_both_honoured() {
+        let oracle = LabelOracle::new(vec![0; 100]);
+        let s = ComparisonSession::with_processors_and_backend(
+            &oracle,
+            ReadMode::Concurrent,
+            8,
+            ExecutionBackend::threaded(2),
+        );
+        assert_eq!(s.processors(), 8);
+        assert_eq!(
+            s.backend(),
+            ExecutionBackend::threaded(2),
+            "an explicitly chosen backend must not be overridden by ECS_THREADS"
+        );
     }
 
     #[test]

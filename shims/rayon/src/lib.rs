@@ -8,6 +8,10 @@
 //!
 //! * [`ThreadPoolBuilder`] / [`ThreadPool`] — configurable worker count,
 //!   `install` to scope parallel iterators to a pool;
+//! * [`scope`] / [`ThreadPool::scope`] with [`Scope::spawn`] and
+//!   [`Scope::spawn_fifo`] — borrowed task spawning; FIFO-spawned tasks start
+//!   in strict submission order via a pool-wide injector queue, giving
+//!   round-robin fairness across interleaved job sources;
 //! * `prelude::{par_iter, into_par_iter}` over slices and integer ranges,
 //!   with `map`, `with_min_len`, `for_each` and `collect`;
 //! * chunked dispatch with **deterministic in-order collection**: results are
@@ -25,7 +29,9 @@
 pub mod iter;
 pub mod pool;
 
-pub use pool::{current_num_threads, ThreadPool, ThreadPoolBuildError, ThreadPoolBuilder};
+pub use pool::{
+    current_num_threads, scope, Scope, ThreadPool, ThreadPoolBuildError, ThreadPoolBuilder,
+};
 
 /// The rayon prelude: traits that add `par_iter` / `into_par_iter` and the
 /// iterator adapters.
@@ -229,5 +235,204 @@ mod tests {
         let p = pool(5);
         assert_eq!(p.current_num_threads(), 5);
         drop(p); // must not hang
+    }
+
+    #[test]
+    fn scope_runs_every_spawned_task_before_returning() {
+        let p = pool(4);
+        let hits = Mutex::new(Vec::new());
+        p.scope(|s| {
+            for i in 0..100usize {
+                let hits = &hits;
+                s.spawn(move |_| {
+                    hits.lock().unwrap().push(i);
+                });
+            }
+        });
+        let mut seen = hits.into_inner().unwrap();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn spawn_fifo_executes_in_submission_order_on_one_worker() {
+        // With a single worker the injector queue's strict FIFO start order
+        // is also the completion order, so it is directly observable.
+        let p = pool(1);
+        let order = Mutex::new(Vec::new());
+        p.scope(|s| {
+            for i in 0..50usize {
+                let order = &order;
+                s.spawn_fifo(move |_| {
+                    order.lock().unwrap().push(i);
+                });
+            }
+        });
+        assert_eq!(order.into_inner().unwrap(), (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn scope_tasks_can_spawn_more_tasks() {
+        let p = pool(3);
+        let count = std::sync::atomic::AtomicUsize::new(0);
+        p.scope(|s| {
+            for _ in 0..10 {
+                let count = &count;
+                s.spawn(move |inner| {
+                    count.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    inner.spawn_fifo(move |_| {
+                        count.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    });
+                });
+            }
+        });
+        assert_eq!(count.load(std::sync::atomic::Ordering::Relaxed), 20);
+    }
+
+    #[test]
+    fn scope_propagates_task_panics_after_draining() {
+        let p = pool(4);
+        let completed = std::sync::atomic::AtomicUsize::new(0);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            p.scope(|s| {
+                for i in 0..20usize {
+                    let completed = &completed;
+                    s.spawn_fifo(move |_| {
+                        if i == 7 {
+                            panic!("scope task boom");
+                        }
+                        completed.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    });
+                }
+            });
+        }));
+        let payload = result.expect_err("task panic must propagate");
+        let message = payload.downcast_ref::<&str>().copied().unwrap_or_default();
+        assert!(message.contains("scope task boom"), "payload: {message}");
+        // Every non-panicking task still ran: the scope drains before
+        // unwinding, so borrowed state is never observed mid-flight.
+        assert_eq!(completed.load(std::sync::atomic::Ordering::Relaxed), 19);
+        // The pool survives and remains usable.
+        let out: Vec<usize> = p.install(|| (0..5usize).into_par_iter().map(|i| i).collect());
+        assert_eq!(out, (0..5).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn free_scope_uses_installed_pool() {
+        let p = pool(2);
+        let sum = std::sync::atomic::AtomicU64::new(0);
+        p.install(|| {
+            super::scope(|s| {
+                for i in 1..=10u64 {
+                    let sum = &sum;
+                    s.spawn_fifo(move |_| {
+                        sum.fetch_add(i, std::sync::atomic::Ordering::Relaxed);
+                    });
+                }
+            });
+        });
+        assert_eq!(sum.load(std::sync::atomic::Ordering::Relaxed), 55);
+    }
+
+    #[test]
+    fn scope_from_another_pools_worker_uses_target_pool_threads() {
+        // A worker of pool A opening a scope on pool B must queue the tasks
+        // to B (whose workers are free to drain them while A's worker blocks
+        // on the latch), not degrade to inline serial execution. Observable
+        // deterministically: the spawning worker never executes B's tasks,
+        // so every task thread id must differ from the spawner's.
+        let a = pool(1);
+        let b = pool(2);
+        let checked = std::sync::atomic::AtomicBool::new(false);
+        // One task on A's (only) worker, which then opens a scope on B.
+        a.scope(|outer| {
+            let b = &b;
+            let checked = &checked;
+            outer.spawn(move |_| {
+                let spawner = std::thread::current().id();
+                let ids = Mutex::new(Vec::new());
+                b.scope(|s| {
+                    for _ in 0..10 {
+                        let ids = &ids;
+                        s.spawn_fifo(move |_| {
+                            ids.lock().unwrap().push(std::thread::current().id());
+                        });
+                    }
+                });
+                let ids = ids.into_inner().unwrap();
+                assert_eq!(ids.len(), 10);
+                assert!(
+                    ids.iter().all(|&id| id != spawner),
+                    "tasks ran inline on the spawning worker instead of pool B"
+                );
+                checked.store(true, std::sync::atomic::Ordering::Relaxed);
+            });
+        });
+        assert!(checked.load(std::sync::atomic::Ordering::Relaxed));
+    }
+
+    #[test]
+    fn nested_batch_on_another_pool_uses_that_pools_threads() {
+        // A worker of pool A evaluating a par_iter installed on pool B must
+        // dispatch the chunks to B (observable: no chunk runs on the
+        // spawning worker), not degrade to inline sequential evaluation.
+        // Results must be identical either way.
+        let a = pool(1);
+        let b = pool(2);
+        let checked = std::sync::atomic::AtomicBool::new(false);
+        a.scope(|outer| {
+            let b = &b;
+            let checked = &checked;
+            outer.spawn(move |_| {
+                let spawner = std::thread::current().id();
+                let chunk_ids = Mutex::new(HashSet::new());
+                let out: Vec<u64> = b.install(|| {
+                    (0..10_000u64)
+                        .into_par_iter()
+                        .map(|i| {
+                            chunk_ids
+                                .lock()
+                                .unwrap()
+                                .insert(std::thread::current().id());
+                            i * 3
+                        })
+                        .collect()
+                });
+                assert_eq!(out, (0..10_000u64).map(|i| i * 3).collect::<Vec<_>>());
+                let ids = chunk_ids.into_inner().unwrap();
+                assert!(
+                    !ids.contains(&spawner),
+                    "chunks ran inline on pool A's worker instead of pool B"
+                );
+                checked.store(true, std::sync::atomic::Ordering::Relaxed);
+            });
+        });
+        assert!(checked.load(std::sync::atomic::Ordering::Relaxed));
+    }
+
+    #[test]
+    fn scope_inside_parallel_iterator_runs_inline_without_deadlock() {
+        // A worker that opens a scope must not block on work that only it
+        // could execute; inline execution makes this safe even on pool(1).
+        let p = pool(1);
+        let total: Vec<u64> = p.install(|| {
+            (0..8u64)
+                .into_par_iter()
+                .map(|i| {
+                    let acc = std::sync::atomic::AtomicU64::new(0);
+                    super::scope(|s| {
+                        for j in 0..4u64 {
+                            let acc = &acc;
+                            s.spawn_fifo(move |_| {
+                                acc.fetch_add(i * 10 + j, std::sync::atomic::Ordering::Relaxed);
+                            });
+                        }
+                    });
+                    acc.load(std::sync::atomic::Ordering::Relaxed)
+                })
+                .collect()
+        });
+        let expected: Vec<u64> = (0..8u64).map(|i| 4 * (i * 10) + 6).collect();
+        assert_eq!(total, expected);
     }
 }

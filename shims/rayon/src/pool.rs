@@ -20,11 +20,19 @@
 //!   whole batch has drained, so the pool itself never dies and borrowed
 //!   inputs are never observed after `run_indexed` returns.
 //!
+//! * **Scopes.** [`scope`] / [`ThreadPool::scope`] spawn borrowed `FnOnce`
+//!   tasks: [`Scope::spawn`] onto the work-stealing deques, and
+//!   [`Scope::spawn_fifo`] onto a pool-wide FIFO injector queue that workers
+//!   drain in strict submission order (after their own deque, before
+//!   stealing) — the fairness primitive behind the multi-session throughput
+//!   layer. The scope call blocks until every spawned task has completed.
+//!
 //! The one `unsafe` block in this crate lives in [`erase_lifetime`]: chunk
-//! tasks borrow the caller's closure and result latch, and their lifetime is
-//! erased to `'static` so they can sit in the worker deques. This is sound
-//! because `run_indexed` does not return (normally or by panic) until the
-//! latch counts every submitted task as finished.
+//! and scope tasks borrow the caller's closure and completion latch, and
+//! their lifetime is erased to `'static` so they can sit in the worker
+//! deques. This is sound because `run_indexed` and the scope entry points do
+//! not return (normally or by panic) until their latch counts every
+//! submitted task as finished.
 
 use std::collections::VecDeque;
 use std::ops::Range;
@@ -44,8 +52,19 @@ thread_local! {
     /// Stack of pools entered via [`ThreadPool::install`] on this thread.
     static CURRENT_POOL: std::cell::RefCell<Vec<Arc<PoolShared>>> =
         const { std::cell::RefCell::new(Vec::new()) };
-    /// Whether this thread is a pool worker (nested batches run inline).
-    static IS_WORKER: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+    /// The pool this thread is a worker of, if any (nested batches run
+    /// inline; scopes targeting the *same* pool run spawns inline, scopes
+    /// targeting a different pool queue normally — its workers are free to
+    /// drain them while this one blocks).
+    static WORKER_POOL: std::cell::RefCell<Option<std::sync::Weak<PoolShared>>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+/// The pool the current thread works for, if it is a worker thread. The
+/// upgrade always succeeds while the worker loop runs (the loop itself holds
+/// an `Arc` to its pool).
+fn current_worker_pool() -> Option<Arc<PoolShared>> {
+    WORKER_POOL.with(|w| w.borrow().as_ref().and_then(std::sync::Weak::upgrade))
 }
 
 /// Erases the lifetime of a queued task.
@@ -65,6 +84,16 @@ unsafe fn erase_lifetime<'a>(task: Box<dyn FnOnce() + Send + 'a>) -> Task {
 pub(crate) struct PoolShared {
     /// One deque per worker.
     queues: Vec<Mutex<VecDeque<Task>>>,
+    /// A pool-wide FIFO injector queue for fairness-sensitive work: tasks
+    /// pushed here are executed in strict submission order (no worker ever
+    /// takes a newer injector task before an older one), which is what
+    /// [`Scope::spawn_fifo`] and the multi-session throughput layer rely on
+    /// for round-robin fairness across job sources.
+    fifo: Mutex<VecDeque<Task>>,
+    /// Tracks `fifo`'s length so the steal path can skip the shared mutex
+    /// entirely for workloads that never inject FIFO tasks (pure `par_iter`
+    /// batches would otherwise contend on it at every local-deque miss).
+    fifo_len: AtomicUsize,
     /// Round-robin cursor for distributing submitted tasks.
     next_queue: AtomicUsize,
     /// Paired with `wakeup`; guards the sleep / notify handshake.
@@ -77,6 +106,8 @@ impl PoolShared {
     fn new(threads: usize) -> Self {
         Self {
             queues: (0..threads).map(|_| Mutex::new(VecDeque::new())).collect(),
+            fifo: Mutex::new(VecDeque::new()),
+            fifo_len: AtomicUsize::new(0),
             next_queue: AtomicUsize::new(0),
             sleep: Mutex::new(()),
             wakeup: Condvar::new(),
@@ -94,10 +125,29 @@ impl PoolShared {
             .unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 
-    /// Pops local work (back) or steals from another deque (front).
+    fn lock_fifo(&self) -> std::sync::MutexGuard<'_, VecDeque<Task>> {
+        self.fifo
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Pops local work (back), then the oldest injected FIFO task, then
+    /// steals from another deque (front).
     fn find_task(&self, worker: usize) -> Option<Task> {
         if let Some(task) = self.lock_queue(worker).pop_back() {
             return Some(task);
+        }
+        // The length counter keeps idle-steal traffic off the shared fifo
+        // mutex when no FIFO work exists. A racing push that lands just
+        // after the load is not lost: the submitter notifies under the
+        // sleep lock, and the worker re-checks `has_work` (which locks)
+        // before sleeping.
+        if self.fifo_len.load(Ordering::Acquire) > 0 {
+            let mut fifo = self.lock_fifo();
+            if let Some(task) = fifo.pop_front() {
+                self.fifo_len.fetch_sub(1, Ordering::Release);
+                return Some(task);
+            }
         }
         let k = self.queues.len();
         for offset in 1..k {
@@ -110,7 +160,8 @@ impl PoolShared {
     }
 
     fn has_work(&self) -> bool {
-        (0..self.queues.len()).any(|i| !self.lock_queue(i).is_empty())
+        !self.lock_fifo().is_empty()
+            || (0..self.queues.len()).any(|i| !self.lock_queue(i).is_empty())
     }
 
     /// Queues a batch of tasks round-robin across the worker deques and wakes
@@ -127,8 +178,22 @@ impl PoolShared {
         self.wakeup.notify_all();
     }
 
+    /// Queues one task on the pool-wide FIFO injector and wakes the sleepers.
+    fn submit_fifo(&self, task: Task) {
+        {
+            let mut fifo = self.lock_fifo();
+            fifo.push_back(task);
+            self.fifo_len.fetch_add(1, Ordering::Release);
+        }
+        let _guard = self
+            .sleep
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        self.wakeup.notify_all();
+    }
+
     fn worker_loop(self: Arc<Self>, worker: usize) {
-        IS_WORKER.with(|w| w.set(true));
+        WORKER_POOL.with(|w| *w.borrow_mut() = Some(Arc::downgrade(&self)));
         loop {
             if let Some(task) = self.find_task(worker) {
                 task();
@@ -175,10 +240,16 @@ impl PoolShared {
             .div_ceil(threads * CHUNKS_PER_WORKER)
             .max(min_chunk.max(1));
         let num_chunks = len.div_ceil(chunk_len);
-        // Nested batches (a task itself calling into the pool) run inline:
+        // Nested batches targeting the worker's *own* pool run inline:
         // blocking a worker on a latch that other queued work must clear can
-        // deadlock a small pool, and inline evaluation is bit-identical.
-        if threads <= 1 || num_chunks <= 1 || IS_WORKER.with(|w| w.get()) {
+        // deadlock a small pool, and inline evaluation is bit-identical. A
+        // worker of a *different* pool dispatches normally — the target
+        // pool's workers are free to drain the chunks while it blocks —
+        // which is what lets round-sharding backends compose with the
+        // throughput pool's job workers.
+        let own_pool_worker =
+            current_worker_pool().is_some_and(|pool| std::ptr::eq(Arc::as_ptr(&pool), self));
+        if threads <= 1 || num_chunks <= 1 || own_pool_worker {
             return sequential(len);
         }
 
@@ -207,6 +278,173 @@ impl PoolShared {
         self.submit_batch(tasks);
         latch.wait_and_collect(len)
     }
+}
+
+/// A scope for spawning borrowed tasks onto the pool, mirroring rayon's
+/// `Scope`. Created by [`scope`] or [`ThreadPool::scope`]; every task spawned
+/// through it is guaranteed to have finished before the `scope` call returns,
+/// which is what makes borrowing from the enclosing stack frame sound.
+pub struct Scope<'scope> {
+    shared: Arc<PoolShared>,
+    latch: Arc<ScopeLatch>,
+    /// Makes `'scope` invariant, as in rayon: a longer-lived scope must not
+    /// coerce into a shorter-lived one (or tasks could smuggle borrows out).
+    marker: std::marker::PhantomData<&'scope mut &'scope ()>,
+}
+
+impl<'scope> Scope<'scope> {
+    /// Spawns a task on the pool's work-stealing deques (LIFO for the owning
+    /// worker, like rayon's `Scope::spawn`). The task may itself spawn onto
+    /// the same scope.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce(&Scope<'scope>) + Send + 'scope,
+    {
+        self.spawn_inner(f, false);
+    }
+
+    /// Spawns a task on the pool-wide FIFO injector queue: tasks spawned this
+    /// way start in strict submission order (rayon's `spawn_fifo`), which
+    /// gives round-robin fairness when several job sources interleave their
+    /// submissions.
+    pub fn spawn_fifo<F>(&self, f: F)
+    where
+        F: FnOnce(&Scope<'scope>) + Send + 'scope,
+    {
+        self.spawn_inner(f, true);
+    }
+
+    fn spawn_inner<F>(&self, f: F, fifo: bool)
+    where
+        F: FnOnce(&Scope<'scope>) + Send + 'scope,
+    {
+        self.latch.increment();
+        let scope = Scope {
+            shared: Arc::clone(&self.shared),
+            latch: Arc::clone(&self.latch),
+            marker: std::marker::PhantomData,
+        };
+        let latch = Arc::clone(&self.latch);
+        let run = move || {
+            let outcome = panic::catch_unwind(AssertUnwindSafe(|| f(&scope)));
+            latch.complete(outcome.err());
+        };
+        // On a worker of the *target* pool the task runs inline: blocking
+        // that worker on the scope latch while its tasks sit behind other
+        // queued work could deadlock a small pool, and inline execution is
+        // indistinguishable to the caller (the scope only promises
+        // completion, not placement). A worker of a *different* pool queues
+        // normally — the target pool's workers are free to drain the tasks
+        // while this thread blocks on the latch.
+        let same_pool_worker =
+            current_worker_pool().is_some_and(|pool| Arc::ptr_eq(&pool, &self.shared));
+        if same_pool_worker {
+            run();
+            return;
+        }
+        let task: Box<dyn FnOnce() + Send + 'scope> = Box::new(run);
+        // SAFETY: `scope` / `ThreadPool::scope` block on the scope latch
+        // until every spawned task has completed, so the borrows captured by
+        // `f` cannot outlive the enclosing scope call.
+        #[allow(unsafe_code)]
+        let task = unsafe { erase_lifetime(task) };
+        if fifo {
+            self.shared.submit_fifo(task);
+        } else {
+            self.shared.submit_batch(vec![task]);
+        }
+    }
+}
+
+/// Countdown latch for one scope: pending-task count plus the first panic.
+struct ScopeLatch {
+    state: Mutex<(usize, Option<Box<dyn std::any::Any + Send>>)>,
+    done: Condvar,
+}
+
+impl ScopeLatch {
+    fn new() -> Self {
+        Self {
+            state: Mutex::new((0, None)),
+            done: Condvar::new(),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, (usize, Option<Box<dyn std::any::Any + Send>>)> {
+        self.state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    fn increment(&self) {
+        self.lock().0 += 1;
+    }
+
+    fn complete(&self, panic: Option<Box<dyn std::any::Any + Send>>) {
+        let mut state = self.lock();
+        if let Some(payload) = panic {
+            state.1.get_or_insert(payload);
+        }
+        state.0 -= 1;
+        if state.0 == 0 {
+            self.done.notify_all();
+        }
+    }
+
+    /// Blocks until every spawned task has completed, then returns the first
+    /// captured panic payload (if any).
+    fn wait(&self) -> Option<Box<dyn std::any::Any + Send>> {
+        let mut state = self.lock();
+        while state.0 > 0 {
+            state = self
+                .done
+                .wait(state)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+        state.1.take()
+    }
+}
+
+fn scope_on<'scope, OP, R>(shared: Arc<PoolShared>, op: OP) -> R
+where
+    OP: FnOnce(&Scope<'scope>) -> R + Send,
+    R: Send,
+{
+    let scope = Scope {
+        shared,
+        latch: Arc::new(ScopeLatch::new()),
+        marker: std::marker::PhantomData,
+    };
+    let result = panic::catch_unwind(AssertUnwindSafe(|| op(&scope)));
+    // Tasks already spawned must drain even when `op` itself panicked —
+    // they borrow from the enclosing frame, which is about to unwind.
+    let task_panic = scope.latch.wait();
+    match result {
+        Ok(value) => {
+            if let Some(payload) = task_panic {
+                panic::resume_unwind(payload);
+            }
+            value
+        }
+        Err(payload) => panic::resume_unwind(payload),
+    }
+}
+
+/// Creates a [`Scope`] on the current pool — the innermost installed pool,
+/// else (on a worker thread) the worker's own pool, else the global pool —
+/// and blocks until `op` returns and every task it spawned has completed. A
+/// panic in `op` or in any task resumes on the caller after the scope has
+/// drained.
+pub fn scope<'scope, OP, R>(op: OP) -> R
+where
+    OP: FnOnce(&Scope<'scope>) -> R + Send,
+    R: Send,
+{
+    let installed = CURRENT_POOL.with(|stack| stack.borrow().last().cloned());
+    let shared = installed
+        .or_else(current_worker_pool)
+        .unwrap_or_else(|| Arc::clone(&global_pool().shared));
+    scope_on(shared, op)
 }
 
 /// Completion latch for one `run_indexed` batch: per-chunk result slots, a
@@ -369,6 +607,18 @@ impl ThreadPool {
         }
         let _guard = PopGuard;
         op()
+    }
+
+    /// Creates a [`Scope`] whose spawned tasks run on *this* pool and blocks
+    /// until `op` and every spawned task have completed. Unlike real rayon,
+    /// `op` itself executes on the calling thread; only spawned tasks move to
+    /// the workers.
+    pub fn scope<'scope, OP, R>(&self, op: OP) -> R
+    where
+        OP: FnOnce(&Scope<'scope>) -> R + Send,
+        R: Send,
+    {
+        scope_on(Arc::clone(&self.shared), op)
     }
 
     pub(crate) fn shared(&self) -> &PoolShared {

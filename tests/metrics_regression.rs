@@ -90,6 +90,40 @@ fn cr_compound_merge_budget() {
 }
 
 #[test]
+fn round_size_accounting_is_bounded_but_lossless_in_aggregate() {
+    // NaiveAllPairs charges 32 640 single-comparison rounds — far past the
+    // exact-trace limit — so the trace must be dropped while the bounded
+    // histogram still accounts for every round.
+    let instance = fixed_instance();
+    let run = NaiveAllPairs::new().sort(&InstanceOracle::new(&instance));
+    assert_eq!(
+        run.metrics.round_sizes(),
+        None,
+        "a Θ(n²) sequential run must not retain an O(n²) round trace"
+    );
+    assert_eq!(run.metrics.histogram().total(), run.metrics.rounds());
+    assert_eq!(run.metrics.histogram().count_for_size(1), 32_640);
+
+    // The parallel algorithms stay far below the limit: their exact traces
+    // survive and agree with the aggregate counters.
+    let run = CrCompoundMerge::new(K).sort(&InstanceOracle::new(&instance));
+    let sizes = run
+        .metrics
+        .round_sizes()
+        .expect("an 11-round run keeps its exact trace");
+    assert_eq!(sizes.len() as u64, run.metrics.rounds());
+    assert_eq!(
+        sizes.iter().map(|&s| s as u64).sum::<u64>(),
+        run.metrics.comparisons()
+    );
+    assert_eq!(
+        sizes.iter().copied().max().unwrap_or(0),
+        run.metrics.max_round_size()
+    );
+    assert_eq!(run.metrics.histogram().total(), run.metrics.rounds());
+}
+
+#[test]
 fn parallel_algorithms_beat_sequential_round_counts() {
     // Sanity on the pinned baselines themselves: the parallel algorithms'
     // depth is far below the sequential work, in line with the theorems.
