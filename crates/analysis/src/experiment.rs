@@ -8,7 +8,7 @@ use ecs_distributions::{
     class_distribution::AnyDistribution, ClassDistribution, CutoffDistribution,
 };
 use ecs_model::throughput::Job;
-use ecs_model::{Instance, InstanceOracle, ThroughputPool};
+use ecs_model::{ExecutionBackend, Instance, InstanceOracle, ThroughputPool};
 use ecs_rng::StreamSplit;
 use rayon::prelude::*;
 
@@ -134,11 +134,12 @@ fn figure5_trial(
     split: StreamSplit,
     n: usize,
     trial: usize,
+    backend: ExecutionBackend,
 ) -> u64 {
     let mut rng = split.stream(&[n as u64, trial as u64]);
     let instance = Instance::from_distribution(distribution, n, &mut rng);
     let oracle = InstanceOracle::new(&instance);
-    let run = RoundRobin::new().sort(&oracle);
+    let run = RoundRobin::new().sort_with_backend(&oracle, backend);
     debug_assert!(instance.verify(&run.partition));
     run.metrics.comparisons()
 }
@@ -182,8 +183,21 @@ fn assemble_figure5_series(config: &Figure5Config, per_size: Vec<Vec<u64>>) -> F
 /// the distribution, run the round-robin algorithm, and record the total
 /// comparisons. Trials of each size run in parallel via rayon; for
 /// whole-grid throughput across sizes and distributions, prefer
-/// [`figure5_grid`].
+/// [`figure5_grid`]. Sessions evaluate on the environment's backend
+/// ([`ExecutionBackend::from_env`]); use [`figure5_series_with_backend`] to
+/// pin one explicitly.
 pub fn figure5_series(config: &Figure5Config) -> Figure5Series {
+    figure5_series_with_backend(config, ExecutionBackend::from_env())
+}
+
+/// [`figure5_series`] with every trial session evaluating on an explicit
+/// [`ExecutionBackend`] (e.g. the `--batch` / `--threads` CLI selection).
+/// The backend never changes any measurement — partitions and metrics are
+/// bit-identical across backends — only where and how oracle queries run.
+pub fn figure5_series_with_backend(
+    config: &Figure5Config,
+    backend: ExecutionBackend,
+) -> Figure5Series {
     let split = StreamSplit::new(config.seed);
     let per_size: Vec<Vec<u64>> = config
         .sizes
@@ -191,7 +205,7 @@ pub fn figure5_series(config: &Figure5Config) -> Figure5Series {
         .map(|&n| {
             (0..config.trials)
                 .into_par_iter()
-                .map(|trial| figure5_trial(&config.distribution, split, n, trial))
+                .map(|trial| figure5_trial(&config.distribution, split, n, trial, backend))
                 .collect()
         })
         .collect();
@@ -206,6 +220,18 @@ pub fn figure5_series(config: &Figure5Config) -> Figure5Series {
 /// [`figure5_series`] per config — the jobs run the same code on the same
 /// stream coordinates.
 pub fn figure5_grid(configs: &[Figure5Config], pool: &ThroughputPool) -> Vec<Figure5Series> {
+    figure5_grid_with_backend(configs, pool, ExecutionBackend::from_env())
+}
+
+/// [`figure5_grid`] with every trial job's session evaluating on an explicit
+/// [`ExecutionBackend`] — this is how the `--batch` flag reaches pooled
+/// trials. Bit-identical to [`figure5_series_with_backend`] per config on
+/// any backend.
+pub fn figure5_grid_with_backend(
+    configs: &[Figure5Config],
+    pool: &ThroughputPool,
+    backend: ExecutionBackend,
+) -> Vec<Figure5Series> {
     let sessions: Vec<Vec<Job<'_, u64>>> = configs
         .iter()
         .map(|config| {
@@ -216,7 +242,7 @@ pub fn figure5_grid(configs: &[Figure5Config], pool: &ThroughputPool) -> Vec<Fig
                 for trial in 0..config.trials {
                     let distribution = &config.distribution;
                     jobs.push(Box::new(move || {
-                        figure5_trial(distribution, split, n, trial)
+                        figure5_trial(distribution, split, n, trial, backend)
                     }));
                 }
             }
@@ -364,6 +390,7 @@ fn dominance_trial(
     split: StreamSplit,
     n: usize,
     trial: usize,
+    backend: ExecutionBackend,
 ) -> (u64, u64) {
     let mut rng = split.stream(&[1, trial as u64]);
     let instance = Instance::from_distribution(distribution, n, &mut rng);
@@ -371,7 +398,7 @@ fn dominance_trial(
         inner: InstanceOracle::new(&instance),
         cross: std::sync::atomic::AtomicU64::new(0),
     };
-    let run = RoundRobin::new().sort(&oracle);
+    let run = RoundRobin::new().sort_with_backend(&oracle, backend);
     debug_assert!(instance.verify(&run.partition));
     (
         run.metrics.comparisons(),
@@ -405,12 +432,23 @@ fn assemble_dominance(config: &DominanceConfig, measurements: Vec<(u64, u64)>) -
 /// drawn from the distribution and compares them against the
 /// `2·Σ_{i=1}^n V_i` bound where `V_i ~ D_N(n)`. Trials run in parallel via
 /// rayon; for whole-grid throughput across configurations, prefer
-/// [`dominance_grid`].
+/// [`dominance_grid`]. Sessions evaluate on the environment's backend; use
+/// [`dominance_experiment_with_backend`] to pin one explicitly.
 pub fn dominance_experiment(config: &DominanceConfig) -> DominanceResult {
+    dominance_experiment_with_backend(config, ExecutionBackend::from_env())
+}
+
+/// [`dominance_experiment`] with every trial session evaluating on an
+/// explicit [`ExecutionBackend`]; measurements are bit-identical across
+/// backends.
+pub fn dominance_experiment_with_backend(
+    config: &DominanceConfig,
+    backend: ExecutionBackend,
+) -> DominanceResult {
     let split = StreamSplit::new(config.seed);
     let measurements: Vec<(u64, u64)> = (0..config.trials)
         .into_par_iter()
-        .map(|trial| dominance_trial(&config.distribution, split, config.n, trial))
+        .map(|trial| dominance_trial(&config.distribution, split, config.n, trial, backend))
         .collect();
     assemble_dominance(config, measurements)
 }
@@ -421,6 +459,18 @@ pub fn dominance_experiment(config: &DominanceConfig) -> DominanceResult {
 /// a serial loop of per-config barriers. Bit-identical to calling
 /// [`dominance_experiment`] per config.
 pub fn dominance_grid(configs: &[DominanceConfig], pool: &ThroughputPool) -> Vec<DominanceResult> {
+    dominance_grid_with_backend(configs, pool, ExecutionBackend::from_env())
+}
+
+/// [`dominance_grid`] with every trial job's session evaluating on an
+/// explicit [`ExecutionBackend`] — how the `--batch` flag reaches pooled
+/// dominance trials. Bit-identical to
+/// [`dominance_experiment_with_backend`] per config on any backend.
+pub fn dominance_grid_with_backend(
+    configs: &[DominanceConfig],
+    pool: &ThroughputPool,
+    backend: ExecutionBackend,
+) -> Vec<DominanceResult> {
     let sessions: Vec<Vec<Job<'_, (u64, u64)>>> = configs
         .iter()
         .map(|config| {
@@ -429,7 +479,7 @@ pub fn dominance_grid(configs: &[DominanceConfig], pool: &ThroughputPool) -> Vec
                 .map(|trial| {
                     let distribution = &config.distribution;
                     let n = config.n;
-                    Box::new(move || dominance_trial(distribution, split, n, trial))
+                    Box::new(move || dominance_trial(distribution, split, n, trial, backend))
                         as Job<'_, (u64, u64)>
                 })
                 .collect()
@@ -607,6 +657,57 @@ mod tests {
             assert_eq!(pooled.bound_samples, reference.bound_samples);
             assert_eq!(pooled.bound_mean, reference.bound_mean);
         }
+    }
+
+    #[test]
+    fn explicit_backends_never_change_measurements() {
+        let config = Figure5Config {
+            distribution: AnyDistribution::uniform(10),
+            sizes: vec![200, 400],
+            trials: 2,
+            seed: 3,
+        };
+        let reference = figure5_series_with_backend(&config, ExecutionBackend::Sequential);
+        for backend in [
+            ExecutionBackend::batched(64),
+            ExecutionBackend::batched(0),
+            ExecutionBackend::threaded(2),
+        ] {
+            let series = figure5_series_with_backend(&config, backend);
+            for (a, b) in series.points.iter().zip(&reference.points) {
+                assert_eq!(
+                    a.comparisons,
+                    b.comparisons,
+                    "{} trial measurements diverged from sequential",
+                    backend.label()
+                );
+            }
+        }
+        // The pooled grid takes the same explicit backend per trial job.
+        let pool = ThroughputPool::from_jobs(2);
+        let grid = figure5_grid_with_backend(
+            std::slice::from_ref(&config),
+            &pool,
+            ExecutionBackend::batched(16),
+        );
+        for (a, b) in grid[0].points.iter().zip(&reference.points) {
+            assert_eq!(a.comparisons, b.comparisons);
+        }
+        let dom_config = DominanceConfig {
+            distribution: AnyDistribution::uniform(25),
+            n: 400,
+            trials: 2,
+            seed: 11,
+        };
+        let dom_reference =
+            dominance_experiment_with_backend(&dom_config, ExecutionBackend::Sequential);
+        let dom_batched =
+            dominance_experiment_with_backend(&dom_config, ExecutionBackend::batched(32));
+        assert_eq!(dom_batched.measured_total, dom_reference.measured_total);
+        assert_eq!(dom_batched.measured_cross, dom_reference.measured_cross);
+        let dom_grid =
+            dominance_grid_with_backend(&[dom_config], &pool, ExecutionBackend::batched(32));
+        assert_eq!(dom_grid[0].measured_total, dom_reference.measured_total);
     }
 
     #[test]

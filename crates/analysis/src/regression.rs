@@ -20,8 +20,16 @@ pub struct LinearFit {
 impl LinearFit {
     /// Fits a line through the points `(x[i], y[i])`.
     ///
-    /// Returns `None` if fewer than two points are given or all `x` values are
-    /// identical (the slope would be undefined).
+    /// Returns `None` on degenerate inputs instead of producing NaN/Inf
+    /// coefficients:
+    ///
+    /// * fewer than two points;
+    /// * constant `x` — including *near*-singular spreads where `Σ(dx)²` is
+    ///   pure floating-point rounding noise relative to the magnitude of the
+    ///   data (the slope would amplify that noise to an arbitrary, often
+    ///   infinite, value);
+    /// * non-finite inputs (NaN/±Inf in `x` or `y`, or coefficients that
+    ///   overflow).
     pub fn fit(x: &[f64], y: &[f64]) -> Option<Self> {
         assert_eq!(x.len(), y.len(), "x and y must have the same length");
         let n = x.len();
@@ -33,14 +41,24 @@ impl LinearFit {
         let mut sxx = 0.0;
         let mut sxy = 0.0;
         let mut syy = 0.0;
+        let mut x_scale = 0.0f64;
         for i in 0..n {
             let dx = x[i] - mean_x;
             let dy = y[i] - mean_y;
             sxx += dx * dx;
             sxy += dx * dy;
             syy += dy * dy;
+            x_scale = x_scale.max(x[i].abs());
         }
-        if sxx <= 0.0 {
+        // Near-singular gate: `sxx` at the level of squared rounding error of
+        // the x magnitudes means the x values are numerically constant, and
+        // dividing by it would only amplify representation noise. The floor
+        // is built from max|x| rather than Σx² so it cannot overflow for
+        // data Σ(dx)² itself can still represent. `NaN`s fail this
+        // comparison too (any comparison with NaN is false).
+        let noise = f64::EPSILON * x_scale;
+        let singular_floor = noise * noise * n as f64;
+        if !(sxx > singular_floor && sxx > 0.0) {
             return None;
         }
         let slope = sxy / sxx;
@@ -50,6 +68,9 @@ impl LinearFit {
         } else {
             (sxy * sxy) / (sxx * syy)
         };
+        if !(slope.is_finite() && intercept.is_finite() && r_squared.is_finite()) {
+            return None;
+        }
         Some(Self {
             slope,
             intercept,
@@ -84,6 +105,11 @@ impl LinearFit {
 ///
 /// Used to characterise the growth exponent of the zeta series with `s < 2`,
 /// where the paper leaves the growth rate as an open question.
+///
+/// Points with non-positive (or NaN) coordinates are excluded before taking
+/// logarithms; if fewer than two usable points remain, or the surviving `x`
+/// values are constant or near-singular, the fit is degenerate and `None` is
+/// returned (see [`LinearFit::fit`]) — never NaN/Inf exponents.
 pub fn power_law_fit(x: &[f64], y: &[f64]) -> Option<(f64, f64, f64)> {
     assert_eq!(x.len(), y.len());
     let (lx, ly): (Vec<f64>, Vec<f64>) = x
@@ -120,6 +146,41 @@ mod tests {
     }
 
     #[test]
+    fn near_singular_x_is_rejected_not_exploded() {
+        // These x values are "equal" up to one unit of floating-point
+        // rounding (0.1 + 0.2 != 0.3 in f64), so Σ(dx)² is pure noise
+        // (~1e-33). The old code divided by it, amplifying the noise into an
+        // astronomically large — for larger y, infinite — slope.
+        let x = [0.1 + 0.2, 0.3, 0.3];
+        let y = [0.0, 1e300, -1e300];
+        assert!(
+            LinearFit::fit(&x, &y).is_none(),
+            "rounding-noise x spread must be treated as constant x"
+        );
+        // A small-but-real spread is still fitted.
+        let fit = LinearFit::fit(&[1.0, 1.000001, 1.000002], &[1.0, 2.0, 3.0]).unwrap();
+        assert!(fit.slope.is_finite());
+        assert!((fit.slope - 1e6).abs() / 1e6 < 1e-3);
+        // Huge-but-well-conditioned magnitudes are still fitted: the
+        // singular floor is built from max|x|, so it cannot overflow the way
+        // a Σx² floor would (Σx² = inf would reject every such fit).
+        let fit = LinearFit::fit(&[1.4e154, 1.5e154, 1.6e154], &[1.0, 2.0, 3.0]).unwrap();
+        assert!(fit.slope.is_finite());
+        assert!(
+            (fit.slope * 1e153 - 1.0).abs() < 1e-6,
+            "slope = dy/dx = 1e-153"
+        );
+    }
+
+    #[test]
+    fn non_finite_inputs_are_rejected() {
+        assert!(LinearFit::fit(&[1.0, f64::NAN, 3.0], &[1.0, 2.0, 3.0]).is_none());
+        assert!(LinearFit::fit(&[1.0, 2.0, 3.0], &[1.0, f64::NAN, 3.0]).is_none());
+        assert!(LinearFit::fit(&[1.0, f64::INFINITY], &[1.0, 2.0]).is_none());
+        assert!(LinearFit::fit(&[1.0, 2.0], &[f64::NEG_INFINITY, 2.0]).is_none());
+    }
+
+    #[test]
     #[should_panic(expected = "same length")]
     fn mismatched_lengths_panic() {
         let _ = LinearFit::fit(&[1.0, 2.0], &[1.0]);
@@ -145,6 +206,20 @@ mod tests {
         assert!(fit.r_squared > 0.99);
         assert!(fit.r_squared < 1.0);
         assert!(fit.max_relative_residual(&x, &y) < 0.5);
+    }
+
+    #[test]
+    fn power_law_degenerate_inputs_return_none() {
+        // Constant x after the positivity filter: the log-log regression has
+        // an undefined exponent.
+        assert!(power_law_fit(&[5.0, 5.0, 5.0], &[1.0, 2.0, 3.0]).is_none());
+        // Non-positive coordinates are filtered; fewer than two points
+        // survive, so no fit — not a NaN from ln of a non-positive value.
+        assert!(power_law_fit(&[-1.0, 0.0, 2.0], &[1.0, 2.0, 3.0]).is_none());
+        assert!(power_law_fit(&[1.0, 2.0, 3.0], &[0.0, -2.0, 3.0]).is_none());
+        assert!(power_law_fit(&[], &[]).is_none());
+        // NaNs fail the positivity filter rather than poisoning the logs.
+        assert!(power_law_fit(&[f64::NAN, 2.0], &[1.0, 2.0]).is_none());
     }
 
     #[test]

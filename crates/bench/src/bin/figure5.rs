@@ -4,13 +4,17 @@
 //! ```text
 //! cargo run -p ecs_bench --release --bin figure5 -- [--dist uniform|geometric|poisson|zeta|all]
 //!     [--full] [--scale D] [--trials T] [--seed S] [--out results] [--threads N] [--jobs J]
+//!     [--batch W]
 //!
 //! `--jobs J` runs every trial of the whole grid through one shared J-worker
 //! throughput pool (round-robin fairness across distributions); without
 //! `--jobs`, `--threads N` / `ECS_THREADS` select the trial pool instead
 //! (round evaluation inside a trial follows `ECS_THREADS`, but these trials'
-//! rounds are single comparisons). Results are bit-identical to a serial run
-//! either way.
+//! rounds are single comparisons). `--batch W` makes every trial session
+//! submit its rounds as oracle `same_batch` waves of up to W pairs —
+//! round-robin is sequential, so this changes nothing here, which is the
+//! point: CSVs are byte-identical with and without `--batch` (CI diffs
+//! them). Results are bit-identical to a serial run either way.
 //! ```
 //!
 //! By default the paper's size grids are divided by 10 so the whole figure
@@ -40,7 +44,12 @@ fn main() {
     let seed = args.get_u64("seed", 2016);
     let out_dir = args.get_or("out", "results");
     let pool = args.throughput_pool();
-    println!("throughput pool: {}", pool.label());
+    let backend = args.execution_backend();
+    println!(
+        "throughput pool: {}; execution backend: {}",
+        pool.label(),
+        backend.label()
+    );
     std::fs::create_dir_all(&out_dir).expect("cannot create output directory");
 
     let panels: Vec<&str> = if panel == "all" {
@@ -51,7 +60,7 @@ fn main() {
 
     for panel in panels {
         println!("=== Figure 5 panel: {panel} (scale 1/{scale}, {trials} trials) ===\n");
-        for (config, series) in figure5_panel_series(panel, scale, trials, seed, &pool) {
+        for (config, series) in figure5_panel_series(panel, scale, trials, seed, &pool, backend) {
             let label = config.distribution.name();
             let table = figure5_table(&series);
             println!("{}", table.to_text());

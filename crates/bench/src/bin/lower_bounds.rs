@@ -4,12 +4,13 @@
 //! Ω(n²/f²) / Ω(n²/ℓ²) bounds.
 //!
 //! ```text
-//! cargo run -p ecs_bench --release --bin lower_bounds -- [--out results] [--threads N]
+//! cargo run -p ecs_bench --release --bin lower_bounds -- [--out results] [--threads N] [--batch W]
 //!
-//! `--threads` is accepted for CLI uniformity but has no effect here: the
-//! adversary oracles are adaptive (answers depend on query order), so the
-//! algorithms driven against them issue single comparisons, which always
-//! evaluate inline.
+//! `--threads` and `--batch` are accepted for CLI uniformity but have no
+//! effect here: the adversary oracles are adaptive (answers depend on query
+//! order), so the algorithms driven against them issue single comparisons,
+//! which always evaluate inline — and the adversaries' default `same_batch`
+//! answers pairs one at a time in submission order anyway.
 //! ```
 
 use ecs_bench::paper::{theorem5_grid, theorem6_grid};

@@ -3,12 +3,14 @@
 //!
 //! ```text
 //! cargo run -p ecs_bench --release --bin reproduce_all -- [--out results] [--scale D]
-//!     [--threads N] [--jobs J]
+//!     [--threads N] [--jobs J] [--batch W]
 //! ```
 //!
 //! Pass `--full` to use the paper's exact grids (slow). `--jobs J` runs all
 //! Figure 5 and Theorem 7 trials through one shared throughput pool;
-//! `ECS_BENCH_SMOKE=1` shrinks every grid to a CI-sized smoke run.
+//! `--batch W` evaluates every session's rounds as oracle `same_batch` waves
+//! of up to W pairs (all reported numbers are bit-identical with and without
+//! it); `ECS_BENCH_SMOKE=1` shrinks every grid to a CI-sized smoke run.
 
 use ecs_bench::runners::{
     algorithm_comparison_table, dominance_sweep, dominance_table, figure5_panel_series,
@@ -49,7 +51,7 @@ fn main() {
     // to the shared throughput pool as one workload.
     for panel in paper::panel_names() {
         println!("running Figure 5 panel '{panel}'...");
-        for (config, series) in figure5_panel_series(panel, scale, trials, seed, &pool) {
+        for (config, series) in figure5_panel_series(panel, scale, trials, seed, &pool, backend) {
             let table = figure5_table(&series);
             report.push_str(&table.to_markdown());
             report.push('\n');
@@ -119,6 +121,7 @@ fn main() {
         trials,
         seed,
         &pool,
+        backend,
     );
     let dom = dominance_table(&results, n);
     report.push_str(&dom.to_markdown());

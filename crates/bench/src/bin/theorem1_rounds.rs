@@ -2,7 +2,7 @@
 //! algorithm classifies `n` elements in `O(k + log log n)` rounds.
 //!
 //! ```text
-//! cargo run -p ecs_bench --release --bin theorem1_rounds -- [--seed S] [--out results] [--threads N]
+//! cargo run -p ecs_bench --release --bin theorem1_rounds -- [--seed S] [--out results] [--threads N] [--batch W]
 //! ```
 
 use ecs_bench::paper::round_count_grid;

@@ -2,7 +2,7 @@
 //! elements in `O(k log n)` rounds.
 //!
 //! ```text
-//! cargo run -p ecs_bench --release --bin theorem2_rounds -- [--seed S] [--out results] [--threads N]
+//! cargo run -p ecs_bench --release --bin theorem2_rounds -- [--seed S] [--out results] [--threads N] [--batch W]
 //! ```
 
 use ecs_bench::paper::round_count_grid;

@@ -3,7 +3,7 @@
 //! with `n`.
 //!
 //! ```text
-//! cargo run -p ecs_bench --release --bin theorem4_rounds -- [--seed S] [--out results] [--full] [--threads N]
+//! cargo run -p ecs_bench --release --bin theorem4_rounds -- [--seed S] [--out results] [--full] [--threads N] [--batch W]
 //! ```
 
 use ecs_bench::paper::theorem4_lambdas;

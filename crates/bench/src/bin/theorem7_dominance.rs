@@ -5,11 +5,13 @@
 //!
 //! ```text
 //! cargo run -p ecs_bench --release --bin theorem7_dominance -- [--n N] [--trials T]
-//!     [--out results] [--threads N] [--jobs J]
+//!     [--out results] [--threads N] [--jobs J] [--batch W]
 //!
 //! `--jobs J` runs every trial of every distribution through one shared
 //! J-worker throughput pool (round-robin fairness across distributions);
-//! results are bit-identical to a serial run.
+//! `--batch W` makes each trial session submit rounds as oracle
+//! `same_batch` waves of up to W pairs. Results are bit-identical to a
+//! serial, unbatched run either way.
 //! ```
 //!
 //! Setting `ECS_BENCH_SMOKE=1` shrinks the sweep to a CI-sized smoke run.
@@ -25,9 +27,14 @@ fn main() {
     let seed = args.get_u64("seed", 7);
     let out_dir = args.get_or("out", "results");
     let pool = args.throughput_pool();
+    let backend = args.execution_backend();
     std::fs::create_dir_all(&out_dir).expect("cannot create output directory");
 
-    println!("throughput pool: {}", pool.label());
+    println!(
+        "throughput pool: {}; execution backend: {}",
+        pool.label(),
+        backend.label()
+    );
     let distributions = vec![
         AnyDistribution::uniform(10),
         AnyDistribution::uniform(100),
@@ -39,7 +46,7 @@ fn main() {
         AnyDistribution::zeta(2.0),
     ];
 
-    let results = dominance_sweep(distributions, n, trials, seed, &pool);
+    let results = dominance_sweep(distributions, n, trials, seed, &pool, backend);
 
     let table = dominance_table(&results, n);
     println!("{}", table.to_text());

@@ -8,6 +8,7 @@
 //! never silently fail on that ambiguity. Values that themselves start with
 //! `--` can always be passed with the `--flag=value` spelling.
 
+use ecs_model::backend::available_parallelism;
 use ecs_model::{ExecutionBackend, ThroughputPool};
 use std::collections::HashMap;
 
@@ -92,35 +93,89 @@ impl Args {
         self.switches.iter().any(|s| s == name) || self.values.contains_key(name)
     }
 
-    /// The execution backend selected by `--threads N`, falling back to the
-    /// `ECS_THREADS` environment variable when the flag is absent (`0`/`1`
-    /// and unparsable values select the sequential backend).
+    /// The execution backend selected by `--batch W` / `--threads N`,
+    /// falling back to the `ECS_THREADS` environment variable when both
+    /// flags are absent.
+    ///
+    /// * `--batch W` selects [`ExecutionBackend::Batched`]: rounds are
+    ///   submitted to the oracle as `same_batch` waves of up to `W` pairs
+    ///   (`--batch 0` = the whole round as one wave; a bare `--batch` or an
+    ///   unparsable wave selects the default wave size). `--batch` takes
+    ///   precedence over `--threads` — a backend evaluates a round either in
+    ///   waves or on the pool, and the batched path is the explicit request.
+    /// * `--threads N` selects the threaded backend; `1` and unparsable
+    ///   values select sequential, and `--threads 0` is not a usable worker
+    ///   count — it clamps to the machine's available parallelism with a
+    ///   warning instead of silently building a degenerate pool.
     pub fn execution_backend(&self) -> ExecutionBackend {
+        if self.has("batch") {
+            let wave = match self.get("batch") {
+                Some(value) => value
+                    .parse()
+                    .unwrap_or(ExecutionBackend::DEFAULT_BATCH_WAVE),
+                None => ExecutionBackend::DEFAULT_BATCH_WAVE,
+            };
+            return ExecutionBackend::batched(wave);
+        }
         match self.get("threads") {
-            Some(value) => ExecutionBackend::from_threads(value.parse().unwrap_or(1)),
+            Some(value) => ExecutionBackend::from_threads(worker_count("--threads", value, 1)),
             None => ExecutionBackend::from_env(),
         }
     }
 
-    /// The throughput pool selected by `--jobs N` (`0`/`1` run trials
+    /// The throughput pool selected by `--jobs N` (`1` runs trials
     /// serially), falling back to the `--threads` / `ECS_THREADS` backend
     /// when the flag is absent — so `--threads N` alone still accelerates
     /// trial-level work as before, while `--jobs` decouples trial throughput
-    /// from round-evaluation parallelism. A bare `--jobs` (no value) or an
-    /// unparsable count selects the machine's available parallelism rather
-    /// than being silently dropped; results are bit-identical for every
-    /// worker count either way.
+    /// from round-evaluation parallelism. A bare `--jobs` (no value), an
+    /// unparsable count, *and* the degenerate `--jobs 0` all select the
+    /// machine's available parallelism (the zero case with a warning) rather
+    /// than being silently dropped or going serial; results are
+    /// bit-identical for every worker count either way.
+    ///
+    /// With `--batch` and no `--jobs`, the trial loop stays serial (a
+    /// batched backend is single-threaded by design) — combine `--jobs N
+    /// --batch W` to run `N` concurrent trials whose sessions each submit
+    /// waves of `W`.
     pub fn throughput_pool(&self) -> ThroughputPool {
         if !self.has("jobs") {
+            // A Batched backend has one thread, so `--batch` alone keeps the
+            // trial loop serial; `--threads N` keeps feeding the pool.
             return ThroughputPool::new(self.execution_backend());
         }
-        let available =
-            || std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
         let jobs = match self.get("jobs") {
-            Some(value) => value.parse().unwrap_or_else(|_| available()),
-            None => available(),
+            Some(value) => worker_count("--jobs", value, available_parallelism()),
+            None => available_parallelism(),
         };
         ThroughputPool::from_jobs(jobs)
+    }
+}
+
+/// Parses one worker-count flag value. `0` is not a usable worker count —
+/// before this existed, a zero could flow on toward the pool layer as a
+/// degenerate request — so it clamps to the machine's available parallelism
+/// with a warning (once per flag: binaries resolve the backend more than
+/// once); unparsable values fall back to `unparsable` (each flag documents
+/// its own fallback).
+fn worker_count(flag: &str, value: &str, unparsable: usize) -> usize {
+    match value.trim().parse::<usize>() {
+        Ok(0) => {
+            let available = available_parallelism();
+            static WARNED: std::sync::Mutex<Vec<String>> = std::sync::Mutex::new(Vec::new());
+            let mut warned = WARNED
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            if !warned.iter().any(|warned_flag| warned_flag == flag) {
+                warned.push(flag.to_string());
+                eprintln!(
+                    "warning: {flag} 0 is not a usable worker count; \
+                     clamping to available parallelism ({available})"
+                );
+            }
+            available
+        }
+        Ok(count) => count,
+        Err(_) => unparsable,
     }
 }
 
@@ -234,6 +289,59 @@ mod tests {
             args(&["--threads", "8"]).throughput_pool().label(),
             "pooled(8)"
         );
+    }
+
+    #[test]
+    fn batch_flag_selects_the_batched_backend() {
+        use ecs_model::ExecutionBackend;
+        assert_eq!(
+            args(&["--batch", "64"]).execution_backend(),
+            ExecutionBackend::batched(64)
+        );
+        assert_eq!(
+            args(&["--batch", "0"]).execution_backend(),
+            ExecutionBackend::batched(0),
+            "--batch 0 means the whole round as one wave"
+        );
+        // A bare `--batch` or a typo'd wave still selects batching, at the
+        // default wave size.
+        let default = ExecutionBackend::batched(ExecutionBackend::DEFAULT_BATCH_WAVE);
+        assert_eq!(args(&["--batch"]).execution_backend(), default);
+        assert_eq!(args(&["--batch", "junk"]).execution_backend(), default);
+        // `--batch` beats `--threads`: the batched path is the explicit ask.
+        assert_eq!(
+            args(&["--threads", "4", "--batch", "32"]).execution_backend(),
+            ExecutionBackend::batched(32)
+        );
+        // `--batch` alone keeps the trial loop serial; with `--jobs` the
+        // trials run pooled while each session batches.
+        assert_eq!(args(&["--batch", "64"]).throughput_pool().label(), "serial");
+        assert_eq!(
+            args(&["--batch", "64", "--jobs", "4"])
+                .throughput_pool()
+                .label(),
+            "pooled(4)"
+        );
+    }
+
+    #[test]
+    fn zero_worker_counts_clamp_to_available_parallelism() {
+        use ecs_model::ExecutionBackend;
+        // Regression: a zero `--threads` / `--jobs` used to flow on as a
+        // degenerate zero-worker request; both must clamp to the machine's
+        // available parallelism (with a warning) instead.
+        let available = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+        assert_eq!(
+            args(&["--threads", "0"]).execution_backend(),
+            ExecutionBackend::from_threads(available)
+        );
+        assert_eq!(
+            args(&["--jobs", "0"]).throughput_pool().label(),
+            ThroughputPool::from_jobs(available).label()
+        );
+        // The clamp never produces a zero-thread backend, whatever the host.
+        assert!(args(&["--threads", "0"]).execution_backend().threads() >= 1);
+        assert!(args(&["--jobs", "0"]).throughput_pool().workers() >= 1);
     }
 
     #[test]

@@ -4,8 +4,8 @@ use crate::paper;
 use ecs_adversary::{EqualSizeAdversary, SmallestClassAdversary};
 use ecs_analysis::report::fmt_float;
 use ecs_analysis::{
-    dominance_grid, figure5_grid, DominanceConfig, DominanceResult, Figure5Config, Figure5Series,
-    Table,
+    dominance_grid_with_backend, figure5_grid_with_backend, DominanceConfig, DominanceResult,
+    Figure5Config, Figure5Series, Table,
 };
 use ecs_core::{
     CrCompoundMerge, EcsAlgorithm, ErConstantRound, ErMergeSort, RepresentativeScan, RoundRobin,
@@ -17,29 +17,33 @@ use ecs_rng::{SeedableEcsRng, Xoshiro256StarStar};
 /// Runs every Figure 5 configuration of one panel through the throughput
 /// pool — all `(distribution, size, trial)` jobs of the panel are queued as
 /// one workload, one fairness session per distribution — and returns
-/// `(config, series)` pairs in the panel's order. Results are bit-identical
-/// to the serial per-config loop.
+/// `(config, series)` pairs in the panel's order. Each trial's session
+/// evaluates on `backend` (e.g. the `--batch` / `--threads` CLI selection);
+/// results are bit-identical to the serial per-config loop on every backend.
 pub fn figure5_panel_series(
     panel: &str,
     scale: usize,
     trials: usize,
     seed: u64,
     pool: &ThroughputPool,
+    backend: ExecutionBackend,
 ) -> Vec<(Figure5Config, Figure5Series)> {
     let configs = paper::figure5_configs(panel, scale, trials, seed);
-    let series = figure5_grid(&configs, pool);
+    let series = figure5_grid_with_backend(&configs, pool, backend);
     configs.into_iter().zip(series).collect()
 }
 
 /// Runs a Theorem 7 dominance sweep over several distributions through the
 /// throughput pool (one fairness session per distribution), bit-identical to
-/// running [`ecs_analysis::dominance_experiment`] per distribution.
+/// running [`ecs_analysis::dominance_experiment`] per distribution. Trial
+/// sessions evaluate on `backend`.
 pub fn dominance_sweep(
     distributions: Vec<AnyDistribution>,
     n: usize,
     trials: usize,
     seed: u64,
     pool: &ThroughputPool,
+    backend: ExecutionBackend,
 ) -> Vec<DominanceResult> {
     let configs: Vec<DominanceConfig> = distributions
         .into_iter()
@@ -50,7 +54,7 @@ pub fn dominance_sweep(
             seed,
         })
         .collect();
-    dominance_grid(&configs, pool)
+    dominance_grid_with_backend(&configs, pool, backend)
 }
 
 /// Renders one Figure 5 series as a table with per-size statistics and the
@@ -420,7 +424,8 @@ mod tests {
     #[test]
     fn panel_series_match_serial_per_config_runs() {
         let pool = ThroughputPool::from_jobs(4);
-        let pooled = figure5_panel_series("uniform", 100, 2, 2016, &pool);
+        let pooled =
+            figure5_panel_series("uniform", 100, 2, 2016, &pool, ExecutionBackend::Sequential);
         assert!(!pooled.is_empty());
         for (config, series) in &pooled {
             let reference = figure5_series(config);
@@ -431,6 +436,23 @@ mod tests {
                 );
             }
         }
+        // `--batch` must not change any measurement either.
+        let batched = figure5_panel_series(
+            "uniform",
+            100,
+            2,
+            2016,
+            &pool,
+            ExecutionBackend::batched(64),
+        );
+        for ((_, a), (_, b)) in batched.iter().zip(&pooled) {
+            for (pa, pb) in a.points.iter().zip(&b.points) {
+                assert_eq!(
+                    pa.comparisons, pb.comparisons,
+                    "batched panel diverged from the sequential-backend panel"
+                );
+            }
+        }
     }
 
     #[test]
@@ -438,7 +460,14 @@ mod tests {
         use ecs_analysis::dominance_experiment;
         let pool = ThroughputPool::from_jobs(2);
         let distributions = vec![AnyDistribution::uniform(10), AnyDistribution::zeta(2.5)];
-        let pooled = dominance_sweep(distributions.clone(), 500, 3, 7, &pool);
+        let pooled = dominance_sweep(
+            distributions.clone(),
+            500,
+            3,
+            7,
+            &pool,
+            ExecutionBackend::Sequential,
+        );
         for (distribution, result) in distributions.into_iter().zip(&pooled) {
             let reference = dominance_experiment(&DominanceConfig {
                 distribution,

@@ -38,6 +38,24 @@ pub enum ExecutionBackend {
         /// [`ExecutionBackend::DEFAULT_PARALLEL_THRESHOLD`].
         threshold: usize,
     },
+    /// Evaluate each round on the calling thread as one or few
+    /// [`EquivalenceOracle::same_batch`] request waves instead of per-pair
+    /// `same` calls.
+    ///
+    /// For in-memory oracles this amortizes batch validation; for oracles
+    /// whose `same_batch` override answers a wave in one round trip (service
+    /// calls, disk-resident partitions), it turns a round of `m` comparisons
+    /// into `⌈m / wave⌉` requests. Waves are submitted in pair order and
+    /// answers collected in submission order, so partitions and
+    /// [`crate::Metrics`] are bit-identical to [`ExecutionBackend::Sequential`]
+    /// (charging happens before evaluation and is backend-independent).
+    Batched {
+        /// Maximum number of pairs per `same_batch` wave; `0` submits the
+        /// whole round as a single wave. Defaults to
+        /// [`ExecutionBackend::DEFAULT_BATCH_WAVE`] via
+        /// [`ExecutionBackend::batched`].
+        wave: usize,
+    },
 }
 
 impl ExecutionBackend {
@@ -46,12 +64,24 @@ impl ExecutionBackend {
     /// itself (each comparison is two array reads).
     pub const DEFAULT_PARALLEL_THRESHOLD: usize = 4096;
 
+    /// The default wave size of [`ExecutionBackend::Batched`]: large enough
+    /// to amortize a per-wave fixed cost (validation, a request round trip)
+    /// over hundreds of pairs, small enough that a wave of replies stays
+    /// cache-resident.
+    pub const DEFAULT_BATCH_WAVE: usize = 256;
+
     /// A threaded backend with the default parallel threshold.
     pub fn threaded(threads: usize) -> Self {
         ExecutionBackend::Threaded {
             threads,
             threshold: Self::DEFAULT_PARALLEL_THRESHOLD,
         }
+    }
+
+    /// A batched backend submitting waves of `wave` pairs (`0` = the whole
+    /// round as a single wave).
+    pub fn batched(wave: usize) -> Self {
+        ExecutionBackend::Batched { wave }
     }
 
     /// Maps a thread-count knob (e.g. a `--threads` flag) onto a backend:
@@ -65,10 +95,13 @@ impl ExecutionBackend {
         }
     }
 
-    /// Reads the backend from the `ECS_THREADS` environment variable
-    /// (unset, unparsable, `0` or `1` select [`ExecutionBackend::Sequential`]).
-    /// This is what [`crate::ComparisonSession::new`] uses, so exporting
-    /// `ECS_THREADS=4` routes every session in the process through the pool.
+    /// Reads the backend from the `ECS_THREADS` environment variable: unset,
+    /// unparsable and `1` select [`ExecutionBackend::Sequential`]; `0` is not
+    /// a usable worker count and clamps to the machine's available
+    /// parallelism with a warning (it used to be possible for a zero count to
+    /// reach the pool builder as a degenerate request). This is what
+    /// [`crate::ComparisonSession::new`] uses, so exporting `ECS_THREADS=4`
+    /// routes every session in the process through the pool.
     ///
     /// The variable is read once and cached: sessions are created per
     /// algorithm run (sometimes from several pool workers at once), and
@@ -76,15 +109,32 @@ impl ExecutionBackend {
     pub fn from_env() -> Self {
         static FROM_ENV: OnceLock<ExecutionBackend> = OnceLock::new();
         *FROM_ENV.get_or_init(|| match std::env::var("ECS_THREADS") {
-            Ok(value) => Self::from_threads(value.trim().parse().unwrap_or(1)),
+            Ok(value) => Self::from_env_value(&value),
             Err(_) => ExecutionBackend::Sequential,
         })
+    }
+
+    /// Maps one `ECS_THREADS` value onto a backend (the uncached parsing
+    /// behind [`ExecutionBackend::from_env`]).
+    fn from_env_value(value: &str) -> Self {
+        match value.trim().parse::<usize>() {
+            Ok(0) => {
+                let available = available_parallelism();
+                eprintln!(
+                    "warning: ECS_THREADS=0 is not a usable worker count; \
+                     clamping to available parallelism ({available})"
+                );
+                Self::from_threads(available)
+            }
+            Ok(threads) => Self::from_threads(threads),
+            Err(_) => ExecutionBackend::Sequential,
+        }
     }
 
     /// The number of OS threads this backend evaluates on.
     pub fn threads(&self) -> usize {
         match *self {
-            ExecutionBackend::Sequential => 1,
+            ExecutionBackend::Sequential | ExecutionBackend::Batched { .. } => 1,
             ExecutionBackend::Threaded { threads, .. } => threads.max(1),
         }
     }
@@ -94,12 +144,14 @@ impl ExecutionBackend {
         self.threads() > 1
     }
 
-    /// A short human-readable label (`"sequential"`, `"threaded(4)"`) for
-    /// benchmark tables and CLI banners.
+    /// A short human-readable label (`"sequential"`, `"threaded(4)"`,
+    /// `"batched(256)"`) for benchmark tables and CLI banners.
     pub fn label(&self) -> String {
         match *self {
             ExecutionBackend::Sequential => "sequential".to_string(),
             ExecutionBackend::Threaded { threads, .. } => format!("threaded({threads})"),
+            ExecutionBackend::Batched { wave: 0 } => "batched(all)".to_string(),
+            ExecutionBackend::Batched { wave } => format!("batched({wave})"),
         }
     }
 
@@ -133,9 +185,29 @@ impl ExecutionBackend {
                         .collect()
                 })
             }
+            ExecutionBackend::Batched { wave } if !pairs.is_empty() => {
+                if wave == 0 || wave >= pairs.len() {
+                    oracle.same_batch(pairs)
+                } else {
+                    // Waves are cut in pair order, so concatenating their
+                    // answers reproduces the scalar answer vector exactly.
+                    let mut answers = Vec::with_capacity(pairs.len());
+                    for wave_pairs in pairs.chunks(wave) {
+                        answers.extend(oracle.same_batch(wave_pairs));
+                    }
+                    answers
+                }
+            }
             _ => pairs.iter().map(|&(a, b)| oracle.same(a, b)).collect(),
         }
     }
+}
+
+/// The machine's available parallelism, clamped to at least one — the target
+/// that degenerate zero worker-count knobs (`--threads 0`, `--jobs 0`,
+/// `ECS_THREADS=0`) are corrected to.
+pub fn available_parallelism() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
 }
 
 /// Process-wide pool cache, one pool per distinct thread count. Sessions are
@@ -233,5 +305,60 @@ mod tests {
     fn labels_render() {
         assert_eq!(ExecutionBackend::Sequential.label(), "sequential");
         assert_eq!(ExecutionBackend::threaded(8).label(), "threaded(8)");
+        assert_eq!(ExecutionBackend::batched(64).label(), "batched(64)");
+        assert_eq!(ExecutionBackend::batched(0).label(), "batched(all)");
+    }
+
+    #[test]
+    fn batched_backend_is_single_threaded() {
+        let backend = ExecutionBackend::batched(64);
+        assert_eq!(backend, ExecutionBackend::Batched { wave: 64 });
+        assert_eq!(backend.threads(), 1);
+        assert!(!backend.is_parallel());
+    }
+
+    #[test]
+    fn batched_evaluation_matches_sequential_for_every_wave() {
+        let labels: Vec<u32> = (0..2_000u32).map(|i| i % 5).collect();
+        let oracle = LabelOracle::new(labels);
+        let pairs: Vec<(usize, usize)> = (0..1_000).map(|i| (i, i + 1_000)).collect();
+        let reference = ExecutionBackend::Sequential.evaluate(&oracle, &pairs);
+        // Waves that divide the round, waves that leave a remainder, a wave
+        // of one (scalar), a wave larger than the round, and the whole-round
+        // wave must all concatenate back to the scalar answers.
+        for wave in [0, 1, 7, 64, 1_000, 5_000] {
+            assert_eq!(
+                ExecutionBackend::batched(wave).evaluate(&oracle, &pairs),
+                reference,
+                "batched({wave}) diverged from sequential"
+            );
+        }
+        assert!(ExecutionBackend::batched(8)
+            .evaluate(&oracle, &[])
+            .is_empty());
+    }
+
+    #[test]
+    fn env_value_zero_clamps_to_available_parallelism() {
+        // `ECS_THREADS=0` must never select a degenerate zero-worker pool:
+        // it clamps to the machine's available parallelism (sequential on a
+        // one-core machine, threaded otherwise).
+        assert_eq!(
+            ExecutionBackend::from_env_value("0"),
+            ExecutionBackend::from_threads(available_parallelism())
+        );
+        assert_eq!(
+            ExecutionBackend::from_env_value(" 1 "),
+            ExecutionBackend::Sequential
+        );
+        assert_eq!(
+            ExecutionBackend::from_env_value("junk"),
+            ExecutionBackend::Sequential
+        );
+        assert_eq!(
+            ExecutionBackend::from_env_value("4"),
+            ExecutionBackend::threaded(4)
+        );
+        assert!(available_parallelism() >= 1);
     }
 }

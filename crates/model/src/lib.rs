@@ -18,10 +18,16 @@
 //!   distributions of Section 4.
 //! * [`Partition`] — the canonical representation of a (claimed or true)
 //!   classification, with equality testing.
-//! * [`EquivalenceOracle`] — the only window an algorithm has onto the truth.
+//! * [`EquivalenceOracle`] — the only window an algorithm has onto the truth,
+//!   with a batched [`EquivalenceOracle::same_batch`] request-wave path for
+//!   oracles whose cost is dominated by per-request overhead.
 //! * [`ExecutionBackend`] — where comparisons physically run: sequentially
-//!   on the calling thread, or sharded across a work-stealing pool of OS
-//!   threads, with answers always collected in submission order.
+//!   on the calling thread, sharded across a work-stealing pool of OS
+//!   threads, or submitted as `same_batch` waves
+//!   ([`ExecutionBackend::Batched`]), with answers always collected in
+//!   submission order.
+//! * [`BatchingOracle`] — an adapter coalescing concurrent scalar `same`
+//!   calls (e.g. from [`ThroughputPool`] job workers) into batch waves.
 //! * [`ComparisonSession`] — counts comparisons and rounds, enforces the ER /
 //!   CR disciplines and the processor budget, and evaluates large comparison
 //!   batches through the selected [`ExecutionBackend`].
@@ -36,6 +42,7 @@
 #![warn(missing_docs)]
 
 pub mod backend;
+pub mod batching;
 pub mod instance;
 pub mod metrics;
 pub mod oracle;
@@ -46,9 +53,10 @@ pub mod throughput;
 pub mod transcript;
 
 pub use backend::ExecutionBackend;
+pub use batching::BatchingOracle;
 pub use instance::Instance;
 pub use metrics::{Metrics, RoundSizeHistogram};
-pub use oracle::{EquivalenceOracle, InstanceOracle};
+pub use oracle::{EquivalenceOracle, InstanceOracle, LabelOracle};
 pub use partition::Partition;
 pub use session::{ComparisonSession, ReadMode};
 pub use throughput::ThroughputPool;

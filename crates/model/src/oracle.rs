@@ -28,6 +28,46 @@ pub trait EquivalenceOracle: Sync {
     /// (self-comparisons are never useful and usually indicate an algorithm
     /// bug).
     fn same(&self, a: usize, b: usize) -> bool;
+
+    /// Answers a whole batch of equivalence tests, one answer per pair **in
+    /// pair order** — the request-wave primitive behind
+    /// [`crate::ExecutionBackend::Batched`] and [`crate::BatchingOracle`].
+    ///
+    /// The default implementation is a scalar loop over [`Self::same`], so
+    /// every oracle batches correctly out of the box. Implementations backed
+    /// by I/O or per-call fixed costs (a service round trip, a disk-resident
+    /// partition, batch-wide validation) should override it to answer the
+    /// wave in one pass; overrides must agree *pairwise* with `same` on every
+    /// batch — `same_batch(pairs)[i] == same(pairs[i].0, pairs[i].1)` — which
+    /// is what keeps batched evaluation bit-identical to the scalar path
+    /// (enforced by the `oracle_batching` suite).
+    ///
+    /// Order-adaptive oracles (the lower-bound adversaries) answer each pair
+    /// in submission order under the default implementation, so their batch
+    /// semantics are exactly their scalar semantics.
+    fn same_batch(&self, pairs: &[(usize, usize)]) -> Vec<bool> {
+        pairs.iter().map(|&(a, b)| self.same(a, b)).collect()
+    }
+}
+
+/// Enforces the ground-truth oracles' shared query contract for one pair:
+/// indices in range (hard assert with a diagnostic) and no self-comparison
+/// (debug assert — never useful, usually an algorithm bug).
+#[inline]
+fn validate_pair(n: usize, a: usize, b: usize) {
+    assert!(
+        a < n && b < n,
+        "comparison ({a}, {b}) out of range for n = {n}"
+    );
+    debug_assert_ne!(a, b, "self-comparison requested");
+}
+
+/// [`validate_pair`] over a whole wave, so batch answers can be produced in
+/// a single unchecked pass afterwards.
+fn validate_pairs(n: usize, pairs: &[(usize, usize)]) {
+    for &(a, b) in pairs {
+        validate_pair(n, a, b);
+    }
 }
 
 /// The straightforward oracle that answers from an [`Instance`]'s ground
@@ -55,13 +95,18 @@ impl EquivalenceOracle for InstanceOracle<'_> {
     }
 
     fn same(&self, a: usize, b: usize) -> bool {
-        assert!(
-            a < self.instance.n() && b < self.instance.n(),
-            "comparison ({a}, {b}) out of range for n = {}",
-            self.instance.n()
-        );
-        debug_assert_ne!(a, b, "self-comparison requested");
+        validate_pair(self.instance.n(), a, b);
         self.instance.same_class(a, b)
+    }
+
+    fn same_batch(&self, pairs: &[(usize, usize)]) -> Vec<bool> {
+        // Validate the whole wave up front, then answer it in one unchecked
+        // pass over the ground truth.
+        validate_pairs(self.instance.n(), pairs);
+        pairs
+            .iter()
+            .map(|&(a, b)| self.instance.same_class(a, b))
+            .collect()
     }
 }
 
@@ -88,13 +133,18 @@ impl EquivalenceOracle for LabelOracle {
     }
 
     fn same(&self, a: usize, b: usize) -> bool {
-        assert!(
-            a < self.labels.len() && b < self.labels.len(),
-            "comparison ({a}, {b}) out of range for n = {}",
-            self.labels.len()
-        );
-        debug_assert_ne!(a, b, "self-comparison requested");
+        validate_pair(self.labels.len(), a, b);
         self.labels[a] == self.labels[b]
+    }
+
+    fn same_batch(&self, pairs: &[(usize, usize)]) -> Vec<bool> {
+        // One validation pass over the wave, then a straight answer pass
+        // over the label vector.
+        validate_pairs(self.labels.len(), pairs);
+        pairs
+            .iter()
+            .map(|&(a, b)| self.labels[a] == self.labels[b])
+            .collect()
     }
 }
 
@@ -158,5 +208,48 @@ mod tests {
         fn assert_sync<T: Sync>() {}
         assert_sync::<InstanceOracle<'_>>();
         assert_sync::<LabelOracle>();
+    }
+
+    #[test]
+    fn same_batch_agrees_pairwise_with_same() {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(11);
+        let inst = Instance::balanced(60, 7, &mut rng);
+        let labels: Vec<u32> = inst.ground_truth().labels().to_vec();
+        let instance_oracle = InstanceOracle::new(&inst);
+        let label_oracle = LabelOracle::new(labels);
+        let pairs: Vec<(usize, usize)> = (0..59).map(|i| (i, i + 1)).collect();
+        let scalar: Vec<bool> = pairs
+            .iter()
+            .map(|&(a, b)| instance_oracle.same(a, b))
+            .collect();
+        assert_eq!(instance_oracle.same_batch(&pairs), scalar);
+        assert_eq!(label_oracle.same_batch(&pairs), scalar);
+        assert!(instance_oracle.same_batch(&[]).is_empty());
+    }
+
+    #[test]
+    fn default_same_batch_is_the_scalar_loop() {
+        /// An oracle that only implements `same`, to exercise the trait's
+        /// default batch path.
+        struct Parity;
+        impl EquivalenceOracle for Parity {
+            fn n(&self) -> usize {
+                10
+            }
+            fn same(&self, a: usize, b: usize) -> bool {
+                a % 2 == b % 2
+            }
+        }
+        assert_eq!(
+            Parity.same_batch(&[(0, 2), (0, 1), (3, 5)]),
+            vec![true, false, true]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn same_batch_validates_the_whole_wave() {
+        let oracle = LabelOracle::new(vec![1, 2]);
+        let _ = oracle.same_batch(&[(0, 1), (0, 2)]);
     }
 }

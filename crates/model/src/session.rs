@@ -21,10 +21,11 @@ pub enum ReadMode {
 /// the session validates them against the read discipline and processor
 /// budget, evaluates them against the oracle through an
 /// [`ExecutionBackend`] — on a work-stealing pool of OS threads for large
-/// batches when a [`ExecutionBackend::Threaded`] backend is selected — and
-/// accumulates [`Metrics`]. Charging is independent of the backend, and
-/// answers are collected in submission order, so metrics and partitions are
-/// bit-identical across backends.
+/// batches when a [`ExecutionBackend::Threaded`] backend is selected, or as
+/// one or few [`EquivalenceOracle::same_batch`] request waves under
+/// [`ExecutionBackend::Batched`] — and accumulates [`Metrics`]. Charging is
+/// independent of the backend, and answers are collected in submission
+/// order, so metrics and partitions are bit-identical across backends.
 ///
 /// # Example
 ///
@@ -324,6 +325,44 @@ mod tests {
 
         assert_eq!(a, b);
         assert_eq!(parallel.metrics(), sequential.metrics());
+    }
+
+    #[test]
+    fn batched_rounds_match_sequential_answers_and_charging() {
+        let mut r = rng(3);
+        let inst = Instance::balanced(1_000, 5, &mut r);
+        let oracle = InstanceOracle::new(&inst);
+        let pairs: Vec<(usize, usize)> = (0..500).map(|i| (i, i + 500)).collect();
+
+        let mut sequential = ComparisonSession::with_backend(
+            &oracle,
+            ReadMode::Exclusive,
+            ExecutionBackend::Sequential,
+        );
+        let reference = sequential.execute_round(&pairs);
+
+        for wave in [0, 1, 7, 64, 1_000] {
+            let mut batched = ComparisonSession::with_backend(
+                &oracle,
+                ReadMode::Exclusive,
+                ExecutionBackend::batched(wave),
+            );
+            assert_eq!(
+                batched.execute_round(&pairs),
+                reference,
+                "batched({wave}) answers diverged"
+            );
+            assert_eq!(
+                batched.metrics(),
+                sequential.metrics(),
+                "charging must be independent of the wave size"
+            );
+            assert_eq!(
+                batched.metrics().round_sizes(),
+                sequential.metrics().round_sizes(),
+                "the exact round trace must be independent of the wave size"
+            );
+        }
     }
 
     #[test]

@@ -104,6 +104,11 @@ pub(crate) struct PoolShared {
 
 impl PoolShared {
     fn new(threads: usize) -> Self {
+        // A zero-worker pool would have no deques to queue on (submission
+        // round-robins modulo the deque count, so zero would divide by
+        // zero). Callers clamp degenerate counts with a warning; this guard
+        // makes the pool itself safe regardless.
+        let threads = threads.max(1);
         Self {
             queues: (0..threads).map(|_| Mutex::new(VecDeque::new())).collect(),
             fifo: Mutex::new(VecDeque::new()),
@@ -547,13 +552,17 @@ impl ThreadPoolBuilder {
         self
     }
 
-    /// Spawns the workers and returns the pool.
+    /// Spawns the workers and returns the pool. The worker count is always
+    /// at least one: `num_threads(0)` selects the environment default, which
+    /// is itself clamped, so a degenerate zero-worker pool (queues nobody
+    /// drains) cannot be built.
     pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
         let threads = if self.num_threads == 0 {
             default_num_threads()
         } else {
             self.num_threads
-        };
+        }
+        .max(1);
         let shared = Arc::new(PoolShared::new(threads));
         let mut handles = Vec::with_capacity(threads);
         for worker in 0..threads {

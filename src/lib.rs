@@ -70,8 +70,9 @@ pub mod prelude {
     };
     pub use ecs_graph::{HamiltonianUnion, UnionFind};
     pub use ecs_model::{
-        ComparisonSession, EquivalenceOracle, ExecutionBackend, Instance, InstanceOracle, Metrics,
-        Partition, ReadMode, RecordingOracle, RoundSizeHistogram, ThroughputPool, Transcript,
+        BatchingOracle, ComparisonSession, EquivalenceOracle, ExecutionBackend, Instance,
+        InstanceOracle, LabelOracle, Metrics, Partition, ReadMode, RecordingOracle,
+        RoundSizeHistogram, ThroughputPool, Transcript,
     };
     pub use ecs_rng::{EcsRng, SeedableEcsRng, SplitMix64, StreamSplit, Xoshiro256StarStar};
 }

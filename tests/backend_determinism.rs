@@ -64,6 +64,15 @@ fn assert_backend_invariant<A: EcsAlgorithm>(alg: &A, instance: &Instance) {
             alg.name(),
             backend.label()
         );
+        // `Metrics` equality covers the charged summaries; the exact
+        // per-round order is checked explicitly.
+        assert_eq!(
+            reference.metrics.round_sizes(),
+            run.metrics.round_sizes(),
+            "{} round trace differs between sequential and {}",
+            alg.name(),
+            backend.label()
+        );
     }
 }
 

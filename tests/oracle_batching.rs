@@ -1,0 +1,216 @@
+//! Properties of the batched oracle evaluation path.
+//!
+//! Three guarantees, each load-bearing for the batching subsystem:
+//!
+//! 1. **Pairwise agreement.** `same_batch` must agree with `same` pair by
+//!    pair — `same_batch(pairs)[i] == same(pairs[i].0, pairs[i].1)` — for
+//!    both ground-truth oracle types ([`InstanceOracle`], [`LabelOracle`])
+//!    on instances drawn from all four of the paper's class-size
+//!    distributions. This is the contract that lets everything downstream
+//!    batch freely.
+//! 2. **Backend determinism.** Every algorithm run on an
+//!    [`ExecutionBackend::Batched`] backend (any wave size, including the
+//!    whole-round wave) must produce the **identical partition and identical
+//!    [`ecs_model::Metrics`]** as the sequential backend: charging happens
+//!    before evaluation and waves are cut in pair order, so batching is
+//!    observationally invisible.
+//! 3. **Coalescing transparency.** A [`BatchingOracle`] wrapping a
+//!    ground-truth oracle — including when queried concurrently from
+//!    [`ThroughputPool`] job workers — must answer every query exactly as
+//!    the unwrapped oracle would.
+
+use ecs_core::{
+    CrCompoundMerge, EcsAlgorithm, EcsRun, ErConstantRound, ErMergeSort, NaiveAllPairs,
+    RepresentativeScan, RoundRobin,
+};
+use ecs_distributions::class_distribution::AnyDistribution;
+use ecs_model::throughput::Job;
+use ecs_model::{
+    BatchingOracle, EquivalenceOracle, ExecutionBackend, Instance, InstanceOracle, LabelOracle,
+    ThroughputPool,
+};
+use ecs_rng::{EcsRng, SeedableEcsRng, Xoshiro256StarStar};
+use proptest::prelude::*;
+
+fn distribution(choice: u8) -> AnyDistribution {
+    match choice % 4 {
+        0 => AnyDistribution::uniform(8),
+        1 => AnyDistribution::geometric(0.2),
+        2 => AnyDistribution::poisson(5.0),
+        _ => AnyDistribution::zeta(2.5),
+    }
+}
+
+/// Deterministic pseudo-random pair list covering the index range, derived
+/// from the proptest-drawn seed.
+fn query_pairs(n: usize, count: usize, seed: u64) -> Vec<(usize, usize)> {
+    let mut rng = Xoshiro256StarStar::seed_from_u64(seed ^ 0x9E37_79B9);
+    (0..count)
+        .filter_map(|_| {
+            let a = rng.next_u64() as usize % n;
+            let b = rng.next_u64() as usize % n;
+            (a != b).then_some((a, b))
+        })
+        .collect()
+}
+
+/// The batched backends every run must agree across: a wave smaller than
+/// most rounds, a wave that rarely divides a round evenly, and the
+/// whole-round wave.
+fn batched_backends() -> [ExecutionBackend; 3] {
+    [
+        ExecutionBackend::batched(7),
+        ExecutionBackend::batched(64),
+        ExecutionBackend::batched(0),
+    ]
+}
+
+fn assert_batched_invariant<A: EcsAlgorithm>(alg: &A, instance: &Instance) {
+    let oracle = InstanceOracle::new(instance);
+    let reference: EcsRun = alg.sort_with_backend(&oracle, ExecutionBackend::Sequential);
+    assert!(
+        instance.verify(&reference.partition),
+        "{} misclassified under the sequential backend",
+        alg.name()
+    );
+    for backend in batched_backends() {
+        let run = alg.sort_with_backend(&oracle, backend);
+        assert_eq!(
+            reference.partition,
+            run.partition,
+            "{} partition differs between sequential and {}",
+            alg.name(),
+            backend.label()
+        );
+        assert_eq!(
+            reference.metrics,
+            run.metrics,
+            "{} metrics differ between sequential and {}",
+            alg.name(),
+            backend.label()
+        );
+        // `Metrics` equality covers the charged summaries; the exact
+        // per-round order is checked explicitly.
+        assert_eq!(
+            reference.metrics.round_sizes(),
+            run.metrics.round_sizes(),
+            "{} round trace differs between sequential and {}",
+            alg.name(),
+            backend.label()
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Guarantee 1: pairwise agreement for both oracle types across all four
+    /// distributions.
+    #[test]
+    fn same_batch_agrees_pairwise_with_same(
+        seed in 0u64..10_000,
+        n in 2usize..300,
+        choice in 0u8..4,
+    ) {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
+        let instance = Instance::from_distribution(&distribution(choice), n, &mut rng);
+        let instance_oracle = InstanceOracle::new(&instance);
+        let label_oracle = LabelOracle::new(instance.ground_truth().labels().to_vec());
+        let pairs = query_pairs(instance.n(), 200, seed);
+        let scalar: Vec<bool> = pairs
+            .iter()
+            .map(|&(a, b)| instance_oracle.same(a, b))
+            .collect();
+        prop_assert_eq!(&instance_oracle.same_batch(&pairs), &scalar);
+        prop_assert_eq!(&label_oracle.same_batch(&pairs), &scalar);
+        // Scalar calls through the two oracle types agree too (the label
+        // oracle answers from the instance's own ground truth).
+        for &(a, b) in &pairs {
+            prop_assert_eq!(instance_oracle.same(a, b), label_oracle.same(a, b));
+        }
+    }
+
+    /// Guarantee 2: every algorithm is bit-identical between the sequential
+    /// and batched backends on any instance.
+    #[test]
+    fn all_algorithms_identical_on_batched_backends(
+        seed in 0u64..10_000,
+        n in 2usize..180,
+        choice in 0u8..4,
+    ) {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
+        let instance = Instance::from_distribution(&distribution(choice), n, &mut rng);
+        let k = instance.ground_truth().num_classes().max(1);
+        assert_batched_invariant(&NaiveAllPairs::new(), &instance);
+        assert_batched_invariant(&RoundRobin::new(), &instance);
+        assert_batched_invariant(&RepresentativeScan::new(), &instance);
+        assert_batched_invariant(&ErMergeSort::new(), &instance);
+        assert_batched_invariant(&ErConstantRound::adaptive(seed), &instance);
+        assert_batched_invariant(&CrCompoundMerge::new(k), &instance);
+    }
+
+    /// Guarantee 3 (serial form): a coalescing wrapper answers exactly like
+    /// the oracle it wraps, for every wave size.
+    #[test]
+    fn batching_oracle_is_transparent_serially(
+        seed in 0u64..10_000,
+        n in 2usize..200,
+        wave in 0usize..9,
+        choice in 0u8..4,
+    ) {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
+        let instance = Instance::from_distribution(&distribution(choice), n, &mut rng);
+        let plain = InstanceOracle::new(&instance);
+        // Zero linger: a serial caller should not pay a wait for peers that
+        // cannot exist.
+        let coalescing =
+            BatchingOracle::with_linger(InstanceOracle::new(&instance), wave, std::time::Duration::ZERO);
+        prop_assert_eq!(coalescing.n(), plain.n());
+        for (a, b) in query_pairs(instance.n(), 64, seed) {
+            prop_assert_eq!(coalescing.same(a, b), plain.same(a, b));
+        }
+    }
+}
+
+/// Guarantee 3 (concurrent form): ThroughputPool jobs querying one shared
+/// coalescing oracle get exactly the answers of the unwrapped oracle, and
+/// runs whose sessions use it are bit-identical to plain runs.
+#[test]
+fn throughput_jobs_through_a_batching_oracle_stay_bit_identical() {
+    let mut rng = Xoshiro256StarStar::seed_from_u64(2016);
+    let instance = Instance::balanced(240, 6, &mut rng);
+    let plain = InstanceOracle::new(&instance);
+    let coalescing = BatchingOracle::with_linger(
+        InstanceOracle::new(&instance),
+        4,
+        std::time::Duration::from_micros(100),
+    );
+
+    // Whole algorithm runs through the adapter: partitions and metrics must
+    // match the plain oracle exactly (the adapter only changes how queries
+    // reach the ground truth, never what they answer).
+    let reference = RoundRobin::new().sort_with_backend(&plain, ExecutionBackend::Sequential);
+    let pool = ThroughputPool::from_jobs(4);
+    let runs: Vec<EcsRun> = {
+        let coalescing = &coalescing;
+        let jobs: Vec<Job<'_, EcsRun>> = (0..8)
+            .map(|_| {
+                Box::new(move || {
+                    RoundRobin::new().sort_with_backend(coalescing, ExecutionBackend::Sequential)
+                }) as Job<'_, EcsRun>
+            })
+            .collect();
+        pool.run(jobs)
+    };
+    for run in &runs {
+        assert_eq!(run.partition, reference.partition);
+        assert_eq!(run.metrics, reference.metrics);
+        assert_eq!(run.metrics.round_sizes(), reference.metrics.round_sizes());
+    }
+    assert_eq!(
+        coalescing.queries(),
+        8 * reference.metrics.comparisons(),
+        "every job's queries flow through the adapter"
+    );
+    assert!(coalescing.waves_flushed() <= coalescing.queries());
+}

@@ -85,6 +85,13 @@ fn assert_pooled_matches_serial(instances: &[Instance], seed: u64, workers: usiz
                 expected.metrics, got.metrics,
                 "algorithm {which}, trial {trial}: pooled metrics differ from serial"
             );
+            // `Metrics` equality covers the charged summaries; the exact
+            // per-round order is checked explicitly.
+            assert_eq!(
+                expected.metrics.round_sizes(),
+                got.metrics.round_sizes(),
+                "algorithm {which}, trial {trial}: pooled round trace differs from serial"
+            );
         }
     }
 }
@@ -150,6 +157,7 @@ fn two_distributions_share_one_pool_deterministically() {
         for (a, b) in reference.iter().flatten().zip(again.iter().flatten()) {
             assert_eq!(a.partition, b.partition);
             assert_eq!(a.metrics, b.metrics);
+            assert_eq!(a.metrics.round_sizes(), b.metrics.round_sizes());
         }
     }
 }
