@@ -1,7 +1,20 @@
 //! The shared coloring-adversary machinery behind Theorems 5 and 6.
+//!
+//! [`AdversaryCore`] holds the committed adversary state and the sequential
+//! case analysis of Section 3 ([`AdversaryCore::answer`]). The round-commit
+//! protocol in [`crate::round_commit`] drives it: all pairs of one comparison
+//! round are answered by replaying them in **pair order** against the state
+//! at round start, so the answers an algorithm observes never depend on
+//! which OS thread asked first or how the round was cut into batch waves.
+//!
+//! Answering and cost accounting are deliberately split:
+//! [`AdversaryCore::answer`] applies the swap/mark/edge/contract intents of
+//! one pair without counting it, and [`AdversaryCore::record`] charges one
+//! comparison (and optionally a transcript entry) per *query served* — the
+//! round protocol plans a pair once but charges every repeat.
 
 use ecs_graph::UnionFind;
-use ecs_model::Partition;
+use ecs_model::{Partition, Transcript};
 use std::collections::{HashMap, HashSet};
 
 /// Why an element ended up marked.
@@ -15,8 +28,9 @@ pub enum Mark {
     Both,
 }
 
-/// The adversary's mutable state. The public adversary types wrap this in a
-/// mutex so it can sit behind the `&self` oracle interface.
+/// The adversary's mutable state. The public adversary types wrap this (via
+/// [`crate::RoundCommit`]) in a mutex so it can sit behind the `&self` oracle
+/// interface.
 #[derive(Debug)]
 pub struct AdversaryCore {
     n: usize,
@@ -43,6 +57,8 @@ pub struct AdversaryCore {
     marked_elements: usize,
     /// Number of swaps performed (diagnostic).
     swaps: u64,
+    /// Optional record of every served query, for consistency audits.
+    transcript: Option<Transcript>,
 }
 
 impl AdversaryCore {
@@ -86,6 +102,7 @@ impl AdversaryCore {
             comparisons: 0,
             marked_elements: 0,
             swaps: 0,
+            transcript: None,
         }
     }
 
@@ -110,6 +127,20 @@ impl AdversaryCore {
         self.swaps
     }
 
+    /// Starts recording every served query into a [`Transcript`] (off by
+    /// default: a full interrogation stores Θ(n²) entries).
+    pub fn enable_transcript(&mut self) {
+        if self.transcript.is_none() {
+            self.transcript = Some(Transcript::new());
+        }
+    }
+
+    /// The recorded transcript, when [`AdversaryCore::enable_transcript`] was
+    /// called before the run.
+    pub fn transcript(&self) -> Option<&Transcript> {
+        self.transcript.as_ref()
+    }
+
     /// Whether any element of the protected color has been marked (Theorem 6:
     /// the bound counts comparisons until this first happens).
     pub fn protected_color_touched(&self) -> bool {
@@ -132,6 +163,16 @@ impl AdversaryCore {
         transcript
             .iter()
             .all(|&(a, b, same)| (self.color[a] == self.color[b]) == same)
+    }
+
+    /// Charges one served query (cost counter and optional transcript). Kept
+    /// separate from [`AdversaryCore::answer`] so the round protocol can plan
+    /// a pair once but charge every repeat of it.
+    pub(crate) fn record(&mut self, a: usize, b: usize, answer: bool) {
+        self.comparisons += 1;
+        if let Some(t) = self.transcript.as_mut() {
+            t.record(a, b, answer);
+        }
     }
 
     fn degree(&self, root: usize) -> usize {
@@ -287,10 +328,17 @@ impl AdversaryCore {
         }
     }
 
-    /// Answers one equivalence test, following the case analysis of Section 3.
-    pub fn answer(&mut self, a: usize, b: usize) -> bool {
+    /// Answers one equivalence test, following the case analysis of Section 3,
+    /// and applies its swap/mark/edge/contract effects. Does **not** charge
+    /// the comparison — the round protocol calls [`AdversaryCore::record`]
+    /// per served query instead (a pair is planned once per round but every
+    /// repeat of it is charged).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` or `b` is out of range.
+    pub(crate) fn answer(&mut self, a: usize, b: usize) -> bool {
         assert!(a < self.n && b < self.n, "comparison out of range");
-        self.comparisons += 1;
         let ra = self.uf.find(a);
         let rb = self.uf.find(b);
         if ra == rb {
@@ -366,7 +414,6 @@ mod tests {
         let first = core.answer(0, 2);
         let second = core.answer(0, 2);
         assert_eq!(first, second);
-        assert_eq!(core.comparisons(), 2);
     }
 
     #[test]
@@ -414,5 +461,26 @@ mod tests {
             !core.protected_color_touched(),
             "protected color was marked after only a handful of probes"
         );
+    }
+
+    #[test]
+    fn answering_does_not_charge_but_recording_does() {
+        let mut core = AdversaryCore::new(&[2, 2], 1, None);
+        let answer = core.answer(0, 2);
+        assert_eq!(core.comparisons(), 0, "planning a pair is free");
+        core.record(0, 2, answer);
+        core.record(2, 0, answer);
+        assert_eq!(core.comparisons(), 2, "every served query is charged");
+    }
+
+    #[test]
+    fn transcript_recording_is_opt_in() {
+        let mut core = AdversaryCore::new(&[2, 2], 1, None);
+        core.record(0, 2, false);
+        assert!(core.transcript().is_none());
+        core.enable_transcript();
+        core.record(0, 3, false);
+        assert_eq!(core.transcript().unwrap().len(), 1);
+        assert_eq!(core.comparisons(), 2);
     }
 }

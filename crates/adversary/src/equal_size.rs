@@ -1,7 +1,9 @@
 //! The Theorem 5 adversary: every equivalence class has the same size `f`.
 
 use crate::core_state::AdversaryCore;
-use ecs_model::{EquivalenceOracle, Partition};
+use crate::round_commit::RoundCommit;
+use crate::LowerBoundAdversary;
+use ecs_model::{EquivalenceOracle, Partition, Transcript};
 use parking_lot::Mutex;
 
 /// An adaptive oracle that forces any correct equivalence class sorting
@@ -11,9 +13,14 @@ use parking_lot::Mutex;
 /// finishes, [`EqualSizeAdversary::comparisons`] reports how many tests it was
 /// forced to make and [`EqualSizeAdversary::paper_lower_bound`] the
 /// `n²/(64f)` value from Lemma 3's accounting.
+///
+/// The adversary participates in the session's round-boundary hooks (the
+/// [`crate::round_commit`] protocol), so it answers bit-identically on every
+/// [`ecs_model::ExecutionBackend`] — sequential, threaded, or batched — and
+/// under [`ecs_model::ThroughputPool`] throughput mode.
 #[derive(Debug)]
 pub struct EqualSizeAdversary {
-    core: Mutex<AdversaryCore>,
+    protocol: Mutex<RoundCommit>,
     n: usize,
     f: usize,
 }
@@ -32,10 +39,30 @@ impl EqualSizeAdversary {
         let sizes = vec![f; k];
         let threshold = (n / (4 * f)).max(1);
         Self {
-            core: Mutex::new(AdversaryCore::new(&sizes, threshold, None)),
+            protocol: Mutex::new(RoundCommit::new(AdversaryCore::new(
+                &sizes, threshold, None,
+            ))),
             n,
             f,
         }
+    }
+
+    /// Enables transcript recording (off by default: a full interrogation
+    /// stores Θ(n²) entries), for consistency audits.
+    pub fn with_transcript(self) -> Self {
+        self.protocol.lock().core_mut().enable_transcript();
+        self
+    }
+
+    /// The recorded transcript; empty unless
+    /// [`EqualSizeAdversary::with_transcript`] was used.
+    pub fn transcript(&self) -> Transcript {
+        self.protocol
+            .lock()
+            .core()
+            .transcript()
+            .cloned()
+            .unwrap_or_default()
     }
 
     /// The uniform class size `f`.
@@ -45,22 +72,28 @@ impl EqualSizeAdversary {
 
     /// Comparisons the algorithm has performed against this adversary.
     pub fn comparisons(&self) -> u64 {
-        self.core.lock().comparisons()
+        self.protocol.lock().core().comparisons()
     }
 
     /// Number of elements the adversary was forced to mark.
     pub fn marked_elements(&self) -> usize {
-        self.core.lock().marked_elements()
+        self.protocol.lock().core().marked_elements()
     }
 
     /// Number of colour swaps the adversary used to stay non-committal.
     pub fn swaps(&self) -> u64 {
-        self.core.lock().swaps()
+        self.protocol.lock().core().swaps()
+    }
+
+    /// Comparison rounds committed through the round protocol (single
+    /// sequential comparisons count as one round each).
+    pub fn rounds_committed(&self) -> u64 {
+        self.protocol.lock().rounds_committed()
     }
 
     /// The partition the adversary has committed to.
     pub fn partition(&self) -> Partition {
-        self.core.lock().partition()
+        self.protocol.lock().core().partition()
     }
 
     /// The explicit constant of Lemma 3 / Theorem 5: once `n/8` elements are
@@ -86,7 +119,49 @@ impl EquivalenceOracle for EqualSizeAdversary {
     }
 
     fn same(&self, a: usize, b: usize) -> bool {
-        self.core.lock().answer(a, b)
+        self.protocol.lock().query(a, b)
+    }
+
+    fn same_batch(&self, pairs: &[(usize, usize)]) -> Vec<bool> {
+        self.protocol.lock().query_batch(pairs)
+    }
+
+    fn round_opened(&self, pairs: &[(usize, usize)]) {
+        self.protocol.lock().begin_round(pairs);
+    }
+
+    fn round_closed(&self) {
+        self.protocol.lock().end_round();
+    }
+}
+
+impl LowerBoundAdversary for EqualSizeAdversary {
+    fn parameter(&self) -> usize {
+        self.class_size()
+    }
+
+    fn comparisons(&self) -> u64 {
+        EqualSizeAdversary::comparisons(self)
+    }
+
+    fn marked_elements(&self) -> usize {
+        EqualSizeAdversary::marked_elements(self)
+    }
+
+    fn swaps(&self) -> u64 {
+        EqualSizeAdversary::swaps(self)
+    }
+
+    fn paper_lower_bound(&self) -> u64 {
+        EqualSizeAdversary::paper_lower_bound(self)
+    }
+
+    fn previous_lower_bound(&self) -> u64 {
+        EqualSizeAdversary::previous_lower_bound(self)
+    }
+
+    fn partition(&self) -> Partition {
+        EqualSizeAdversary::partition(self)
     }
 }
 
@@ -151,6 +226,16 @@ mod tests {
     fn new_bound_dominates_old_bound() {
         let adversary = EqualSizeAdversary::new(1024, 16);
         assert!(adversary.paper_lower_bound() >= 16 * adversary.previous_lower_bound());
+    }
+
+    #[test]
+    fn transcript_explains_the_committed_partition() {
+        let adversary = EqualSizeAdversary::new(60, 5).with_transcript();
+        let run = RepresentativeScan::new().sort(&adversary);
+        let transcript = adversary.transcript();
+        assert_eq!(transcript.len() as u64, adversary.comparisons());
+        assert!(transcript.consistent_with(&adversary.partition()));
+        assert!(transcript.certifies(60, &run.partition));
     }
 
     #[test]

@@ -20,17 +20,60 @@
 //! swap partners does the adversary mark it and commit. Lemma 3 converts a
 //! count of marked elements into the comparison lower bound.
 //!
-//! This crate implements that adversary as an [`ecs_model::EquivalenceOracle`]
-//! so any algorithm from `ecs-core` can be run against it, plus helpers that
-//! report the paper's bound for the chosen parameters so benchmark tables can
-//! print "measured vs. `n²/(64f)`" side by side.
+//! Both adversaries run the **round-commit protocol** of [`round_commit`]:
+//! when a comparison round opens, its pairs are replayed in canonical pair
+//! order against the committed round-start state, merging their swap/mark
+//! intents into one deterministic commit and pinning every pair's answer in
+//! a plan; queries during the round are served from the plan. Answers
+//! therefore do not depend on which OS thread asked first or how a round was
+//! cut into batch waves, so the adversaries are bit-identical across
+//! [`ecs_model::ExecutionBackend::Sequential`],
+//! [`ecs_model::ExecutionBackend::Threaded`], and
+//! [`ecs_model::ExecutionBackend::Batched`], and inside
+//! [`ecs_model::ThroughputPool`] jobs.
+//!
+//! This crate implements the adversaries as [`ecs_model::EquivalenceOracle`]s
+//! so any algorithm from `ecs-core` can be run against them, plus helpers
+//! that report the paper's bound for the chosen parameters so benchmark
+//! tables can print "measured vs. `n²/(64f)`" side by side.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod core_state;
 pub mod equal_size;
+pub mod round_commit;
 pub mod smallest_class;
 
 pub use equal_size::EqualSizeAdversary;
+pub use round_commit::RoundCommit;
 pub use smallest_class::SmallestClassAdversary;
+
+use ecs_model::{EquivalenceOracle, Partition};
+
+/// The interface the lower-bound experiment runners drive: either Section 3
+/// adversary, seen uniformly as "an adaptive oracle with a paper bound".
+pub trait LowerBoundAdversary: EquivalenceOracle {
+    /// The bound's size parameter (`f` for Theorem 5, `ℓ` for Theorem 6).
+    fn parameter(&self) -> usize;
+
+    /// Comparisons the algorithm has been forced to perform so far.
+    fn comparisons(&self) -> u64;
+
+    /// Number of elements the adversary was forced to mark.
+    fn marked_elements(&self) -> usize;
+
+    /// Number of color swaps the adversary used to stay non-committal (a
+    /// diagnostic of the swap/mark heuristic, pinned by the golden suite).
+    fn swaps(&self) -> u64;
+
+    /// The paper's lower bound with Lemma 3's explicit constant
+    /// (`n²/(64f)` / `n²/(64ℓ)`).
+    fn paper_lower_bound(&self) -> u64;
+
+    /// The older bound the paper improves on (`n²/(64f²)` / `n²/(64ℓ²)`).
+    fn previous_lower_bound(&self) -> u64;
+
+    /// The partition the adversary has committed to.
+    fn partition(&self) -> Partition;
+}

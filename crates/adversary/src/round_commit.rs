@@ -1,0 +1,309 @@
+//! The round-granular commit protocol that makes the order-adaptive
+//! adversaries deterministic on every execution backend.
+//!
+//! The sequential adversary of Section 3 mutates its coloring after every
+//! query, so its answers depend on the *temporal order* of queries — which a
+//! work-stealing pool does not preserve, and which a batched backend reshapes
+//! into waves. [`RoundCommit`] removes that dependency at round granularity:
+//!
+//! 1. **Snapshot & plan.** When the session opens a round
+//!    ([`ecs_model::EquivalenceOracle::round_opened`] hands the round's pairs
+//!    over), the protocol replays every pair **in pair order** — the round's
+//!    canonical order, identical on every backend — through the sequential
+//!    case analysis starting from the committed round-start state. The
+//!    replay's merged swap/mark/edge/contract intents become the next
+//!    committed state, and each pair's answer is stored in a plan.
+//! 2. **Serve.** Every query between the hooks — scalar `same` calls from
+//!    any pool thread, in any arrival order, or `same_batch` waves of any
+//!    cut — is answered from the plan. Repeats are served (and charged) as
+//!    often as they are asked, with the answer the plan pinned.
+//! 3. **Commit.** [`ecs_model::EquivalenceOracle::round_closed`] discards
+//!    the plan; the merged state advance becomes observable. Nothing between
+//!    the hooks can observe intermediate replay states, so the commit is
+//!    atomic at round granularity.
+//!
+//! Scalar queries arriving *outside* an open round (sequential algorithms'
+//! single comparisons) run as their own single-pair round, which makes the
+//! protocol **bit-identical to the classic sequential adversary** for every
+//! sequential algorithm, and bit-identical across `Sequential`, `Threaded`,
+//! and `Batched` backends for round-based algorithms: the plan is a pure
+//! function of (committed state, round pairs), and both are
+//! backend-independent.
+
+use crate::core_state::AdversaryCore;
+use std::collections::HashMap;
+
+/// Drives an [`AdversaryCore`] through the plan/serve/commit round protocol.
+#[derive(Debug)]
+pub struct RoundCommit {
+    core: AdversaryCore,
+    /// The open round's planned answers, keyed by normalized pair; `None`
+    /// when no round is open.
+    plan: Option<HashMap<(usize, usize), bool>>,
+    /// Rounds committed so far (single-pair auto-rounds included).
+    rounds_committed: u64,
+}
+
+impl RoundCommit {
+    /// Wraps a core in the round protocol.
+    pub fn new(core: AdversaryCore) -> Self {
+        Self {
+            core,
+            plan: None,
+            rounds_committed: 0,
+        }
+    }
+
+    /// The adversary state (already advanced past the open round's intents
+    /// while a round is open — unobservable through the oracle interface,
+    /// which serves planned answers until the round closes).
+    pub fn core(&self) -> &AdversaryCore {
+        &self.core
+    }
+
+    /// Mutable access to the core, for configuration (e.g. enabling the
+    /// transcript) before a run.
+    ///
+    /// # Panics
+    ///
+    /// Panics while a round is open.
+    pub fn core_mut(&mut self) -> &mut AdversaryCore {
+        assert!(self.plan.is_none(), "cannot mutate the adversary mid-round");
+        &mut self.core
+    }
+
+    /// Number of rounds committed so far.
+    pub fn rounds_committed(&self) -> u64 {
+        self.rounds_committed
+    }
+
+    /// Opens a round over `pairs` (the session's round, in submission order):
+    /// replays them in that canonical order against the committed state and
+    /// stores every pair's answer in the plan. Queries until
+    /// [`RoundCommit::end_round`] are served from the plan, in any order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a round is already open — an order-adaptive oracle must not
+    /// be shared by two concurrently-evaluating sessions.
+    pub fn begin_round(&mut self, pairs: &[(usize, usize)]) {
+        assert!(
+            self.plan.is_none(),
+            "a previous adversary round is still open (is the oracle shared by two sessions?)"
+        );
+        let mut plan = HashMap::with_capacity(pairs.len());
+        for &(a, b) in pairs {
+            let answer = self.core.answer(a, b);
+            // Repeats within a round replay the committed fact and get the
+            // identical answer, so first-wins insertion is a no-op for them.
+            plan.entry(normalize(a, b)).or_insert(answer);
+        }
+        self.plan = Some(plan);
+    }
+
+    /// Answers one query. Inside an open round the answer is served from the
+    /// round plan; outside, the query runs as its own single-pair round.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a round is open and `(a, b)` was not part of it.
+    pub fn query(&mut self, a: usize, b: usize) -> bool {
+        let answer = match self.plan.as_ref() {
+            Some(plan) => *plan.get(&normalize(a, b)).unwrap_or_else(|| {
+                panic!("query ({a}, {b}) is not part of the open adversary round")
+            }),
+            None => self.core.answer(a, b),
+        };
+        self.core.record(a, b, answer);
+        if self.plan.is_none() {
+            self.rounds_committed += 1;
+        }
+        answer
+    }
+
+    /// Answers a wave of queries in pair order. Inside an open round the
+    /// wave is served from the plan; outside, the whole wave forms one round.
+    pub fn query_batch(&mut self, pairs: &[(usize, usize)]) -> Vec<bool> {
+        if self.plan.is_some() {
+            return pairs.iter().map(|&(a, b)| self.query(a, b)).collect();
+        }
+        self.begin_round(pairs);
+        let answers = pairs.iter().map(|&(a, b)| self.query(a, b)).collect();
+        self.end_round();
+        answers
+    }
+
+    /// Closes the open round: discards the plan and publishes the round's
+    /// merged state advance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no round is open.
+    pub fn end_round(&mut self) {
+        assert!(self.plan.is_some(), "no adversary round is open");
+        self.plan = None;
+        self.rounds_committed += 1;
+    }
+}
+
+fn normalize(a: usize, b: usize) -> (usize, usize) {
+    if a <= b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn protocol(sizes: &[usize], threshold: usize) -> RoundCommit {
+        RoundCommit::new(AdversaryCore::new(sizes, threshold, None))
+    }
+
+    #[test]
+    fn scalar_queries_outside_a_round_commit_immediately() {
+        let mut p = protocol(&[2, 2], 1);
+        let first = p.query(0, 2);
+        let second = p.query(0, 2);
+        assert_eq!(first, second, "repeat questions stay consistent");
+        assert_eq!(p.core().comparisons(), 2);
+        assert_eq!(p.rounds_committed(), 2);
+    }
+
+    #[test]
+    fn round_queries_are_served_from_the_plan_in_any_order() {
+        let pairs = [(0usize, 1usize), (4, 5), (0, 4), (8, 2), (1, 5)];
+        let forward = {
+            let mut p = protocol(&[4, 4, 4], 3);
+            p.begin_round(&pairs);
+            let answers: Vec<bool> = pairs.iter().map(|&(a, b)| p.query(a, b)).collect();
+            p.end_round();
+            (answers, p.core().partition(), p.core().swaps())
+        };
+        let scrambled = {
+            let mut p = protocol(&[4, 4, 4], 3);
+            p.begin_round(&pairs);
+            // Arrival order differs (e.g. pool threads racing); answers and
+            // the committed state must not.
+            let mut answers: Vec<bool> = pairs.iter().rev().map(|&(a, b)| p.query(a, b)).collect();
+            answers.reverse();
+            p.end_round();
+            (answers, p.core().partition(), p.core().swaps())
+        };
+        assert_eq!(forward, scrambled);
+    }
+
+    #[test]
+    fn round_protocol_matches_the_sequential_adversary() {
+        // Serving a round's pairs in submission order must replay exactly the
+        // classic sequential case analysis.
+        let pairs: Vec<(usize, usize)> = (0..6)
+            .flat_map(|a| (a + 1..6).map(move |b| (a, b)))
+            .collect();
+        let mut sequential = AdversaryCore::new(&[3, 3], 1, None);
+        let reference: Vec<bool> = pairs
+            .iter()
+            .map(|&(a, b)| sequential.answer(a, b))
+            .collect();
+
+        let mut p = protocol(&[3, 3], 1);
+        p.begin_round(&pairs);
+        let planned: Vec<bool> = pairs.iter().map(|&(a, b)| p.query(a, b)).collect();
+        p.end_round();
+        assert_eq!(planned, reference);
+        assert_eq!(p.core().partition(), sequential.partition());
+        assert_eq!(p.core().swaps(), sequential.swaps());
+        assert_eq!(p.core().marked_elements(), sequential.marked_elements());
+    }
+
+    #[test]
+    fn repeats_and_orientations_are_served_and_charged() {
+        let mut p = protocol(&[5, 5, 5, 5], 5);
+        p.begin_round(&[(0, 1), (1, 0), (0, 1)]);
+        let a1 = p.query(0, 1);
+        let a2 = p.query(1, 0);
+        let a3 = p.query(0, 1);
+        assert_eq!(a1, a2);
+        assert_eq!(a1, a3);
+        assert_eq!(p.core().comparisons(), 3, "every served query is charged");
+        p.end_round();
+        assert_eq!(p.rounds_committed(), 1);
+    }
+
+    #[test]
+    fn batch_outside_a_round_forms_its_own_round() {
+        let mut p = protocol(&[3, 3, 3], 2);
+        let answers = p.query_batch(&[(0, 3), (1, 4), (0, 1)]);
+        assert_eq!(answers.len(), 3);
+        assert_eq!(p.rounds_committed(), 1);
+        assert_eq!(p.core().comparisons(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "still open")]
+    fn nested_rounds_are_rejected() {
+        let mut p = protocol(&[2, 2], 1);
+        p.begin_round(&[(0, 2)]);
+        p.begin_round(&[(1, 3)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not part of the open adversary round")]
+    fn queries_outside_the_plan_are_rejected() {
+        let mut p = protocol(&[2, 2], 1);
+        p.begin_round(&[(0, 2)]);
+        let _ = p.query(1, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "no adversary round is open")]
+    fn closing_without_opening_is_rejected() {
+        let mut p = protocol(&[2, 2], 1);
+        p.end_round();
+    }
+
+    #[test]
+    fn complete_interrogation_stays_consistent_and_equitable() {
+        // Ask every pair, one CR-style round per left endpoint, and verify
+        // that the final colors explain every answer.
+        let sizes = [4usize, 4, 4];
+        let n: usize = sizes.iter().sum();
+        let mut p = RoundCommit::new(AdversaryCore::new(&sizes, 1, None));
+        p.core_mut().enable_transcript();
+        let mut transcript = Vec::new();
+        for a in 0..n {
+            let round: Vec<(usize, usize)> = ((a + 1)..n).map(|b| (a, b)).collect();
+            if round.is_empty() {
+                continue;
+            }
+            p.begin_round(&round);
+            for &(a, b) in &round {
+                let same = p.query(a, b);
+                transcript.push((a, b, same));
+            }
+            p.end_round();
+        }
+        assert!(p.core().is_consistent_with(&transcript));
+        let recorded = p.core().transcript().unwrap();
+        assert!(recorded.consistent_with(&p.core().partition()));
+        let mut sizes_got = p.core().partition().class_sizes();
+        sizes_got.sort_unstable();
+        assert_eq!(sizes_got, vec![4, 4, 4]);
+    }
+
+    #[test]
+    fn protected_color_resists_marking() {
+        // Theorem 6 adversary behind the protocol: the protected color should
+        // stay unmarked while plenty of unmarked swap partners remain.
+        let mut p = RoundCommit::new(AdversaryCore::new(&[2, 6, 6, 6], 2, Some(0)));
+        for other in 2..8 {
+            let _ = p.query(0, other);
+        }
+        assert!(
+            !p.core().protected_color_touched(),
+            "protected color was marked after only a handful of probes"
+        );
+    }
+}

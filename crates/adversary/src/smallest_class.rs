@@ -2,7 +2,9 @@
 //! `ℓ`, needs `Ω(n²/ℓ)` comparisons.
 
 use crate::core_state::AdversaryCore;
-use ecs_model::{EquivalenceOracle, Partition};
+use crate::round_commit::RoundCommit;
+use crate::LowerBoundAdversary;
+use ecs_model::{EquivalenceOracle, Partition, Transcript};
 use parking_lot::Mutex;
 
 /// An adaptive oracle under which identifying any member of the smallest
@@ -15,9 +17,13 @@ use parking_lot::Mutex;
 /// marked the adversary first tries to swap it out of danger. As long as fewer
 /// than `n/8` elements are marked, no smallest-class element is pinned down,
 /// so an algorithm that claims to have found one earlier can be refuted.
+///
+/// Like [`crate::EqualSizeAdversary`], this adversary runs the
+/// [`crate::round_commit`] protocol and is bit-identical across execution
+/// backends and under throughput mode.
 #[derive(Debug)]
 pub struct SmallestClassAdversary {
-    core: Mutex<AdversaryCore>,
+    protocol: Mutex<RoundCommit>,
     n: usize,
     ell: usize,
 }
@@ -44,10 +50,31 @@ impl SmallestClassAdversary {
         sizes.extend((0..num_big).map(|c| base + usize::from(c < extra)));
         let threshold = (n / (4 * ell)).max(1);
         Self {
-            core: Mutex::new(AdversaryCore::new(&sizes, threshold, Some(0))),
+            protocol: Mutex::new(RoundCommit::new(AdversaryCore::new(
+                &sizes,
+                threshold,
+                Some(0),
+            ))),
             n,
             ell,
         }
+    }
+
+    /// Enables transcript recording (off by default), for consistency audits.
+    pub fn with_transcript(self) -> Self {
+        self.protocol.lock().core_mut().enable_transcript();
+        self
+    }
+
+    /// The recorded transcript; empty unless
+    /// [`SmallestClassAdversary::with_transcript`] was used.
+    pub fn transcript(&self) -> Transcript {
+        self.protocol
+            .lock()
+            .core()
+            .transcript()
+            .cloned()
+            .unwrap_or_default()
     }
 
     /// The smallest class size `ℓ`.
@@ -57,23 +84,33 @@ impl SmallestClassAdversary {
 
     /// Comparisons performed so far.
     pub fn comparisons(&self) -> u64 {
-        self.core.lock().comparisons()
+        self.protocol.lock().core().comparisons()
     }
 
     /// Number of marked elements.
     pub fn marked_elements(&self) -> usize {
-        self.core.lock().marked_elements()
+        self.protocol.lock().core().marked_elements()
+    }
+
+    /// Number of colour swaps the adversary used to stay non-committal.
+    pub fn swaps(&self) -> u64 {
+        self.protocol.lock().core().swaps()
+    }
+
+    /// Comparison rounds committed through the round protocol.
+    pub fn rounds_committed(&self) -> u64 {
+        self.protocol.lock().rounds_committed()
     }
 
     /// Whether any smallest-class element has been marked yet — the event
     /// whose cost Theorem 6 bounds from below.
     pub fn smallest_class_pinned(&self) -> bool {
-        self.core.lock().protected_color_touched()
+        self.protocol.lock().core().protected_color_touched()
     }
 
     /// The partition the adversary has committed to.
     pub fn partition(&self) -> Partition {
-        self.core.lock().partition()
+        self.protocol.lock().core().partition()
     }
 
     /// The paper's lower bound with Lemma 3's explicit constant: `n²/(64ℓ)`.
@@ -96,7 +133,49 @@ impl EquivalenceOracle for SmallestClassAdversary {
     }
 
     fn same(&self, a: usize, b: usize) -> bool {
-        self.core.lock().answer(a, b)
+        self.protocol.lock().query(a, b)
+    }
+
+    fn same_batch(&self, pairs: &[(usize, usize)]) -> Vec<bool> {
+        self.protocol.lock().query_batch(pairs)
+    }
+
+    fn round_opened(&self, pairs: &[(usize, usize)]) {
+        self.protocol.lock().begin_round(pairs);
+    }
+
+    fn round_closed(&self) {
+        self.protocol.lock().end_round();
+    }
+}
+
+impl LowerBoundAdversary for SmallestClassAdversary {
+    fn parameter(&self) -> usize {
+        self.smallest_class_size()
+    }
+
+    fn comparisons(&self) -> u64 {
+        SmallestClassAdversary::comparisons(self)
+    }
+
+    fn marked_elements(&self) -> usize {
+        SmallestClassAdversary::marked_elements(self)
+    }
+
+    fn swaps(&self) -> u64 {
+        SmallestClassAdversary::swaps(self)
+    }
+
+    fn paper_lower_bound(&self) -> u64 {
+        SmallestClassAdversary::paper_lower_bound(self)
+    }
+
+    fn previous_lower_bound(&self) -> u64 {
+        SmallestClassAdversary::previous_lower_bound(self)
+    }
+
+    fn partition(&self) -> Partition {
+        SmallestClassAdversary::partition(self)
     }
 }
 
@@ -162,6 +241,16 @@ mod tests {
             !adversary.smallest_class_pinned(),
             "smallest class pinned after only {count} comparisons"
         );
+    }
+
+    #[test]
+    fn transcript_explains_the_committed_partition() {
+        let adversary = SmallestClassAdversary::new(80, 4).with_transcript();
+        let run = RepresentativeScan::new().sort(&adversary);
+        let transcript = adversary.transcript();
+        assert_eq!(transcript.len() as u64, adversary.comparisons());
+        assert!(transcript.consistent_with(&adversary.partition()));
+        assert!(transcript.certifies(80, &run.partition));
     }
 
     #[test]

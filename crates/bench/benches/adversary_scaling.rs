@@ -1,0 +1,119 @@
+//! Measures adversarial lower-bound rounds under the round-commit protocol:
+//! sequential vs pooled vs batched evaluation of the same run, plus the whole
+//! Theorem 5 grid drained serially vs through the throughput pool.
+//!
+//! Every group first asserts bit-identity (forced comparisons and committed
+//! partition) across the configurations it times, so a regression in the
+//! protocol's determinism fails the bench before any number is reported.
+//! Set `ECS_BENCH_SMOKE=1` to shrink the workload (used by CI on every
+//! push).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ecs_adversary::EqualSizeAdversary;
+use ecs_bench::runners::{theorem5_table, AdversaryAlgorithm};
+use ecs_bench::smoke;
+use ecs_core::{EcsAlgorithm, ErMergeSort};
+use ecs_model::{ExecutionBackend, ThroughputPool};
+use std::hint::black_box;
+
+/// The backends one adversarial run is timed on. The threaded backend uses
+/// `threshold: 1` so even test-sized rounds cross the pool.
+fn backends() -> [ExecutionBackend; 4] {
+    [
+        ExecutionBackend::Sequential,
+        ExecutionBackend::Threaded {
+            threads: 2,
+            threshold: 1,
+        },
+        ExecutionBackend::batched(64),
+        ExecutionBackend::batched(0),
+    ]
+}
+
+/// One full ER merge sort against the Theorem 5 adversary on `backend`.
+fn forced_run(n: usize, f: usize, backend: ExecutionBackend) -> (u64, ecs_model::Partition) {
+    let adversary = EqualSizeAdversary::new(n, f);
+    let run = ErMergeSort::new().sort_with_backend(&adversary, backend);
+    assert_eq!(run.partition, adversary.partition());
+    (adversary.comparisons(), run.partition)
+}
+
+fn round_protocol(c: &mut Criterion) {
+    let (n, f) = if smoke() { (128, 8) } else { (512, 16) };
+
+    // Determinism gate: identical forced counts and partitions everywhere.
+    // backends()[0] is Sequential — the reference itself — so skip it.
+    let reference = forced_run(n, f, ExecutionBackend::Sequential);
+    for backend in backends().into_iter().skip(1) {
+        assert_eq!(
+            forced_run(n, f, backend),
+            reference,
+            "adversarial run diverged on {}",
+            backend.label()
+        );
+    }
+
+    let mut group = c.benchmark_group("adversary_round_protocol");
+    group.sample_size(if smoke() { 3 } else { 10 });
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(if smoke() { 1 } else { 2 }));
+    for backend in backends() {
+        group.bench_with_input(
+            BenchmarkId::new("er_merge_vs_equal_size", backend.label()),
+            &backend,
+            |b, &backend| {
+                b.iter(|| black_box(forced_run(n, f, backend).0));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn grid_throughput(c: &mut Criterion) {
+    let grid: Vec<(usize, usize)> = if smoke() {
+        vec![(128, 4), (128, 8)]
+    } else {
+        vec![(256, 4), (256, 8), (512, 16)]
+    };
+    let algorithms = AdversaryAlgorithm::all();
+    let pools = [
+        ThroughputPool::from_jobs(1),
+        ThroughputPool::from_jobs(2),
+        ThroughputPool::from_jobs(4),
+    ];
+
+    // Determinism gate: the rendered table is byte-identical for every pool
+    // (pools[0] is the serial reference itself, so it is not re-run).
+    let reference =
+        theorem5_table(&grid, &algorithms, &pools[0], ExecutionBackend::Sequential).to_markdown();
+    for pool in &pools[1..] {
+        assert_eq!(
+            theorem5_table(&grid, &algorithms, pool, ExecutionBackend::Sequential).to_markdown(),
+            reference,
+            "lower-bound grid diverged under pool {}",
+            pool.label()
+        );
+    }
+
+    let mut group = c.benchmark_group("adversary_grid_throughput");
+    group.sample_size(if smoke() { 3 } else { 10 });
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(if smoke() { 1 } else { 3 }));
+    for pool in pools {
+        group.bench_with_input(
+            BenchmarkId::new("theorem5_grid", pool.label()),
+            &pool,
+            |b, pool| {
+                b.iter(|| {
+                    let table =
+                        theorem5_table(&grid, &algorithms, pool, ExecutionBackend::Sequential);
+                    black_box(table.num_rows())
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, round_protocol, grid_throughput);
+criterion_main!(benches);

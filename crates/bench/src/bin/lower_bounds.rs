@@ -1,34 +1,50 @@
 //! Regenerates the lower-bound evidence for Theorems 5 and 6: the coloring
 //! adversary forces any correct algorithm to perform Ω(n²/f) (equal class
 //! sizes) and Ω(n²/ℓ) (smallest class) comparisons, well above the older
-//! Ω(n²/f²) / Ω(n²/ℓ²) bounds.
+//! Ω(n²/f²) / Ω(n²/ℓ²) bounds, for every algorithm in the roster.
 //!
 //! ```text
-//! cargo run -p ecs_bench --release --bin lower_bounds -- [--out results] [--threads N] [--batch W]
-//!
-//! `--threads` and `--batch` are accepted for CLI uniformity but have no
-//! effect here: the adversary oracles are adaptive (answers depend on query
-//! order), so the algorithms driven against them issue single comparisons,
-//! which always evaluate inline — and the adversaries' default `same_batch`
-//! answers pairs one at a time in submission order anyway.
+//! cargo run -p ecs_bench --release --bin lower_bounds -- [--out results]
+//!     [--threads N] [--batch W] [--jobs J]
 //! ```
+//!
+//! The adversaries run the round-commit protocol, so `--threads` and
+//! `--batch` genuinely route adversarial rounds through the work-stealing
+//! pool / `same_batch` waves, and `--jobs J` drains the whole
+//! `(grid point, algorithm)` matrix through the shared throughput pool —
+//! all with byte-identical CSV output (CI diffs a pooled+batched run against
+//! the serial one). `ECS_BENCH_SMOKE=1` shrinks the grids; `--full` restores
+//! them.
 
-use ecs_bench::paper::{theorem5_grid, theorem6_grid};
-use ecs_bench::runners::{theorem5_table, theorem6_table};
-use ecs_bench::Args;
+use ecs_bench::paper::{theorem5_grid, theorem5_smoke_grid, theorem6_grid, theorem6_smoke_grid};
+use ecs_bench::runners::{theorem5_table, theorem6_table, AdversaryAlgorithm};
+use ecs_bench::{smoke, Args};
 
 fn main() {
     let args = Args::from_env();
     let out_dir = args.get_or("out", "results");
-    let _ = args.execution_backend(); // accepted for uniformity; see module docs
+    let backend = args.execution_backend();
+    let pool = args.throughput_pool();
+    // ECS_BENCH_SMOKE only shrinks the defaults; --full always wins.
+    let (grid5, grid6) = if smoke() && !args.has("full") {
+        (theorem5_smoke_grid(), theorem6_smoke_grid())
+    } else {
+        (theorem5_grid(), theorem6_grid())
+    };
     std::fs::create_dir_all(&out_dir).expect("cannot create output directory");
+    println!(
+        "execution backend: {}; throughput pool: {}",
+        backend.label(),
+        pool.label()
+    );
 
-    let t5 = theorem5_table(&theorem5_grid());
+    let algorithms = AdversaryAlgorithm::all();
+    let t5 = theorem5_table(&grid5, &algorithms, &pool, backend);
     println!("{}", t5.to_text());
     t5.write_csv(format!("{out_dir}/theorem5_lower_bound.csv"))
         .expect("cannot write CSV");
 
-    let t6 = theorem6_table(&theorem6_grid());
+    let t6 = theorem6_table(&grid6, &algorithms, &pool, backend);
     println!("{}", t6.to_text());
     t6.write_csv(format!("{out_dir}/theorem6_lower_bound.csv"))
         .expect("cannot write CSV");

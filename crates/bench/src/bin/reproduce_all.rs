@@ -15,6 +15,7 @@
 use ecs_bench::runners::{
     algorithm_comparison_table, dominance_sweep, dominance_table, figure5_panel_series,
     figure5_table, theorem1_table, theorem2_table, theorem4_table, theorem5_table, theorem6_table,
+    AdversaryAlgorithm,
 };
 use ecs_bench::{paper, smoke, Args};
 use ecs_distributions::class_distribution::AnyDistribution;
@@ -93,10 +94,17 @@ fn main() {
             .expect("cannot write CSV");
     }
 
-    // Experiment E8: lower bounds.
+    // Experiment E8: lower bounds — every roster algorithm per grid point,
+    // drained through the same throughput pool as the other experiments.
     println!("running Theorem 5/6 lower-bound experiments...");
-    let t5 = theorem5_table(&paper::theorem5_grid());
-    let t6 = theorem6_table(&paper::theorem6_grid());
+    let (grid5, grid6) = if smoke() && !args.has("full") {
+        (paper::theorem5_smoke_grid(), paper::theorem6_smoke_grid())
+    } else {
+        (paper::theorem5_grid(), paper::theorem6_grid())
+    };
+    let algorithms = AdversaryAlgorithm::all();
+    let t5 = theorem5_table(&grid5, &algorithms, &pool, backend);
+    let t6 = theorem6_table(&grid6, &algorithms, &pool, backend);
     report.push_str(&t5.to_markdown());
     report.push('\n');
     report.push_str(&t6.to_markdown());

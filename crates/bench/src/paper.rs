@@ -115,6 +115,18 @@ pub fn theorem6_grid() -> Vec<(usize, usize)> {
     ]
 }
 
+/// A seconds-long `(n, f)` grid for `ECS_BENCH_SMOKE` runs of the Theorem 5
+/// experiment (CI runs the lower-bound binary twice for the backend
+/// byte-identity diff).
+pub fn theorem5_smoke_grid() -> Vec<(usize, usize)> {
+    vec![(128, 4), (128, 8), (256, 8)]
+}
+
+/// The `ECS_BENCH_SMOKE` counterpart of [`theorem6_grid`].
+pub fn theorem6_smoke_grid() -> Vec<(usize, usize)> {
+    vec![(128, 4), (256, 8)]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -175,5 +187,7 @@ mod tests {
         assert!(!theorem6_grid().is_empty());
         assert!(theorem5_grid().iter().all(|&(n, f)| n % f == 0));
         assert!(theorem6_grid().iter().all(|&(n, l)| n > 2 * l));
+        assert!(theorem5_smoke_grid().iter().all(|&(n, f)| n % f == 0));
+        assert!(theorem6_smoke_grid().iter().all(|&(n, l)| n > 2 * l));
     }
 }

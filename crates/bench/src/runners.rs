@@ -1,17 +1,19 @@
 //! Measurement runners shared by the reproduction binaries.
 
 use crate::paper;
-use ecs_adversary::{EqualSizeAdversary, SmallestClassAdversary};
+use ecs_adversary::{EqualSizeAdversary, LowerBoundAdversary, SmallestClassAdversary};
 use ecs_analysis::report::fmt_float;
 use ecs_analysis::{
     dominance_grid_with_backend, figure5_grid_with_backend, DominanceConfig, DominanceResult,
     Figure5Config, Figure5Series, Table,
 };
 use ecs_core::{
-    CrCompoundMerge, EcsAlgorithm, ErConstantRound, ErMergeSort, RepresentativeScan, RoundRobin,
+    CrCompoundMerge, EcsAlgorithm, EcsRun, ErConstantRound, ErMergeSort, RepresentativeScan,
+    RoundRobin,
 };
 use ecs_distributions::class_distribution::AnyDistribution;
-use ecs_model::{ExecutionBackend, Instance, InstanceOracle, ThroughputPool};
+use ecs_model::throughput::Job;
+use ecs_model::{EquivalenceOracle, ExecutionBackend, Instance, InstanceOracle, ThroughputPool};
 use ecs_rng::{SeedableEcsRng, Xoshiro256StarStar};
 
 /// Runs every Figure 5 configuration of one panel through the throughput
@@ -211,72 +213,160 @@ pub fn theorem4_table(
     table
 }
 
-/// Runs the Theorem 5 lower-bound experiment: comparisons forced by the
-/// equal-class-size adversary, next to the paper's `n²/(64f)` bound, the
-/// asymptotic `n²/f`, and the older `n²/(64f²)` bound it improves.
-pub fn theorem5_table(grid: &[(usize, usize)]) -> Table {
+/// The algorithm roster driven against the lower-bound adversaries: two
+/// sequential baselines (single-comparison rounds) and one genuinely
+/// round-based ER algorithm, so the tables exercise both the scalar path and
+/// the round-commit protocol on whatever backend is selected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdversaryAlgorithm {
+    /// [`RepresentativeScan`]: one comparison at a time against class
+    /// representatives.
+    RepresentativeScan,
+    /// [`RoundRobin`]: the Theorem 7/8 sequential algorithm.
+    RoundRobin,
+    /// [`ErMergeSort`]: exclusive-read rounds, evaluated on the selected
+    /// backend (pool / batch waves).
+    ErMergeSort,
+}
+
+impl AdversaryAlgorithm {
+    /// Every roster entry, in table order.
+    pub fn all() -> [AdversaryAlgorithm; 3] {
+        [
+            AdversaryAlgorithm::RepresentativeScan,
+            AdversaryAlgorithm::RoundRobin,
+            AdversaryAlgorithm::ErMergeSort,
+        ]
+    }
+
+    /// The algorithm's report name.
+    pub fn name(self) -> String {
+        match self {
+            AdversaryAlgorithm::RepresentativeScan => RepresentativeScan::new().name(),
+            AdversaryAlgorithm::RoundRobin => RoundRobin::new().name(),
+            AdversaryAlgorithm::ErMergeSort => ErMergeSort::new().name(),
+        }
+    }
+
+    /// Runs the algorithm against `oracle` on `backend`.
+    pub fn run<O: EquivalenceOracle>(self, oracle: &O, backend: ExecutionBackend) -> EcsRun {
+        match self {
+            AdversaryAlgorithm::RepresentativeScan => {
+                RepresentativeScan::new().sort_with_backend(oracle, backend)
+            }
+            AdversaryAlgorithm::RoundRobin => RoundRobin::new().sort_with_backend(oracle, backend),
+            AdversaryAlgorithm::ErMergeSort => {
+                ErMergeSort::new().sort_with_backend(oracle, backend)
+            }
+        }
+    }
+}
+
+/// The shared body of the Theorem 5 / Theorem 6 lower-bound tables: every
+/// `(grid point, algorithm)` cell runs as one independent job through the
+/// throughput pool (a fresh adversary per cell, sessions evaluating on
+/// `backend`), and the rows report the forced comparison count next to the
+/// paper's bound. Results are collected in job order, so the table is
+/// byte-identical for every `--jobs` / `--threads` / `--batch` selection.
+pub fn lower_bound_table<A, F>(
+    title: &str,
+    param: &str,
+    grid: &[(usize, usize)],
+    algorithms: &[AdversaryAlgorithm],
+    pool: &ThroughputPool,
+    backend: ExecutionBackend,
+    make: F,
+) -> Table
+where
+    A: LowerBoundAdversary,
+    F: Fn(usize, usize) -> A + Sync,
+{
     let mut table = Table::new(
-        "Theorem 5 — equal class sizes: forced comparisons vs Ω(n²/f)",
+        title,
         &[
+            "algorithm",
             "n",
-            "f",
+            param,
             "forced comparisons",
-            "n²/(64f) (paper bound)",
-            "n²/f",
-            "n²/(64f²) (old bound)",
-            "forced / (n²/f)",
+            &format!("n²/(64{param}) (paper bound)"),
+            &format!("n²/{param}"),
+            &format!("n²/(64{param}²) (old bound)"),
+            &format!("forced / (n²/{param})"),
         ],
     );
-    for &(n, f) in grid {
-        let adversary = EqualSizeAdversary::new(n, f);
-        let run = RepresentativeScan::new().sort(&adversary);
-        assert_eq!(run.partition, adversary.partition());
-        let forced = adversary.comparisons();
-        let n2_over_f = (n as u64 * n as u64) / f as u64;
-        table.push_row(vec![
-            n.to_string(),
-            f.to_string(),
-            forced.to_string(),
-            adversary.paper_lower_bound().to_string(),
-            n2_over_f.to_string(),
-            adversary.previous_lower_bound().to_string(),
-            fmt_float(forced as f64 / n2_over_f as f64),
-        ]);
+    let make = &make;
+    let jobs: Vec<Job<'_, Vec<String>>> = grid
+        .iter()
+        .flat_map(|&(n, p)| {
+            algorithms.iter().map(move |&algorithm| {
+                Box::new(move || {
+                    let adversary = make(n, p);
+                    let run = algorithm.run(&adversary, backend);
+                    assert_eq!(
+                        run.partition,
+                        adversary.partition(),
+                        "{} (n = {n}, {param} = {p}) did not output the adversary's \
+                         committed partition",
+                        algorithm.name()
+                    );
+                    let forced = adversary.comparisons();
+                    let n2_over_p = (n as u64 * n as u64) / p as u64;
+                    vec![
+                        algorithm.name(),
+                        n.to_string(),
+                        p.to_string(),
+                        forced.to_string(),
+                        adversary.paper_lower_bound().to_string(),
+                        n2_over_p.to_string(),
+                        adversary.previous_lower_bound().to_string(),
+                        fmt_float(forced as f64 / n2_over_p as f64),
+                    ]
+                }) as Job<'_, Vec<String>>
+            })
+        })
+        .collect();
+    for row in pool.run(jobs) {
+        table.push_row(row);
     }
     table
 }
 
+/// Runs the Theorem 5 lower-bound experiment: comparisons forced by the
+/// equal-class-size adversary per algorithm, next to the paper's `n²/(64f)`
+/// bound, the asymptotic `n²/f`, and the older `n²/(64f²)` bound it improves.
+pub fn theorem5_table(
+    grid: &[(usize, usize)],
+    algorithms: &[AdversaryAlgorithm],
+    pool: &ThroughputPool,
+    backend: ExecutionBackend,
+) -> Table {
+    lower_bound_table(
+        "Theorem 5 — equal class sizes: forced comparisons vs Ω(n²/f)",
+        "f",
+        grid,
+        algorithms,
+        pool,
+        backend,
+        EqualSizeAdversary::new,
+    )
+}
+
 /// Runs the Theorem 6 lower-bound experiment (smallest class of size `ℓ`).
-pub fn theorem6_table(grid: &[(usize, usize)]) -> Table {
-    let mut table = Table::new(
+pub fn theorem6_table(
+    grid: &[(usize, usize)],
+    algorithms: &[AdversaryAlgorithm],
+    pool: &ThroughputPool,
+    backend: ExecutionBackend,
+) -> Table {
+    lower_bound_table(
         "Theorem 6 — smallest class: forced comparisons vs Ω(n²/ℓ)",
-        &[
-            "n",
-            "ℓ",
-            "forced comparisons",
-            "n²/(64ℓ) (paper bound)",
-            "n²/ℓ",
-            "n²/(64ℓ²) (old bound)",
-            "forced / (n²/ℓ)",
-        ],
-    );
-    for &(n, ell) in grid {
-        let adversary = SmallestClassAdversary::new(n, ell);
-        let run = RepresentativeScan::new().sort(&adversary);
-        assert_eq!(run.partition, adversary.partition());
-        let forced = adversary.comparisons();
-        let n2_over_l = (n as u64 * n as u64) / ell as u64;
-        table.push_row(vec![
-            n.to_string(),
-            ell.to_string(),
-            forced.to_string(),
-            adversary.paper_lower_bound().to_string(),
-            n2_over_l.to_string(),
-            adversary.previous_lower_bound().to_string(),
-            fmt_float(forced as f64 / n2_over_l as f64),
-        ]);
-    }
-    table
+        "ℓ",
+        grid,
+        algorithms,
+        pool,
+        backend,
+        SmallestClassAdversary::new,
+    )
 }
 
 /// Renders a Theorem 7 dominance experiment result.
@@ -395,11 +485,72 @@ mod tests {
     }
 
     #[test]
-    fn lower_bound_tables_run() {
-        let t5 = theorem5_table(&[(128, 4), (128, 8)]);
-        assert_eq!(t5.num_rows(), 2);
-        let t6 = theorem6_table(&[(128, 4)]);
+    fn lower_bound_tables_run_one_row_per_grid_point_and_algorithm() {
+        let pool = ThroughputPool::from_jobs(1);
+        let algorithms = AdversaryAlgorithm::all();
+        let t5 = theorem5_table(
+            &[(128, 4), (128, 8)],
+            &algorithms,
+            &pool,
+            ExecutionBackend::Sequential,
+        );
+        assert_eq!(t5.num_rows(), 2 * algorithms.len());
+        let md = t5.to_markdown();
+        assert!(md.contains("representative-scan"));
+        assert!(md.contains("round-robin"));
+        assert!(md.contains("er-merge"));
+        let t6 = theorem6_table(
+            &[(128, 4)],
+            &[AdversaryAlgorithm::RepresentativeScan],
+            &pool,
+            ExecutionBackend::Sequential,
+        );
         assert_eq!(t6.num_rows(), 1);
+    }
+
+    #[test]
+    fn lower_bound_tables_are_identical_across_pools_and_backends() {
+        // The round-commit protocol makes the adversaries deterministic on
+        // every backend, and the throughput pool collects results in job
+        // order — so the rendered table must be byte-identical however the
+        // work is executed.
+        let grid = [(96usize, 4usize), (96, 8)];
+        let algorithms = AdversaryAlgorithm::all();
+        let reference = theorem5_table(
+            &grid,
+            &algorithms,
+            &ThroughputPool::from_jobs(1),
+            ExecutionBackend::Sequential,
+        )
+        .to_markdown();
+        for (pool, backend) in [
+            (ThroughputPool::from_jobs(4), ExecutionBackend::Sequential),
+            (ThroughputPool::from_jobs(1), ExecutionBackend::batched(16)),
+            (
+                ThroughputPool::from_jobs(2),
+                ExecutionBackend::Threaded {
+                    threads: 2,
+                    threshold: 1,
+                },
+            ),
+        ] {
+            assert_eq!(
+                theorem5_table(&grid, &algorithms, &pool, backend).to_markdown(),
+                reference,
+                "lower-bound table diverged under pool {} / backend {}",
+                pool.label(),
+                backend.label()
+            );
+        }
+    }
+
+    #[test]
+    fn adversary_algorithm_roster_is_complete_and_named() {
+        let names: Vec<String> = AdversaryAlgorithm::all().iter().map(|a| a.name()).collect();
+        assert_eq!(names.len(), 3);
+        let mut dedup = names.clone();
+        dedup.dedup();
+        assert_eq!(names, dedup, "roster names must be distinct");
     }
 
     #[test]

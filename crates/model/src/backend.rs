@@ -8,9 +8,12 @@
 //! and round counts are **bit-identical** across backends and thread counts.
 //!
 //! Adaptive oracles whose answers depend on the *temporal order* of queries
-//! (e.g. lower-bound adversaries) should stick to [`ExecutionBackend::Sequential`];
-//! the algorithms used against them in this workspace only ever issue
-//! single-comparison rounds, which never reach the pool.
+//! (e.g. the lower-bound adversaries) participate through the session's
+//! round-boundary hooks ([`crate::EquivalenceOracle::round_opened`] /
+//! [`crate::EquivalenceOracle::round_closed`]): all queries of one round are
+//! answered against the state committed at round start and the deferred
+//! effects are applied in one deterministic commit when the round closes, so
+//! they too are bit-identical across backends, wave sizes, and thread counts.
 
 use crate::oracle::EquivalenceOracle;
 use rayon::prelude::*;

@@ -297,6 +297,18 @@ impl<O: EquivalenceOracle> EquivalenceOracle for BatchingOracle<O> {
         }
         self.inner.same_batch(pairs)
     }
+
+    fn round_opened(&self, pairs: &[(usize, usize)]) {
+        // Round boundaries belong to the adapter's single driving session;
+        // forward them so an order-adaptive inner oracle can run its commit
+        // protocol. (Coalescing across *several* sessions is only sound for
+        // order-independent inner oracles, which ignore the hooks anyway.)
+        self.inner.round_opened(pairs);
+    }
+
+    fn round_closed(&self) {
+        self.inner.round_closed();
+    }
 }
 
 impl<O: std::fmt::Debug> std::fmt::Debug for BatchingOracle<O> {

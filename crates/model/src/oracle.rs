@@ -42,12 +42,39 @@ pub trait EquivalenceOracle: Sync {
     /// is what keeps batched evaluation bit-identical to the scalar path
     /// (enforced by the `oracle_batching` suite).
     ///
-    /// Order-adaptive oracles (the lower-bound adversaries) answer each pair
-    /// in submission order under the default implementation, so their batch
-    /// semantics are exactly their scalar semantics.
+    /// Order-adaptive oracles (the lower-bound adversaries) implement the
+    /// round-commit protocol on top of this: between [`Self::round_opened`]
+    /// and [`Self::round_closed`] every pair is answered against the
+    /// committed state at round start, so a batch's answers do not depend on
+    /// how the round was cut into waves or which thread asked first.
     fn same_batch(&self, pairs: &[(usize, usize)]) -> Vec<bool> {
         pairs.iter().map(|&(a, b)| self.same(a, b)).collect()
     }
+
+    /// Round-boundary hook: a [`crate::ComparisonSession`] calls this with
+    /// the round's pairs (in submission order) before evaluating them, and
+    /// [`Self::round_closed`] after.
+    ///
+    /// Stateless oracles ignore it (the default is a no-op). Order-adaptive
+    /// oracles — the `ecs-adversary` lower-bound adversaries — use the pair
+    /// of hooks as their round-commit protocol: at `round_opened` they plan
+    /// every pair's answer by replaying the round in its canonical pair
+    /// order against the state at round start, queries between the hooks are
+    /// served from that plan (in any arrival order, from any thread, in any
+    /// wave cut), and `round_closed` publishes the round's merged state
+    /// advance — which is what makes their answers bit-identical across
+    /// `Sequential`, `Threaded`, and `Batched` execution backends. Scalar
+    /// `same` calls *outside* a round (e.g.
+    /// [`crate::ComparisonSession::compare`]) are legal and behave as their
+    /// own single-pair round.
+    ///
+    /// An oracle participating in the protocol must not be shared by two
+    /// concurrently-evaluating sessions: the rounds would interleave.
+    fn round_opened(&self, _pairs: &[(usize, usize)]) {}
+
+    /// Round-boundary hook: the round opened by [`Self::round_opened`] is
+    /// complete and deferred effects may be committed. Default: no-op.
+    fn round_closed(&self) {}
 }
 
 /// Enforces the ground-truth oracles' shared query contract for one pair:

@@ -163,7 +163,17 @@ impl<'a, O: EquivalenceOracle> ComparisonSession<'a, O> {
         if remainder > 0 {
             self.metrics.record_round(remainder);
         }
-        self.evaluate(pairs)
+        // One evaluation batch is one oracle round, even when the processor
+        // budget charges it as several model rounds: order-adaptive oracles
+        // plan the round's answers at `round_opened` (against the round-start
+        // state, in the canonical pair order given here) and publish the
+        // merged state advance at `round_closed`, making the answers
+        // independent of the execution backend. Stateless oracles ignore
+        // both hooks.
+        self.oracle.round_opened(pairs);
+        let answers = self.evaluate(pairs);
+        self.oracle.round_closed();
+        answers
     }
 
     /// Executes a sequence of rounds (convenience for algorithms that already
@@ -387,6 +397,63 @@ mod tests {
         assert_eq!(answers, vec![vec![true], vec![true], vec![false, false]]);
         assert_eq!(s.metrics().rounds(), 3);
         assert_eq!(s.metrics().comparisons(), 4);
+    }
+
+    #[test]
+    fn execute_round_brackets_the_oracle_with_round_hooks() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+
+        /// Counts hook invocations and how many queries arrived inside an
+        /// open round bracket.
+        struct HookAudit {
+            opened: AtomicU64,
+            closed: AtomicU64,
+            bracketed_queries: AtomicU64,
+        }
+        impl EquivalenceOracle for HookAudit {
+            fn n(&self) -> usize {
+                8
+            }
+            fn same(&self, a: usize, b: usize) -> bool {
+                if self.opened.load(Ordering::SeqCst) == self.closed.load(Ordering::SeqCst) + 1 {
+                    self.bracketed_queries.fetch_add(1, Ordering::SeqCst);
+                }
+                a % 2 == b % 2
+            }
+            fn round_opened(&self, pairs: &[(usize, usize)]) {
+                assert!(!pairs.is_empty(), "empty rounds are never opened");
+                self.opened.fetch_add(1, Ordering::SeqCst);
+            }
+            fn round_closed(&self) {
+                self.closed.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+
+        let oracle = HookAudit {
+            opened: AtomicU64::new(0),
+            closed: AtomicU64::new(0),
+            bracketed_queries: AtomicU64::new(0),
+        };
+        let mut s = ComparisonSession::new(&oracle, ReadMode::Exclusive);
+        // An empty round is free and opens nothing.
+        let _ = s.execute_round(&[]);
+        assert_eq!(oracle.opened.load(Ordering::SeqCst), 0);
+        // Each evaluated batch is exactly one open/close bracket, even when
+        // the processor budget charges it as several model rounds.
+        let _ = s.execute_round(&[(0, 2), (1, 3)]);
+        let _ = s.execute_rounds(&[vec![(0, 1)], vec![(2, 4), (3, 5)]]);
+        assert_eq!(oracle.opened.load(Ordering::SeqCst), 3);
+        assert_eq!(oracle.closed.load(Ordering::SeqCst), 3);
+        assert_eq!(
+            oracle.bracketed_queries.load(Ordering::SeqCst),
+            5,
+            "every round query must arrive inside an open round"
+        );
+        // Single sequential comparisons are not bracketed: they behave as
+        // their own single-pair round on the oracle side.
+        let _ = s.compare(0, 2);
+        assert_eq!(oracle.opened.load(Ordering::SeqCst), 3);
+        assert_eq!(oracle.bracketed_queries.load(Ordering::SeqCst), 5);
     }
 
     #[test]

@@ -55,7 +55,7 @@ pub use ecs_rng as rng;
 
 /// The most commonly used items, re-exported flat.
 pub mod prelude {
-    pub use ecs_adversary::{EqualSizeAdversary, SmallestClassAdversary};
+    pub use ecs_adversary::{EqualSizeAdversary, LowerBoundAdversary, SmallestClassAdversary};
     pub use ecs_analysis::{
         dominance_experiment, figure5_series, DominanceConfig, Figure5Config, LinearFit, Summary,
         Table,
