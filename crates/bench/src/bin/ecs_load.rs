@@ -1,0 +1,277 @@
+//! `ecs_load` — load generator and determinism checker for the service.
+//!
+//! ```text
+//! ecs_load [--sessions S] [--tenants T] [--per-session J] [--n N] [--seed S]
+//!          [--out results] [--connect HOST:PORT] [--serial] [--duration-ms MS]
+//!          [--jobs N] [--max-inflight M] [--linger-us U]
+//! ```
+//!
+//! Two modes:
+//!
+//! * **Diff mode** (default): `S` concurrent client sessions each submit a
+//!   deterministic job slate to the daemon (self-spawned on an ephemeral
+//!   127.0.0.1 port unless `--connect` points at one), drain, and collect
+//!   their streamed result lines. All lines, sorted by job id, are written
+//!   to `<out>/service_load.csv`; with `--serial` the same specs are also
+//!   evaluated serially in-process through the identical
+//!   `ecs_service::protocol::run_job` path into `<out>/service_serial.csv`.
+//!   CI diffs the two files byte-for-byte.
+//! * **Load mode** (`--duration-ms`): one session keeps a submission window
+//!   full until the deadline, then drains and reports throughput.
+//!
+//! Exit code 0 means every submitted job produced its terminal line AND the
+//! daemon (when self-spawned) shut down with all threads joined.
+//!
+//! `ECS_BENCH_SMOKE=1` shrinks the slate to a seconds-long smoke run.
+
+use ecs_bench::cli::{smoke, Args};
+use ecs_service::protocol::{render_result, run_job};
+use ecs_service::{
+    AlgoSpec, BackendSpec, Client, Daemon, DaemonConfig, DistSpec, JobSpec, Request, Response,
+};
+use std::io::Write;
+use std::time::{Duration, Instant};
+
+/// The deterministic job slate: spec `(session, j)` depends only on its
+/// coordinates and the base seed, so the daemon run and the serial reference
+/// construct identical jobs without sharing state.
+fn job_spec(session: usize, j: usize, base_seed: u64, tenants: usize, n: usize) -> JobSpec {
+    let algo = AlgoSpec::ALL[(session + j) % AlgoSpec::ALL.len()];
+    let dist = match (session + 2 * j) % 5 {
+        0 => DistSpec::Uniform(5),
+        1 => DistSpec::Geometric(0.3),
+        2 => DistSpec::Poisson(4.0),
+        3 => DistSpec::Zeta(2.5),
+        _ => DistSpec::Balanced(7),
+    };
+    let backend = match j % 3 {
+        0 => BackendSpec::Seq,
+        1 => BackendSpec::Batched(32),
+        _ => BackendSpec::Coalesced(4),
+    };
+    JobSpec {
+        id: format!("s{session:03}-j{j:03}"),
+        tenant: format!("t{}", session % tenants.max(1)),
+        weight: 1 + (session % 3) as u32,
+        dist,
+        n,
+        seed: base_seed ^ (session as u64 * 1_000 + j as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+        algo,
+        backend,
+    }
+}
+
+fn terminal_line(response: &Response) -> Option<(String, String)> {
+    match response {
+        Response::Result { id, .. } | Response::Cancelled { id } | Response::Failed { id, .. } => {
+            Some((id.clone(), response.render()))
+        }
+        _ => None,
+    }
+}
+
+fn write_lines(path: &std::path::Path, lines: &[(String, String)]) {
+    let mut sorted = lines.to_vec();
+    sorted.sort();
+    let mut file = std::fs::File::create(path).expect("writable output file");
+    for (_, line) in sorted {
+        writeln!(file, "{line}").expect("write result line");
+    }
+}
+
+fn main() {
+    let args = Args::from_env();
+    args.warn_unknown(&[
+        "sessions",
+        "tenants",
+        "per-session",
+        "n",
+        "seed",
+        "out",
+        "connect",
+        "serial",
+        "duration-ms",
+        "jobs",
+        "max-inflight",
+        "linger-us",
+        "threads",
+        "batch",
+    ]);
+    let sessions = args.get_usize("sessions", if smoke() { 8 } else { 16 });
+    let tenants = args.get_usize("tenants", 4).max(1);
+    let per_session = args.get_usize("per-session", if smoke() { 2 } else { 4 });
+    let n = args.get_usize("n", if smoke() { 24 } else { 48 });
+    let base_seed = args.get_u64("seed", 2016);
+    let out_dir = args.get_or("out", "results");
+    std::fs::create_dir_all(&out_dir).expect("create output directory");
+
+    // Self-spawn a daemon unless pointed at a running one.
+    let (daemon, addr) = match args.get("connect") {
+        Some(addr) => (None, addr.to_string()),
+        None => {
+            let pool = args.throughput_pool();
+            let config = DaemonConfig {
+                max_inflight: args.get_usize("max-inflight", 2 * pool.workers()),
+                linger: args.linger(),
+                pool,
+                ..DaemonConfig::default()
+            };
+            let daemon = Daemon::bind("127.0.0.1:0", config).expect("bind an ephemeral port");
+            let addr = daemon
+                .local_addr()
+                .expect("a TCP daemon always has an address")
+                .to_string();
+            (Some(daemon), addr)
+        }
+    };
+    println!(
+        "ecs_load: daemon at {addr} ({} sessions x {per_session} jobs, {tenants} tenants, n={n})",
+        sessions
+    );
+
+    let started = Instant::now();
+    let collected: Vec<(String, String)> = if let Some(ms) = args.get("duration-ms") {
+        let duration = Duration::from_millis(ms.parse().unwrap_or(1_000));
+        load_mode(&addr, duration, base_seed, tenants, n)
+    } else {
+        diff_mode(&addr, sessions, per_session, base_seed, tenants, n)
+    };
+    let elapsed = started.elapsed();
+
+    let load_path = std::path::Path::new(&out_dir).join("service_load.csv");
+    write_lines(&load_path, &collected);
+    println!(
+        "ecs_load: {} terminal lines in {elapsed:?} ({:.1} jobs/s) -> {}",
+        collected.len(),
+        collected.len() as f64 / elapsed.as_secs_f64().max(1e-9),
+        load_path.display()
+    );
+
+    if args.has("serial") && !args.has("duration-ms") {
+        // The serial reference: the same specs through the same run_job /
+        // render_result pair, no daemon involved. Results are
+        // linger-independent (the coalescing adapter is transparent), so
+        // the local linger value cannot affect the diff.
+        let serial: Vec<(String, String)> = (0..sessions)
+            .flat_map(|s| (0..per_session).map(move |j| (s, j)))
+            .map(|(s, j)| {
+                let spec = job_spec(s, j, base_seed, tenants, n);
+                let run = run_job(&spec, args.linger(), None);
+                (spec.id.clone(), render_result(&spec, &run))
+            })
+            .collect();
+        let serial_path = std::path::Path::new(&out_dir).join("service_serial.csv");
+        write_lines(&serial_path, &serial);
+        println!("ecs_load: serial reference -> {}", serial_path.display());
+    }
+
+    // Clean shutdown: drain is already done per session; now stop the
+    // daemon over the protocol and join every thread.
+    let mut closer = Client::connect(&addr).expect("connect for shutdown");
+    closer.shutdown().expect("daemon acknowledges shutdown");
+    if let Some(daemon) = daemon {
+        daemon.join();
+        println!("ecs_load: daemon stopped cleanly");
+    }
+
+    let expected = if args.has("duration-ms") {
+        collected.len() // load mode: whatever completed before the deadline
+    } else {
+        sessions * per_session
+    };
+    if collected.len() != expected {
+        eprintln!(
+            "ecs_load: expected {expected} terminal lines, saw {}",
+            collected.len()
+        );
+        std::process::exit(1);
+    }
+}
+
+/// Diff mode: `sessions` concurrent clients, each submitting its slate and
+/// draining. Returns every terminal line keyed by job id.
+fn diff_mode(
+    addr: &str,
+    sessions: usize,
+    per_session: usize,
+    base_seed: u64,
+    tenants: usize,
+    n: usize,
+) -> Vec<(String, String)> {
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..sessions)
+            .map(|s| {
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr).expect("connect session");
+                    for j in 0..per_session {
+                        let spec = job_spec(s, j, base_seed, tenants, n);
+                        client.submit(&spec).expect("submit job");
+                    }
+                    let responses = client.drain().expect("drain session");
+                    responses
+                        .iter()
+                        .filter_map(terminal_line)
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|handle| handle.join().expect("session thread"))
+            .collect()
+    })
+}
+
+/// Load mode: one session keeps a bounded submission window full until the
+/// deadline, then drains.
+fn load_mode(
+    addr: &str,
+    duration: Duration,
+    base_seed: u64,
+    tenants: usize,
+    n: usize,
+) -> Vec<(String, String)> {
+    const WINDOW: usize = 16;
+    let mut client = Client::connect(addr).expect("connect load session");
+    let deadline = Instant::now() + duration;
+    let mut collected = Vec::new();
+    let mut submitted = 0usize;
+    let mut outstanding = 0usize;
+    while Instant::now() < deadline {
+        while outstanding < WINDOW {
+            let spec = job_spec(submitted / 97, submitted % 97, base_seed, tenants, n);
+            let spec = JobSpec {
+                id: format!("load-{submitted:06}"),
+                ..spec
+            };
+            client.submit(&spec).expect("submit load job");
+            submitted += 1;
+            outstanding += 1;
+        }
+        // Pull responses until the window has room again.
+        while outstanding >= WINDOW {
+            match client.recv().expect("read response") {
+                Some(response) => {
+                    if let Some(line) = terminal_line(&response) {
+                        collected.push(line);
+                        outstanding -= 1;
+                    }
+                }
+                None => return collected,
+            }
+        }
+    }
+    client.send(&Request::Drain).expect("send drain");
+    loop {
+        match client.recv().expect("read response") {
+            Some(Response::Drained) | None => break,
+            Some(response) => {
+                if let Some(line) = terminal_line(&response) {
+                    collected.push(line);
+                }
+            }
+        }
+    }
+    println!("ecs_load: load mode submitted {submitted} jobs");
+    collected
+}

@@ -1,0 +1,53 @@
+//! `serve` — run the equivalence-sorting daemon.
+//!
+//! ```text
+//! serve [--addr HOST:PORT] [--jobs N] [--max-inflight M] [--linger-us U]
+//! ```
+//!
+//! Binds a TCP listener (`--addr 127.0.0.1:0` picks an ephemeral port,
+//! printed on startup so scripts can scrape it), serves the line protocol of
+//! `ecs_service::protocol`, and runs until a client sends `shutdown`. The
+//! process exits 0 only after every session, writer, and pool thread has
+//! been joined — the clean-shutdown contract the CI smoke step checks.
+
+use ecs_bench::cli::Args;
+use ecs_service::{Daemon, DaemonConfig};
+
+fn main() {
+    let args = Args::from_env();
+    args.warn_unknown(&[
+        "addr",
+        "jobs",
+        "max-inflight",
+        "linger-us",
+        "threads",
+        "batch",
+    ]);
+    let pool = args.throughput_pool();
+    let config = DaemonConfig {
+        max_inflight: args.get_usize("max-inflight", 2 * pool.workers()),
+        linger: args.linger(),
+        pool,
+        ..DaemonConfig::default()
+    };
+    let addr = args.get_or("addr", "127.0.0.1:7878");
+    let daemon = match Daemon::bind(&addr, config) {
+        Ok(daemon) => daemon,
+        Err(error) => {
+            eprintln!("serve: cannot bind {addr}: {error}");
+            std::process::exit(1);
+        }
+    };
+    let local = daemon
+        .local_addr()
+        .expect("a TCP daemon always has an address");
+    println!("ecs service listening on {local}");
+    println!(
+        "pool={} max-inflight={} linger={:?}",
+        daemon.scheduler().pool().label(),
+        args.get_usize("max-inflight", 2 * daemon.scheduler().pool().workers()),
+        args.linger(),
+    );
+    daemon.join();
+    println!("ecs service stopped");
+}

@@ -5,8 +5,15 @@
 //! positional token is indistinguishable from a valued flag and is parsed as
 //! the latter; [`Args::has`] therefore reports a flag as present whether it
 //! was captured as a switch *or* as a `--key value` pair, so switch lookups
-//! never silently fail on that ambiguity. Values that themselves start with
-//! `--` can always be passed with the `--flag=value` spelling.
+//! never silently fail on that ambiguity. A token starting with `-` is never
+//! consumed as the value of the preceding flag — `--full -5` keeps `--full`
+//! a switch instead of silently giving it the value `-5` — so values that
+//! themselves start with a dash (negative numbers, `--`-prefixed strings)
+//! are passed with the `--flag=value` spelling.
+//!
+//! Binaries declare their flags only for diagnostics: [`Args::warn_unknown`]
+//! compares what was parsed against the binary's known list and warns on
+//! typos (`--trails 5`) instead of silently ignoring them.
 
 use ecs_model::backend::available_parallelism;
 use ecs_model::{ExecutionBackend, ThroughputPool};
@@ -39,7 +46,10 @@ impl Args {
                     // value that itself starts with `--`.
                     args.values.insert(key.to_string(), value.to_string());
                     i += 1;
-                } else if i + 1 < tokens.len() && !tokens[i + 1].starts_with("--") {
+                } else if i + 1 < tokens.len() && !tokens[i + 1].starts_with('-') {
+                    // A following token that starts with `-` (another flag, a
+                    // negative number) is never captured as this flag's value;
+                    // dash-values are spelled `--flag=value`.
                     args.values.insert(name.to_string(), tokens[i + 1].clone());
                     i += 2;
                 } else {
@@ -149,6 +159,55 @@ impl Args {
         };
         ThroughputPool::from_jobs(jobs)
     }
+
+    /// The linger window selected by `--linger-us N` (microseconds a
+    /// [`ecs_model::BatchingOracle`] wave opener waits for peers before
+    /// flushing short), defaulting to
+    /// [`ecs_model::batching::DEFAULT_LINGER`]. `--linger-us 0` flushes every
+    /// wave immediately — useful to make coalescing-dependent runs
+    /// event-driven instead of timing-dependent.
+    pub fn linger(&self) -> std::time::Duration {
+        match self.get("linger-us") {
+            Some(value) => value
+                .trim()
+                .parse()
+                .map(std::time::Duration::from_micros)
+                .unwrap_or(ecs_model::batching::DEFAULT_LINGER),
+            None => ecs_model::batching::DEFAULT_LINGER,
+        }
+    }
+
+    /// Warns (once, to stderr) about every parsed `--flag` that is not in
+    /// the binary's `known` list, printing the known flags so typos like
+    /// `--trails 5` surface instead of silently running the default grid.
+    /// Unknown flags are diagnostics only — the run proceeds regardless.
+    pub fn warn_unknown(&self, known: &[&str]) {
+        let mut unknown: Vec<&str> = self
+            .values
+            .keys()
+            .map(String::as_str)
+            .chain(self.switches.iter().map(String::as_str))
+            .filter(|name| !known.contains(name))
+            .collect();
+        unknown.sort_unstable();
+        unknown.dedup();
+        if unknown.is_empty() {
+            return;
+        }
+        for name in unknown {
+            eprintln!("warning: unknown flag --{name} (ignored)");
+        }
+        let mut listed: Vec<&str> = known.to_vec();
+        listed.sort_unstable();
+        eprintln!(
+            "note: known flags: {}",
+            listed
+                .iter()
+                .map(|name| format!("--{name}"))
+                .collect::<Vec<_>>()
+                .join(" ")
+        );
+    }
 }
 
 /// Parses one worker-count flag value. `0` is not a usable worker count —
@@ -249,6 +308,54 @@ mod tests {
         let a = args(&["--prefix=--release", "--next"]);
         assert_eq!(a.get("prefix"), Some("--release"));
         assert!(a.has("next"));
+    }
+
+    #[test]
+    fn switch_followed_by_negative_token_stays_a_switch() {
+        // Regression: `--full -5` captured `-5` as the *value* of `--full`,
+        // so the switch stopped being a switch and the stray token vanished
+        // instead of being ignored as a positional.
+        let a = args(&["--full", "-5", "--trials", "3"]);
+        assert!(a.has("full"));
+        assert_eq!(a.get("full"), None, "--full must stay a bare switch");
+        assert_eq!(a.get_usize("trials", 0), 3);
+
+        // Same shape with a short-dash non-numeric positional.
+        let b = args(&["--verbose", "-x", "--out", "dir"]);
+        assert!(b.has("verbose"));
+        assert_eq!(b.get("verbose"), None);
+        assert_eq!(b.get("out"), Some("dir"));
+
+        // Negative values are still passable, with the `=` spelling.
+        let c = args(&["--offset=-5"]);
+        assert_eq!(c.get("offset"), Some("-5"));
+        assert_eq!(c.get_f64("offset", 0.0), -5.0);
+    }
+
+    #[test]
+    fn linger_flag_parses_microseconds() {
+        use std::time::Duration;
+        assert_eq!(
+            args(&["--linger-us", "500"]).linger(),
+            Duration::from_micros(500)
+        );
+        assert_eq!(args(&["--linger-us", "0"]).linger(), Duration::ZERO);
+        // Absent, bare, and unparsable all select the model default.
+        let default = ecs_model::batching::DEFAULT_LINGER;
+        assert_eq!(args(&[]).linger(), default);
+        assert_eq!(args(&["--linger-us"]).linger(), default);
+        assert_eq!(args(&["--linger-us", "junk"]).linger(), default);
+    }
+
+    #[test]
+    fn unknown_flags_warn_without_aborting() {
+        // `warn_unknown` is diagnostics-only: it must not panic or alter the
+        // parsed flags, whatever the overlap with the known list.
+        let a = args(&["--trails", "5", "--full", "--out=dir"]);
+        a.warn_unknown(&["trials", "full", "out"]);
+        a.warn_unknown(&[]);
+        assert_eq!(a.get_usize("trails", 0), 5);
+        assert!(a.has("full"));
     }
 
     #[test]

@@ -11,10 +11,17 @@
 //!
 //! [`BatchingOracle`] closes that gap: it wraps any oracle and coalesces
 //! concurrent `same` calls into `same_batch` waves. Callers enqueue their
-//! pair under a mutex; the wave is flushed by whichever caller fills it, and
-//! the wave's *leader* (the caller who opened it) flushes a partial wave
-//! after a bounded linger so a lone caller is never blocked on peers that
-//! will not arrive. Waves are evaluated one at a time in formation order
+//! pair under a mutex; the wave is flushed by whichever caller fills it, by
+//! *any* parked contributor once the wave's shared linger deadline fires (so
+//! a lone caller is never blocked on peers that will not arrive, and no wave
+//! depends on one specific thread being schedulable), or explicitly via
+//! [`BatchingOracle::flush_pending`] by a driver that knows no further
+//! queries are coming. While parked on an in-flight wave, a pool worker does
+//! not sleep its OS thread: it *helps* — draining other pending pool tasks
+//! through the rayon shim's `try_help` — so slow oracles never stall pool
+//! workers, and peers queued behind the parked worker get to run and join
+//! the very wave it is waiting on. Waves are evaluated one at a time in
+//! formation order
 //! (condvar-gated, under the state lock), and pairs keep their arrival order
 //! within a wave, so the inner oracle observes a deterministic wave
 //! discipline: a serial caller sees exactly the scalar call sequence, and
@@ -35,11 +42,12 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
-/// How long a wave leader waits for peers before flushing a partial wave.
+/// How long a partial wave is held open for peers before being flushed.
 /// Long enough for concurrently-running pool workers to join the wave, short
 /// enough to be invisible next to the per-request cost that motivates
-/// batching in the first place.
-const DEFAULT_LINGER: Duration = Duration::from_micros(200);
+/// batching in the first place. Overridable per adapter with
+/// [`BatchingOracle::with_linger`] and from the CLI with `--linger-us`.
+pub const DEFAULT_LINGER: Duration = Duration::from_micros(200);
 
 /// An adapter that coalesces concurrent [`EquivalenceOracle::same`] calls
 /// into [`EquivalenceOracle::same_batch`] waves.
@@ -73,6 +81,12 @@ struct WaveState {
     generation: u64,
     /// Pairs of the forming wave, in arrival order.
     pending: Vec<(usize, usize)>,
+    /// When the forming wave must be flushed even partially filled. Set by
+    /// the wave's opener; *any* contributor that reaches it flushes — the
+    /// flush duty is shared, so a wave never depends on one specific thread
+    /// being schedulable (the opener may itself be parked helping the pool
+    /// run other tasks).
+    deadline: Option<Instant>,
     /// Answers of flushed generations, retained until every contributor has
     /// collected its slot.
     completed: HashMap<u64, WaveAnswers>,
@@ -111,6 +125,7 @@ impl<O: EquivalenceOracle> BatchingOracle<O> {
             state: Mutex::new(WaveState {
                 generation: 0,
                 pending: Vec::new(),
+                deadline: None,
                 completed: HashMap::new(),
             }),
             flushed: Condvar::new(),
@@ -134,6 +149,36 @@ impl<O: EquivalenceOracle> BatchingOracle<O> {
     /// linger alone).
     pub fn wave(&self) -> usize {
         self.wave
+    }
+
+    /// The configured linger: how long a partial wave is held open for peers
+    /// before being flushed.
+    pub fn linger(&self) -> Duration {
+        self.linger
+    }
+
+    /// Number of queries currently parked in the forming wave.
+    pub fn pending_queries(&self) -> usize {
+        self.lock().pending.len()
+    }
+
+    /// Explicitly flushes the forming wave, releasing its parked callers
+    /// without waiting for the linger to fire or the wave to fill. Returns
+    /// whether a wave was flushed (`false` when nothing was pending).
+    ///
+    /// This is the event-driven alternative to the wall-clock linger — a
+    /// driver that knows no further queries are coming (end of a round, a
+    /// drained queue) flushes deterministically instead of paying (and
+    /// timing tests against) the linger. A panic in the inner oracle during
+    /// the flush resumes on this caller after the wave is published as
+    /// poisoned.
+    pub fn flush_pending(&self) -> bool {
+        let mut state = self.lock();
+        if state.pending.is_empty() {
+            return false;
+        }
+        self.flush(&mut state, false);
+        true
     }
 
     /// Number of `same_batch` waves submitted to the inner oracle so far
@@ -168,9 +213,13 @@ impl<O: EquivalenceOracle> BatchingOracle<O> {
     /// — generation bumped, followers woken, so they fail loudly in
     /// [`Self::collect`] instead of hanging forever on the condvar or later
     /// collecting a reused generation's answers — and then resumed on the
-    /// flushing caller.
-    fn flush(&self, state: &mut WaveState) {
+    /// flushing caller. `flusher_has_slot` records whether the flusher is
+    /// itself a contributor of the wave (every in-`same` flush) or an
+    /// external driver ([`Self::flush_pending`]) — a poisoned wave must not
+    /// wait on a slot its flusher will never collect.
+    fn flush(&self, state: &mut WaveState, flusher_has_slot: bool) {
         let pairs = std::mem::take(&mut state.pending);
+        state.deadline = None;
         debug_assert!(!pairs.is_empty(), "flushing an empty wave");
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             self.inner.same_batch(&pairs)
@@ -187,11 +236,11 @@ impl<O: EquivalenceOracle> BatchingOracle<O> {
             }
             Err(payload) => (None, Some(payload)),
         };
-        // The flusher is always one of the wave's contributors, and on the
-        // panic path it unwinds out of `same` without collecting its slot —
-        // account for it here so a poisoned wave's storage is still freed
-        // once the followers have observed the failure.
-        let uncollected = if panic_payload.is_some() {
+        // A contributing flusher that panics unwinds out of `same` without
+        // collecting its slot — account for it here so a poisoned wave's
+        // storage is still freed once the followers have observed the
+        // failure. An external flusher (`flush_pending`) holds no slot.
+        let uncollected = if panic_payload.is_some() && flusher_has_slot {
             pairs.len() - 1
         } else {
             pairs.len()
@@ -244,37 +293,51 @@ impl<O: EquivalenceOracle> EquivalenceOracle for BatchingOracle<O> {
         let generation = state.generation;
         let index = state.pending.len();
         state.pending.push((a, b));
+        if index == 0 {
+            // Wave opener: start the linger clock. The deadline lives in the
+            // shared state so *any* contributor can flush when it fires.
+            state.deadline = Some(Instant::now() + self.linger);
+        }
 
         if self.wave != 0 && state.pending.len() >= self.wave {
             // This caller filled the wave: flush immediately. (`wave: 0` is
-            // unbounded — waves close only when the leader's linger fires.)
-            self.flush(&mut state);
-        } else if index == 0 {
-            // Wave leader: hold the wave open for up to `linger` so peers can
-            // join, then flush whatever arrived. A filling peer flushes
-            // early; either way exactly one caller flushes each wave, so a
-            // lone caller can never deadlock waiting for peers.
-            let deadline = Instant::now() + self.linger;
+            // unbounded — waves close only when the linger fires or the
+            // driver flushes explicitly.)
+            self.flush(&mut state, true);
+        } else {
+            // Parked contributor (opener or follower alike): the wave is in
+            // flight and this query has no answer yet. Instead of sleeping
+            // the OS thread for the whole wait, a pool worker first *helps*
+            // — drains pending pool tasks via `rayon::try_help` with the
+            // state lock released — so peers queued behind it can run, join
+            // (and possibly fill) this very wave. Whoever reaches the shared
+            // deadline flushes; a filling peer flushes early; an explicit
+            // `flush_pending` releases everyone. A helped task may re-enter
+            // this adapter and even flush a wave it joins — generations keep
+            // each caller's answer addressable regardless of who flushed.
+            let deadline = state
+                .deadline
+                .expect("a forming wave always has a deadline");
             while state.generation == generation {
+                if Instant::now() >= deadline {
+                    self.flush(&mut state, true);
+                    break;
+                }
+                drop(state);
+                let helped = rayon::try_help();
+                state = self.lock();
+                if helped || state.generation != generation {
+                    continue;
+                }
                 let now = Instant::now();
                 if now >= deadline {
-                    self.flush(&mut state);
-                    break;
+                    continue;
                 }
                 state = self
                     .flushed
                     .wait_timeout(state, deadline - now)
                     .unwrap_or_else(std::sync::PoisonError::into_inner)
                     .0;
-            }
-        } else {
-            // Follower: the leader's linger (or a filling peer) bounds the
-            // wait.
-            while state.generation == generation {
-                state = self
-                    .flushed
-                    .wait(state)
-                    .unwrap_or_else(std::sync::PoisonError::into_inner);
             }
         }
         self.collect(&mut state, generation, index)
@@ -467,19 +530,107 @@ mod tests {
     }
 
     #[test]
-    fn unbounded_wave_flushes_on_the_linger_alone() {
+    fn unbounded_wave_is_released_by_an_explicit_flush() {
         // `wave: 0` matches `ExecutionBackend::Batched { wave: 0 }` in
-        // spirit: maximum batching, bounded only by the linger window. A
-        // lone caller must still get its answer (leader timeout), never
-        // deadlock waiting for a fill that cannot happen.
+        // spirit: maximum batching, bounded only by the linger window or an
+        // explicit flush. The event-driven path: with a linger far beyond
+        // the test timeout, only `flush_pending` can release the parked
+        // caller — so a correct answer proves the explicit flush works
+        // without timing anything against the wall clock.
         let oracle = BatchingOracle::with_linger(
             LabelOracle::new(labels(6, 3)),
             0,
-            Duration::from_micros(50),
+            Duration::from_secs(600),
         );
-        assert!(oracle.same(0, 3));
-        assert!(!oracle.same(0, 1));
-        assert_eq!(oracle.waves_flushed(), 2);
-        assert_eq!(oracle.queries(), 2);
+        std::thread::scope(|scope| {
+            let caller = scope.spawn(|| oracle.same(0, 3));
+            while oracle.pending_queries() < 1 {
+                std::thread::yield_now();
+            }
+            assert!(oracle.flush_pending());
+            assert!(caller.join().expect("parked caller released"));
+        });
+        assert!(!oracle.flush_pending(), "nothing left pending");
+        assert_eq!(oracle.waves_flushed(), 1);
+        assert_eq!(oracle.queries(), 1);
+        assert_eq!(oracle.linger(), Duration::from_secs(600));
+    }
+
+    #[test]
+    fn explicit_flush_releases_a_coalesced_pair_of_callers() {
+        // Two callers join one unbounded wave; the driver flushes once both
+        // are parked. Event-driven: no linger expiry is involved.
+        let oracle = BatchingOracle::with_linger(
+            LabelOracle::new(labels(6, 3)),
+            0,
+            Duration::from_secs(600),
+        );
+        std::thread::scope(|scope| {
+            let first = scope.spawn(|| oracle.same(0, 3));
+            let second = scope.spawn(|| oracle.same(0, 1));
+            while oracle.pending_queries() < 2 {
+                std::thread::yield_now();
+            }
+            assert!(oracle.flush_pending());
+            assert!(first.join().expect("first caller released"));
+            assert!(!second.join().expect("second caller released"));
+        });
+        assert_eq!(oracle.waves_flushed(), 1, "both queries shared one wave");
+        assert_eq!(oracle.coalesced_queries(), 2);
+    }
+
+    #[test]
+    fn a_parked_pool_worker_helps_run_the_peer_that_fills_its_wave() {
+        // One-worker pool, wave size 2, linger far beyond the test timeout:
+        // job 1 parks its query in a half-full wave; without help-first the
+        // only worker would sleep and job 2 (the peer that fills the wave)
+        // could never run. With `try_help`, the parked worker runs job 2
+        // itself, the wave fills, flushes, and both jobs complete — so mere
+        // completion (plus a single coalesced wave) proves the non-blocking
+        // wave-park works.
+        use std::sync::mpsc;
+        use std::sync::Arc;
+        let oracle = Arc::new(BatchingOracle::with_linger(
+            LabelOracle::new(labels(4, 2)),
+            2,
+            Duration::from_secs(600),
+        ));
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build()
+            .expect("pool builds");
+        let (result_tx, result_rx) = mpsc::channel();
+        let (ready_tx, ready_rx) = mpsc::channel::<()>();
+        {
+            let oracle = Arc::clone(&oracle);
+            let result_tx = result_tx.clone();
+            pool.spawn_fifo(move || {
+                // Wait until job 2 is queued, so the help path is the only
+                // way it can ever run.
+                ready_rx.recv().unwrap();
+                result_tx.send(("first", oracle.same(0, 2))).unwrap();
+            });
+        }
+        {
+            let oracle = Arc::clone(&oracle);
+            let result_tx = result_tx.clone();
+            pool.spawn_fifo(move || {
+                result_tx.send(("second", oracle.same(0, 1))).unwrap();
+            });
+        }
+        ready_tx.send(()).unwrap();
+        drop(result_tx);
+        let mut answers: Vec<(&str, bool)> = Vec::new();
+        for _ in 0..2 {
+            answers.push(
+                result_rx
+                    .recv_timeout(Duration::from_secs(30))
+                    .expect("a parked worker failed to help its peer"),
+            );
+        }
+        answers.sort_unstable();
+        assert_eq!(answers, vec![("first", true), ("second", false)]);
+        assert_eq!(oracle.waves_flushed(), 1, "the two queries coalesced");
+        assert_eq!(oracle.coalesced_queries(), 2);
     }
 }

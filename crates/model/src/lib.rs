@@ -34,7 +34,12 @@
 //! * [`ThroughputPool`] — multi-session throughput mode: many independent
 //!   `(instance, algorithm, backend)` jobs drained through the one shared
 //!   pool with round-robin fairness across sessions, per-job metrics
-//!   isolation, and results bit-identical to the serial loop.
+//!   isolation, and results bit-identical to the serial loop; the `try_run`
+//!   paths add per-job fault isolation and `spawn` feeds detached daemon
+//!   jobs into the same FIFO discipline.
+//! * [`CancellableOracle`] / [`CancellationToken`] — cooperative
+//!   cancellation delivered through the oracle, checked at round boundaries
+//!   and queries on every backend.
 //! * [`schedule`] — helpers that decompose arbitrary comparison sets into
 //!   legal ER rounds (greedy edge colouring).
 
@@ -43,6 +48,7 @@
 
 pub mod backend;
 pub mod batching;
+pub mod cancellation;
 pub mod instance;
 pub mod metrics;
 pub mod oracle;
@@ -54,6 +60,7 @@ pub mod transcript;
 
 pub use backend::ExecutionBackend;
 pub use batching::BatchingOracle;
+pub use cancellation::{CancellableOracle, CancellationToken, Cancelled};
 pub use instance::Instance;
 pub use metrics::{Metrics, RoundSizeHistogram};
 pub use oracle::{EquivalenceOracle, InstanceOracle, LabelOracle};

@@ -41,10 +41,61 @@
 //! workers of both pools on each other's latches.
 
 use crate::backend::{shared_pool, ExecutionBackend};
+use crate::cancellation::is_cancellation;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Mutex;
 
 /// A boxed unit of independent work submitted to a [`ThroughputPool`].
 pub type Job<'a, T> = Box<dyn FnOnce() -> T + Send + 'a>;
+
+/// Why a job submitted through [`ThroughputPool::try_run`] produced no
+/// value: it panicked, or it was cooperatively cancelled (its unwind payload
+/// was [`crate::cancellation::Cancelled`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobPanic {
+    message: String,
+    cancelled: bool,
+}
+
+impl JobPanic {
+    /// Classifies a `catch_unwind` payload: a [`crate::Cancelled`] payload
+    /// becomes a cancellation, string payloads keep their message. Public so
+    /// job runners outside this module (e.g. a service daemon running
+    /// detached jobs) report faults identically to [`ThroughputPool::try_run`].
+    pub fn from_payload(payload: Box<dyn std::any::Any + Send>) -> Self {
+        let cancelled = is_cancellation(&*payload);
+        let message = if cancelled {
+            "job cancelled".to_string()
+        } else if let Some(text) = payload.downcast_ref::<&str>() {
+            (*text).to_string()
+        } else if let Some(text) = payload.downcast_ref::<String>() {
+            text.clone()
+        } else {
+            "job panicked".to_string()
+        };
+        Self { message, cancelled }
+    }
+
+    /// The panic message (or `"job cancelled"` for cancellations).
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+
+    /// Whether the job unwound because its [`crate::CancellationToken`] was
+    /// tripped rather than because of a genuine failure.
+    pub fn is_cancelled(&self) -> bool {
+        self.cancelled
+    }
+}
+
+impl std::fmt::Display for JobPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+/// The per-job outcome of the fault-isolating run paths.
+pub type JobResult<T> = Result<T, JobPanic>;
 
 /// Runs many independent jobs through the one shared work-stealing pool.
 ///
@@ -123,6 +174,68 @@ impl ThroughputPool {
                     .expect("scope guarantees every job completed")
             })
             .collect()
+    }
+
+    /// Runs independent jobs like [`ThroughputPool::run`], but isolates
+    /// faults: each job executes under `catch_unwind`, so a panicking or
+    /// cancelled job yields an `Err(`[`JobPanic`]`)` in its own slot instead
+    /// of tearing down the whole workload after the drain. Results are still
+    /// returned **in job order**, and successful jobs are bit-identical to
+    /// the serial loop.
+    pub fn try_run<'a, T: Send + 'a>(&self, jobs: Vec<Job<'a, T>>) -> Vec<JobResult<T>> {
+        let guarded: Vec<Job<'a, JobResult<T>>> = jobs
+            .into_iter()
+            .map(|job| {
+                Box::new(move || {
+                    catch_unwind(AssertUnwindSafe(job)).map_err(JobPanic::from_payload)
+                }) as Job<'a, JobResult<T>>
+            })
+            .collect();
+        self.run(guarded)
+    }
+
+    /// Runs several *sessions* of jobs with the same round-robin fairness as
+    /// [`ThroughputPool::run_sessions`], but with per-job fault isolation: a
+    /// session whose job panics or is cancelled loses only that job's value
+    /// — its remaining jobs keep their fairness slots in the rotation and
+    /// every other session completes untouched. (The strict path,
+    /// `run_sessions`, resumes the first panic on the caller after the
+    /// drain, which forfeits all results.)
+    pub fn try_run_sessions<'a, T: Send + 'a>(
+        &self,
+        sessions: Vec<Vec<Job<'a, T>>>,
+    ) -> Vec<Vec<JobResult<T>>> {
+        let guarded: Vec<Vec<Job<'a, JobResult<T>>>> = sessions
+            .into_iter()
+            .map(|session| {
+                session
+                    .into_iter()
+                    .map(|job| {
+                        Box::new(move || {
+                            catch_unwind(AssertUnwindSafe(job)).map_err(JobPanic::from_payload)
+                        }) as Job<'a, JobResult<T>>
+                    })
+                    .collect()
+            })
+            .collect();
+        self.run_sessions(guarded)
+    }
+
+    /// Submits one detached `'static` job to this pool's FIFO injector and
+    /// returns immediately — the hook long-lived services use to feed a
+    /// stream of jobs into the same strict-FIFO queue that `run_sessions`
+    /// dispatches through, so daemon jobs and batch grids share one fairness
+    /// discipline. The job always runs asynchronously on the shared pool
+    /// (one worker even for a `Sequential`-backend pool), so a scheduler may
+    /// call this while holding its own locks.
+    ///
+    /// Delivery of results, panic reporting, and completion tracking are the
+    /// caller's responsibility (wrap the job body; see `ecs_service`).
+    pub fn spawn<F>(&self, job: F)
+    where
+        F: FnOnce() + Send + 'static,
+    {
+        shared_pool(self.workers()).spawn_fifo(job);
     }
 
     /// Runs several *sessions* of jobs with round-robin fairness: the `r`-th
@@ -282,6 +395,101 @@ mod tests {
         assert_eq!(grouped[2], Vec::<usize>::new());
         assert_eq!(grouped[3], vec![10, 11, 12, 13, 14]);
         assert!(pool.run(Vec::<Job<'_, ()>>::new()).is_empty());
+    }
+
+    #[test]
+    fn a_killed_session_releases_its_fairness_slot_mid_grid() {
+        // Three sessions share the rotation; every job of session 1 panics
+        // (the "killed" session — e.g. a client whose oracle data vanished
+        // or whose jobs were cancelled mid-grid). The other sessions must
+        // complete every job with correct values, and the killed session
+        // must report a per-job error rather than starving the rotation or
+        // tearing the grid down.
+        for workers in [1usize, 4] {
+            let pool = ThroughputPool::from_jobs(workers);
+            let sessions: Vec<Vec<Job<'_, usize>>> = (0..3usize)
+                .map(|s| {
+                    (0..5usize)
+                        .map(|j| {
+                            Box::new(move || {
+                                if s == 1 {
+                                    panic!("session 1 job {j} killed mid-grid");
+                                }
+                                s * 100 + j
+                            }) as Job<'_, usize>
+                        })
+                        .collect()
+                })
+                .collect();
+            let grouped = pool.try_run_sessions(sessions);
+            assert_eq!(grouped.len(), 3);
+            for (s, session) in grouped.iter().enumerate() {
+                assert_eq!(
+                    session.len(),
+                    5,
+                    "session {s} lost jobs ({workers} workers)"
+                );
+                for (j, outcome) in session.iter().enumerate() {
+                    if s == 1 {
+                        let failure = outcome.as_ref().expect_err("killed job must error");
+                        assert!(failure.message().contains("killed mid-grid"));
+                        assert!(!failure.is_cancelled());
+                    } else {
+                        assert_eq!(outcome.as_ref().copied(), Ok(s * 100 + j));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cancelled_jobs_report_cancellation_not_failure() {
+        use crate::cancellation::{CancellableOracle, CancellationToken};
+        let mut rng = Xoshiro256StarStar::seed_from_u64(9);
+        let instance = Instance::balanced(32, 4, &mut rng);
+        let token = CancellationToken::new();
+        token.cancel();
+        let jobs: Vec<Job<'_, bool>> = vec![
+            {
+                let token = token.clone();
+                let instance = &instance;
+                Box::new(move || {
+                    let oracle =
+                        CancellableOracle::new(InstanceOracle::new(instance), token.clone());
+                    oracle.same(0, 1)
+                })
+            },
+            Box::new(|| true),
+        ];
+        let results = ThroughputPool::from_jobs(2).try_run(jobs);
+        let cancelled = results[0].as_ref().expect_err("tripped token must abort");
+        assert!(cancelled.is_cancelled());
+        assert_eq!(cancelled.message(), "job cancelled");
+        assert_eq!(results[1], Ok(true), "sibling job is untouched");
+    }
+
+    #[test]
+    fn try_run_matches_run_when_nothing_panics() {
+        let pool = pool4();
+        let jobs: Vec<Job<'_, u64>> = (0..64u64)
+            .map(|i| Box::new(move || i * 3) as Job<'_, u64>)
+            .collect();
+        let results = pool.try_run(jobs);
+        assert_eq!(results, (0..64u64).map(|i| Ok(i * 3)).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn detached_spawn_runs_jobs_asynchronously() {
+        let (tx, rx) = std::sync::mpsc::channel();
+        let pool = ThroughputPool::from_jobs(2);
+        for i in 0..16u64 {
+            let tx = tx.clone();
+            pool.spawn(move || tx.send(i).unwrap());
+        }
+        drop(tx);
+        let mut seen: Vec<u64> = rx.iter().collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..16).collect::<Vec<_>>());
     }
 
     #[test]

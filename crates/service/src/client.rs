@@ -1,0 +1,97 @@
+//! A blocking protocol client for tests, the load generator, and scripts.
+
+use crate::protocol::{JobSpec, Request, Response};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+
+/// One session's client endpoint: a line writer and a line reader over any
+/// transport (TCP or the in-process loopback pipe).
+pub struct Client {
+    reader: Box<dyn BufRead + Send>,
+    writer: Box<dyn Write + Send>,
+}
+
+impl std::fmt::Debug for Client {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Client").finish_non_exhaustive()
+    }
+}
+
+impl Client {
+    /// Wraps an already-connected transport.
+    pub fn new<R, W>(reader: R, writer: W) -> Self
+    where
+        R: BufRead + Send + 'static,
+        W: Write + Send + 'static,
+    {
+        Self {
+            reader: Box::new(reader),
+            writer: Box::new(writer),
+        }
+    }
+
+    /// Connects to a TCP daemon.
+    pub fn connect(addr: &str) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Self::new(reader, stream))
+    }
+
+    /// Sends one request line.
+    pub fn send(&mut self, request: &Request) -> std::io::Result<()> {
+        writeln!(self.writer, "{}", request.render())?;
+        self.writer.flush()
+    }
+
+    /// Submits a job.
+    pub fn submit(&mut self, spec: &JobSpec) -> std::io::Result<()> {
+        self.send(&Request::Submit(spec.clone()))
+    }
+
+    /// Reads the next response line (`None` on EOF). Malformed daemon lines
+    /// surface as [`Response::Error`].
+    pub fn recv(&mut self) -> std::io::Result<Option<Response>> {
+        let mut line = String::new();
+        loop {
+            line.clear();
+            if self.reader.read_line(&mut line)? == 0 {
+                return Ok(None);
+            }
+            if line.trim().is_empty() {
+                continue;
+            }
+            return Ok(Some(
+                Response::parse(&line).unwrap_or_else(|message| Response::Error { message }),
+            ));
+        }
+    }
+
+    /// Sends `drain` and collects every response up to (excluding) the
+    /// `drained` barrier — i.e. the terminal line of every job this session
+    /// submitted so far, plus any earlier acks still queued.
+    pub fn drain(&mut self) -> std::io::Result<Vec<Response>> {
+        self.send(&Request::Drain)?;
+        let mut responses = Vec::new();
+        while let Some(response) = self.recv()? {
+            if response == Response::Drained {
+                return Ok(responses);
+            }
+            responses.push(response);
+        }
+        Err(std::io::Error::new(
+            std::io::ErrorKind::UnexpectedEof,
+            "session closed before the drain barrier",
+        ))
+    }
+
+    /// Sends `shutdown` and reads until the daemon closes the session.
+    /// Returns the responses seen after the request (typically just `bye`).
+    pub fn shutdown(&mut self) -> std::io::Result<Vec<Response>> {
+        self.send(&Request::Shutdown)?;
+        let mut responses = Vec::new();
+        while let Some(response) = self.recv()? {
+            responses.push(response);
+        }
+        Ok(responses)
+    }
+}

@@ -1,0 +1,154 @@
+//! The per-session result queue and its backpressure contract.
+//!
+//! Completions are produced by pool workers and consumed by the session's
+//! writer thread. The two sides have opposite blocking rules:
+//!
+//! * [`Outbox::push`] **never blocks** — a pool worker finishing a job must
+//!   not stall on a slow client, or one unread session would wedge the whole
+//!   pool. The queue is unbounded for pushes.
+//! * Admission is bounded instead: the session's *reader* thread calls
+//!   [`Outbox::wait_below`] before parsing another `submit`, so a client
+//!   that stops reading its results stops being read — its socket fills and
+//!   the backpressure propagates to the client without costing the daemon a
+//!   thread or a byte of queue growth beyond the jobs already admitted.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+#[derive(Debug, Default)]
+struct State {
+    lines: VecDeque<String>,
+    closed: bool,
+}
+
+/// A multi-producer single-consumer line queue with non-blocking pushes and
+/// a reader-side admission gate.
+#[derive(Debug, Default)]
+pub struct Outbox {
+    state: Mutex<State>,
+    pushed: Condvar,
+    popped: Condvar,
+}
+
+impl Outbox {
+    /// An open, empty outbox.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Queues a line for the writer. Never blocks; silently drops the line
+    /// if the outbox is already closed (the session is gone).
+    pub fn push(&self, line: String) {
+        let mut state = self.lock();
+        if state.closed {
+            return;
+        }
+        state.lines.push_back(line);
+        self.pushed.notify_all();
+    }
+
+    /// Takes the next line, blocking until one arrives or the outbox closes.
+    /// Returns `None` only when the outbox is closed **and** drained, so a
+    /// writer loop flushes every queued line before exiting.
+    pub fn pop(&self) -> Option<String> {
+        let mut state = self.lock();
+        loop {
+            if let Some(line) = state.lines.pop_front() {
+                self.popped.notify_all();
+                return Some(line);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self
+                .pushed
+                .wait(state)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+
+    /// Blocks the caller (the session reader, deciding whether to admit
+    /// another `submit`) until fewer than `limit` lines are queued or the
+    /// outbox closes.
+    pub fn wait_below(&self, limit: usize) {
+        let limit = limit.max(1);
+        let mut state = self.lock();
+        while !state.closed && state.lines.len() >= limit {
+            state = self
+                .popped
+                .wait(state)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+
+    /// Lines currently queued (diagnostics and tests).
+    pub fn len(&self) -> usize {
+        self.lock().lines.len()
+    }
+
+    /// Whether nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Closes the outbox: pending lines still drain through [`Outbox::pop`],
+    /// further pushes are dropped, and both waiting sides wake up.
+    pub fn close(&self) {
+        let mut state = self.lock();
+        state.closed = true;
+        self.pushed.notify_all();
+        self.popped.notify_all();
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, State> {
+        self.state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn lines_flow_in_order_and_drain_after_close() {
+        let outbox = Outbox::new();
+        outbox.push("a".into());
+        outbox.push("b".into());
+        outbox.close();
+        outbox.push("dropped".into());
+        assert_eq!(outbox.pop().as_deref(), Some("a"));
+        assert_eq!(outbox.pop().as_deref(), Some("b"));
+        assert_eq!(outbox.pop(), None, "closed and drained");
+    }
+
+    #[test]
+    fn wait_below_blocks_until_the_consumer_catches_up() {
+        let outbox = Arc::new(Outbox::new());
+        outbox.push("1".into());
+        outbox.push("2".into());
+        let gate = Arc::clone(&outbox);
+        let admitted = std::thread::spawn(move || {
+            gate.wait_below(2);
+            true
+        });
+        // The gate must still be blocked: two lines are queued.
+        std::thread::sleep(Duration::from_millis(20));
+        assert!(!admitted.is_finished(), "gate opened below the limit");
+        assert_eq!(outbox.pop().as_deref(), Some("1"));
+        assert!(admitted.join().unwrap());
+    }
+
+    #[test]
+    fn close_releases_a_blocked_gate() {
+        let outbox = Arc::new(Outbox::new());
+        outbox.push("only".into());
+        let gate = Arc::clone(&outbox);
+        let waiter = std::thread::spawn(move || gate.wait_below(1));
+        outbox.close();
+        waiter.join().unwrap();
+    }
+}

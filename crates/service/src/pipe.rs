@@ -1,0 +1,157 @@
+//! An in-process byte pipe: the loopback transport's stand-in for a socket.
+//!
+//! [`pipe`] returns a connected writer/reader pair implementing
+//! [`std::io::Write`] / [`std::io::Read`] over a shared buffer, so the
+//! daemon's session code runs unchanged over loopback and TCP. Dropping the
+//! writer closes the pipe (the reader sees EOF after draining); a
+//! [`PipeCloser`] force-closes the read side from a third thread, which is
+//! how daemon shutdown unblocks a session reader parked on an idle client.
+
+use std::collections::VecDeque;
+use std::io::{Read, Write};
+use std::sync::{Arc, Condvar, Mutex};
+
+#[derive(Debug, Default)]
+struct Shared {
+    buf: Mutex<(VecDeque<u8>, bool)>,
+    filled: Condvar,
+}
+
+impl Shared {
+    fn close(&self) {
+        self.buf
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .1 = true;
+        self.filled.notify_all();
+    }
+}
+
+/// The write half; dropping it closes the pipe.
+#[derive(Debug)]
+pub struct PipeWriter(Arc<Shared>);
+
+/// The read half.
+#[derive(Debug)]
+pub struct PipeReader(Arc<Shared>);
+
+/// A detached handle that force-closes the pipe's read side.
+#[derive(Debug, Clone)]
+pub struct PipeCloser(Arc<Shared>);
+
+impl PipeCloser {
+    /// Closes the pipe: blocked readers wake with EOF (after draining any
+    /// buffered bytes), subsequent writes error.
+    pub fn close(&self) {
+        self.0.close();
+    }
+}
+
+/// A connected in-process byte pipe.
+pub fn pipe() -> (PipeWriter, PipeReader) {
+    let shared = Arc::new(Shared::default());
+    (PipeWriter(Arc::clone(&shared)), PipeReader(shared))
+}
+
+impl PipeReader {
+    /// A handle that can force-close this pipe from another thread.
+    pub fn closer(&self) -> PipeCloser {
+        PipeCloser(Arc::clone(&self.0))
+    }
+}
+
+impl Write for PipeWriter {
+    fn write(&mut self, bytes: &[u8]) -> std::io::Result<usize> {
+        let mut state = self
+            .0
+            .buf
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if state.1 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::BrokenPipe,
+                "pipe closed",
+            ));
+        }
+        state.0.extend(bytes);
+        self.0.filled.notify_all();
+        Ok(bytes.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+impl Drop for PipeWriter {
+    fn drop(&mut self) {
+        self.0.close();
+    }
+}
+
+impl Read for PipeReader {
+    fn read(&mut self, out: &mut [u8]) -> std::io::Result<usize> {
+        if out.is_empty() {
+            return Ok(0);
+        }
+        let mut state = self
+            .0
+            .buf
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        loop {
+            if !state.0.is_empty() {
+                let take = out.len().min(state.0.len());
+                for slot in out.iter_mut().take(take) {
+                    *slot = state.0.pop_front().expect("len checked");
+                }
+                return Ok(take);
+            }
+            if state.1 {
+                return Ok(0);
+            }
+            state = self
+                .0
+                .filled
+                .wait(state)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{BufRead, BufReader};
+
+    #[test]
+    fn lines_cross_the_pipe_and_eof_follows_the_writer() {
+        let (mut tx, rx) = pipe();
+        writeln!(tx, "hello").unwrap();
+        writeln!(tx, "world").unwrap();
+        drop(tx);
+        let mut lines = BufReader::new(rx).lines();
+        assert_eq!(lines.next().unwrap().unwrap(), "hello");
+        assert_eq!(lines.next().unwrap().unwrap(), "world");
+        assert!(lines.next().is_none(), "EOF after the writer drops");
+    }
+
+    #[test]
+    fn a_closer_unblocks_a_parked_reader() {
+        let (_tx, rx) = pipe();
+        let closer = rx.closer();
+        let reader = std::thread::spawn(move || {
+            let mut line = String::new();
+            BufReader::new(rx).read_line(&mut line).unwrap()
+        });
+        closer.close();
+        assert_eq!(reader.join().unwrap(), 0, "forced close reads as EOF");
+    }
+
+    #[test]
+    fn writes_after_close_error() {
+        let (mut tx, rx) = pipe();
+        rx.closer().close();
+        assert!(writeln!(tx, "late").is_err());
+    }
+}

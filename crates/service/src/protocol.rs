@@ -1,0 +1,666 @@
+//! The line-delimited wire protocol and the one job-evaluation function.
+//!
+//! Every request and response is a single `\n`-terminated ASCII line of
+//! space-separated tokens; valued tokens are spelled `key=value` and carry no
+//! spaces. The grammar is deliberately tiny — it has to ride over a raw TCP
+//! stream and an in-process loopback pipe alike, and diff byte-for-byte
+//! against a serial reference run:
+//!
+//! ```text
+//! submit id=j0 tenant=a weight=2 dist=uniform:6 n=80 seed=7 algo=er-merge backend=seq
+//! cancel id=j0
+//! status
+//! drain
+//! shutdown
+//! ```
+//!
+//! Determinism is by construction: the daemon and any serial reference both
+//! evaluate a [`JobSpec`] through the same [`run_job`] and render it through
+//! the same [`render_result`], so a result line depends only on the spec —
+//! never on scheduling, session interleaving, or transport.
+
+use ecs_core::{
+    CrCompoundMerge, EcsAlgorithm, EcsRun, ErConstantRound, ErMergeSort, NaiveAllPairs,
+    RepresentativeScan, RoundRobin,
+};
+use ecs_distributions::class_distribution::AnyDistribution;
+use ecs_model::{
+    BatchingOracle, CancellableOracle, CancellationToken, EquivalenceOracle, ExecutionBackend,
+    Instance, InstanceOracle,
+};
+use ecs_rng::{SeedableEcsRng, Xoshiro256StarStar};
+use std::fmt;
+use std::time::Duration;
+
+/// The hidden-partition family a job's instance is drawn from.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DistSpec {
+    /// `uniform:K` — class of each element uniform over `K` classes.
+    Uniform(usize),
+    /// `geometric:P` — geometric class-size profile with parameter `P`.
+    Geometric(f64),
+    /// `poisson:L` — Poisson class profile with mean `L`.
+    Poisson(f64),
+    /// `zeta:S` — power-law class profile with exponent `S`.
+    Zeta(f64),
+    /// `balanced:K` — exactly `K` classes of near-equal size.
+    Balanced(usize),
+}
+
+impl DistSpec {
+    /// Parses `uniform:6`, `geometric:0.25`, `poisson:4`, `zeta:2.5`,
+    /// `balanced:8`.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let (kind, param) = text
+            .split_once(':')
+            .ok_or_else(|| format!("distribution `{text}` is missing its `:param`"))?;
+        let bad = |what: &str| format!("distribution `{text}` has an unparsable {what}");
+        match kind {
+            "uniform" => Ok(Self::Uniform(
+                param.parse().map_err(|_| bad("class count"))?,
+            )),
+            "geometric" => Ok(Self::Geometric(param.parse().map_err(|_| bad("p"))?)),
+            "poisson" => Ok(Self::Poisson(param.parse().map_err(|_| bad("lambda"))?)),
+            "zeta" => Ok(Self::Zeta(param.parse().map_err(|_| bad("s"))?)),
+            "balanced" => Ok(Self::Balanced(
+                param.parse().map_err(|_| bad("class count"))?,
+            )),
+            other => Err(format!("unknown distribution `{other}`")),
+        }
+    }
+}
+
+impl fmt::Display for DistSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Uniform(k) => write!(f, "uniform:{k}"),
+            Self::Geometric(p) => write!(f, "geometric:{p}"),
+            Self::Poisson(lambda) => write!(f, "poisson:{lambda}"),
+            Self::Zeta(s) => write!(f, "zeta:{s}"),
+            Self::Balanced(k) => write!(f, "balanced:{k}"),
+        }
+    }
+}
+
+/// Which of the six reproduction algorithms sorts the job's instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AlgoSpec {
+    /// `naive` — [`NaiveAllPairs`].
+    Naive,
+    /// `round-robin` — [`RoundRobin`].
+    RoundRobin,
+    /// `representative-scan` — [`RepresentativeScan`].
+    RepresentativeScan,
+    /// `er-merge` — [`ErMergeSort`].
+    ErMerge,
+    /// `er-constant` — [`ErConstantRound::adaptive`] seeded by the job seed.
+    ErConstant,
+    /// `cr-compound` — [`CrCompoundMerge`] with `k` from the ground truth.
+    CrCompound,
+}
+
+impl AlgoSpec {
+    /// All six algorithms, in the canonical reporting order.
+    pub const ALL: [Self; 6] = [
+        Self::Naive,
+        Self::RoundRobin,
+        Self::RepresentativeScan,
+        Self::ErMerge,
+        Self::ErConstant,
+        Self::CrCompound,
+    ];
+
+    /// Parses the protocol name (`naive`, `round-robin`, …).
+    pub fn parse(text: &str) -> Result<Self, String> {
+        match text {
+            "naive" => Ok(Self::Naive),
+            "round-robin" => Ok(Self::RoundRobin),
+            "representative-scan" => Ok(Self::RepresentativeScan),
+            "er-merge" => Ok(Self::ErMerge),
+            "er-constant" => Ok(Self::ErConstant),
+            "cr-compound" => Ok(Self::CrCompound),
+            other => Err(format!("unknown algorithm `{other}`")),
+        }
+    }
+
+    /// The protocol name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Naive => "naive",
+            Self::RoundRobin => "round-robin",
+            Self::RepresentativeScan => "representative-scan",
+            Self::ErMerge => "er-merge",
+            Self::ErConstant => "er-constant",
+            Self::CrCompound => "cr-compound",
+        }
+    }
+}
+
+impl fmt::Display for AlgoSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Where a job's comparison rounds physically run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BackendSpec {
+    /// `seq` — everything on the job's own worker.
+    Seq,
+    /// `threaded:N` — rounds sharded across `N` pool workers.
+    Threaded(usize),
+    /// `batched:W` — rounds submitted as `same_batch` waves of `W`.
+    Batched(usize),
+    /// `coalesced:W` — sequential evaluation through a [`BatchingOracle`]
+    /// with wave budget `W` and the daemon's `--linger-us` window, so a
+    /// parked caller helps drain other sessions' jobs while its wave forms.
+    Coalesced(usize),
+}
+
+impl BackendSpec {
+    /// Parses `seq`, `threaded:4`, `batched:256`, `coalesced:8`.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        if text == "seq" {
+            return Ok(Self::Seq);
+        }
+        let (kind, param) = text
+            .split_once(':')
+            .ok_or_else(|| format!("unknown backend `{text}`"))?;
+        let count: usize = param
+            .parse()
+            .map_err(|_| format!("backend `{text}` has an unparsable count"))?;
+        match kind {
+            "threaded" => Ok(Self::Threaded(count)),
+            "batched" => Ok(Self::Batched(count)),
+            "coalesced" => Ok(Self::Coalesced(count)),
+            other => Err(format!("unknown backend `{other}`")),
+        }
+    }
+}
+
+impl fmt::Display for BackendSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Seq => write!(f, "seq"),
+            Self::Threaded(n) => write!(f, "threaded:{n}"),
+            Self::Batched(w) => write!(f, "batched:{w}"),
+            Self::Coalesced(w) => write!(f, "coalesced:{w}"),
+        }
+    }
+}
+
+/// One equivalence-sort job: everything needed to reconstruct its instance
+/// and evaluation bit-for-bit, with the session-scheduling fields
+/// (`tenant`, `weight`) that never influence the result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobSpec {
+    /// Client-chosen identifier, unique within the submitting session.
+    pub id: String,
+    /// Fairness bucket this job bills to (`default` when omitted).
+    pub tenant: String,
+    /// Stride-scheduling weight of the tenant (`1` when omitted; floor 1).
+    pub weight: u32,
+    /// The instance distribution.
+    pub dist: DistSpec,
+    /// Number of elements.
+    pub n: usize,
+    /// Seed deriving the instance (and any algorithm randomness).
+    pub seed: u64,
+    /// The sorting algorithm.
+    pub algo: AlgoSpec,
+    /// The execution backend.
+    pub backend: BackendSpec,
+}
+
+impl JobSpec {
+    /// Renders the spec back into `submit` key=value tokens (without the
+    /// leading verb).
+    fn render_fields(&self) -> String {
+        format!(
+            "id={} tenant={} weight={} dist={} n={} seed={} algo={} backend={}",
+            self.id,
+            self.tenant,
+            self.weight,
+            self.dist,
+            self.n,
+            self.seed,
+            self.algo,
+            self.backend
+        )
+    }
+}
+
+/// A client-to-daemon request line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Enqueue a job.
+    Submit(JobSpec),
+    /// Cancel a queued or in-flight job of this session.
+    Cancel {
+        /// The job to cancel.
+        id: String,
+    },
+    /// Ask for daemon-wide queue counters.
+    Status,
+    /// Barrier: respond `drained` once every job this session submitted has
+    /// completed (all its result lines are already queued ahead).
+    Drain,
+    /// Stop the daemon gracefully: refuse new submits, finish everything
+    /// outstanding, then close every session and the listener.
+    Shutdown,
+}
+
+impl Request {
+    /// Parses one request line.
+    pub fn parse(line: &str) -> Result<Self, String> {
+        let line = line.trim();
+        let mut tokens = line.split_ascii_whitespace();
+        let verb = tokens.next().ok_or_else(|| "empty request".to_string())?;
+        let fields = || -> Result<Vec<(&str, &str)>, String> {
+            line.split_ascii_whitespace()
+                .skip(1)
+                .map(|token| {
+                    token
+                        .split_once('=')
+                        .ok_or_else(|| format!("token `{token}` is not key=value"))
+                })
+                .collect()
+        };
+        let lookup = |fields: &[(&str, &str)], key: &str| -> Option<String> {
+            fields
+                .iter()
+                .find(|(k, _)| *k == key)
+                .map(|(_, v)| v.to_string())
+        };
+        match verb {
+            "submit" => {
+                let fields = fields()?;
+                let required = |key: &str| {
+                    lookup(&fields, key).ok_or_else(|| format!("submit is missing `{key}=`"))
+                };
+                let spec = JobSpec {
+                    id: required("id")?,
+                    tenant: lookup(&fields, "tenant").unwrap_or_else(|| "default".to_string()),
+                    weight: lookup(&fields, "weight")
+                        .map(|w| w.parse().map_err(|_| format!("unparsable weight `{w}`")))
+                        .transpose()?
+                        .unwrap_or(1)
+                        .max(1),
+                    dist: DistSpec::parse(&required("dist")?)?,
+                    n: required("n")?
+                        .parse()
+                        .map_err(|_| "unparsable n".to_string())?,
+                    seed: required("seed")?
+                        .parse()
+                        .map_err(|_| "unparsable seed".to_string())?,
+                    algo: AlgoSpec::parse(&required("algo")?)?,
+                    backend: match lookup(&fields, "backend") {
+                        Some(text) => BackendSpec::parse(&text)?,
+                        None => BackendSpec::Seq,
+                    },
+                };
+                Ok(Self::Submit(spec))
+            }
+            "cancel" => {
+                let fields = fields()?;
+                let id =
+                    lookup(&fields, "id").ok_or_else(|| "cancel is missing `id=`".to_string())?;
+                Ok(Self::Cancel { id })
+            }
+            "status" => Ok(Self::Status),
+            "drain" => Ok(Self::Drain),
+            "shutdown" => Ok(Self::Shutdown),
+            other => Err(format!("unknown request `{other}`")),
+        }
+    }
+
+    /// Renders the request as its wire line (no trailing newline).
+    pub fn render(&self) -> String {
+        match self {
+            Self::Submit(spec) => format!("submit {}", spec.render_fields()),
+            Self::Cancel { id } => format!("cancel id={id}"),
+            Self::Status => "status".to_string(),
+            Self::Drain => "drain".to_string(),
+            Self::Shutdown => "shutdown".to_string(),
+        }
+    }
+}
+
+/// A daemon-to-client response line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// The submit was queued.
+    Accepted {
+        /// The submitted job.
+        id: String,
+    },
+    /// A completed job's rendered outcome (see [`render_result`]).
+    Result {
+        /// The completed job.
+        id: String,
+        /// The full result line, exactly as rendered.
+        line: String,
+    },
+    /// The job was cancelled (while queued, or in flight via its token).
+    Cancelled {
+        /// The cancelled job.
+        id: String,
+    },
+    /// An in-flight cancel was requested; the `cancelled` line follows when
+    /// the job actually unwinds.
+    Cancelling {
+        /// The job being cancelled.
+        id: String,
+    },
+    /// The job panicked.
+    Failed {
+        /// The failed job.
+        id: String,
+        /// The panic message (whitespace flattened to `_`).
+        message: String,
+    },
+    /// Daemon-wide queue counters.
+    Status {
+        /// Jobs waiting for a fairness slot.
+        queued: usize,
+        /// Jobs currently running on the pool.
+        inflight: usize,
+        /// Jobs finished since the daemon started.
+        completed: u64,
+        /// Whether the daemon is refusing new submits.
+        draining: bool,
+    },
+    /// Every job this session submitted has completed.
+    Drained,
+    /// The daemon is closing this session.
+    Bye,
+    /// A request was rejected; the job (if any) was not enqueued.
+    Error {
+        /// Human-readable reason.
+        message: String,
+    },
+}
+
+impl Response {
+    /// Parses one response line.
+    pub fn parse(line: &str) -> Result<Self, String> {
+        let line = line.trim();
+        let mut tokens = line.split_ascii_whitespace();
+        let verb = tokens.next().ok_or_else(|| "empty response".to_string())?;
+        let field = |key: &str| -> Result<String, String> {
+            line.split_ascii_whitespace()
+                .skip(1)
+                .find_map(|token| token.strip_prefix(&format!("{key}=")))
+                .map(str::to_string)
+                .ok_or_else(|| format!("`{verb}` response is missing `{key}=`"))
+        };
+        match verb {
+            "accepted" => Ok(Self::Accepted { id: field("id")? }),
+            "result" => Ok(Self::Result {
+                id: field("id")?,
+                line: line.to_string(),
+            }),
+            "cancelled" => Ok(Self::Cancelled { id: field("id")? }),
+            "cancelling" => Ok(Self::Cancelling { id: field("id")? }),
+            "failed" => Ok(Self::Failed {
+                id: field("id")?,
+                message: field("message").unwrap_or_default(),
+            }),
+            "status" => Ok(Self::Status {
+                queued: field("queued")?.parse().map_err(|_| "bad queued")?,
+                inflight: field("inflight")?.parse().map_err(|_| "bad inflight")?,
+                completed: field("completed")?.parse().map_err(|_| "bad completed")?,
+                draining: field("draining")?.parse().map_err(|_| "bad draining")?,
+            }),
+            "drained" => Ok(Self::Drained),
+            "bye" => Ok(Self::Bye),
+            "error" => Ok(Self::Error {
+                message: line.strip_prefix("error").unwrap_or("").trim().to_string(),
+            }),
+            other => Err(format!("unknown response `{other}`")),
+        }
+    }
+
+    /// Renders the response as its wire line (no trailing newline).
+    pub fn render(&self) -> String {
+        match self {
+            Self::Accepted { id } => format!("accepted id={id}"),
+            Self::Result { line, .. } => line.clone(),
+            Self::Cancelled { id } => format!("cancelled id={id}"),
+            Self::Cancelling { id } => format!("cancelling id={id}"),
+            Self::Failed { id, message } => {
+                format!("failed id={id} message={}", message.replace(char::is_whitespace, "_"))
+            }
+            Self::Status {
+                queued,
+                inflight,
+                completed,
+                draining,
+            } => format!(
+                "status queued={queued} inflight={inflight} completed={completed} draining={draining}"
+            ),
+            Self::Drained => "drained".to_string(),
+            Self::Bye => "bye".to_string(),
+            Self::Error { message } => format!("error {message}"),
+        }
+    }
+}
+
+/// Evaluates one job exactly as a serial reference loop would.
+///
+/// The partition and [`ecs_model::Metrics`] depend only on the spec and the
+/// linger-independent model invariants — every backend (and the optional
+/// cancellation wrapper, while untripped) is observationally transparent, so
+/// the daemon and a serial caller produce bit-identical [`EcsRun`]s. Panics
+/// with [`ecs_model::Cancelled`] if `token` trips mid-run.
+pub fn run_job(spec: &JobSpec, linger: Duration, token: Option<&CancellationToken>) -> EcsRun {
+    let mut rng = Xoshiro256StarStar::seed_from_u64(spec.seed);
+    let n = spec.n.max(1);
+    let instance = match spec.dist {
+        DistSpec::Uniform(k) => {
+            Instance::from_distribution(&AnyDistribution::uniform(k.max(1)), n, &mut rng)
+        }
+        DistSpec::Geometric(p) => {
+            Instance::from_distribution(&AnyDistribution::geometric(p), n, &mut rng)
+        }
+        DistSpec::Poisson(lambda) => {
+            Instance::from_distribution(&AnyDistribution::poisson(lambda), n, &mut rng)
+        }
+        DistSpec::Zeta(s) => Instance::from_distribution(&AnyDistribution::zeta(s), n, &mut rng),
+        DistSpec::Balanced(k) => Instance::balanced(n, k.clamp(1, n), &mut rng),
+    };
+    let k = instance.ground_truth().num_classes().max(1);
+    let oracle = InstanceOracle::new(&instance);
+    match (spec.backend, token) {
+        (BackendSpec::Coalesced(wave), Some(token)) => execute(
+            spec,
+            k,
+            &CancellableOracle::new(
+                BatchingOracle::with_linger(oracle, wave, linger),
+                token.clone(),
+            ),
+            ExecutionBackend::Sequential,
+        ),
+        (BackendSpec::Coalesced(wave), None) => execute(
+            spec,
+            k,
+            &BatchingOracle::with_linger(oracle, wave, linger),
+            ExecutionBackend::Sequential,
+        ),
+        (backend, Some(token)) => execute(
+            spec,
+            k,
+            &CancellableOracle::new(oracle, token.clone()),
+            plain_backend(backend),
+        ),
+        (backend, None) => execute(spec, k, &oracle, plain_backend(backend)),
+    }
+}
+
+fn plain_backend(spec: BackendSpec) -> ExecutionBackend {
+    match spec {
+        BackendSpec::Seq => ExecutionBackend::Sequential,
+        BackendSpec::Threaded(n) => ExecutionBackend::from_threads(n.max(1)),
+        BackendSpec::Batched(w) => ExecutionBackend::batched(w),
+        BackendSpec::Coalesced(_) => unreachable!("coalesced is handled by the caller"),
+    }
+}
+
+fn execute<O: EquivalenceOracle>(
+    spec: &JobSpec,
+    k: usize,
+    oracle: &O,
+    backend: ExecutionBackend,
+) -> EcsRun {
+    match spec.algo {
+        AlgoSpec::Naive => NaiveAllPairs::new().sort_with_backend(oracle, backend),
+        AlgoSpec::RoundRobin => RoundRobin::new().sort_with_backend(oracle, backend),
+        AlgoSpec::RepresentativeScan => {
+            RepresentativeScan::new().sort_with_backend(oracle, backend)
+        }
+        AlgoSpec::ErMerge => ErMergeSort::new().sort_with_backend(oracle, backend),
+        AlgoSpec::ErConstant => {
+            ErConstantRound::adaptive(spec.seed).sort_with_backend(oracle, backend)
+        }
+        AlgoSpec::CrCompound => CrCompoundMerge::new(k).sort_with_backend(oracle, backend),
+    }
+}
+
+/// Renders a completed run as its canonical `result` line. Both the daemon
+/// and any serial reference must go through this function — byte-for-byte
+/// result comparison relies on it.
+pub fn render_result(spec: &JobSpec, run: &EcsRun) -> String {
+    let labels: Vec<String> = run.partition.labels().iter().map(u32::to_string).collect();
+    format!(
+        "result id={} algo={} dist={} n={} seed={} classes={} comparisons={} rounds={} labels={}",
+        spec.id,
+        spec.algo,
+        spec.dist,
+        spec.n,
+        spec.seed,
+        run.partition.num_classes(),
+        run.metrics.comparisons(),
+        run.metrics.rounds(),
+        labels.join(",")
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(id: &str) -> JobSpec {
+        JobSpec {
+            id: id.to_string(),
+            tenant: "t0".to_string(),
+            weight: 2,
+            dist: DistSpec::Uniform(5),
+            n: 40,
+            seed: 11,
+            algo: AlgoSpec::ErMerge,
+            backend: BackendSpec::Seq,
+        }
+    }
+
+    #[test]
+    fn submit_round_trips_through_parse_and_render() {
+        let request = Request::Submit(spec("j3"));
+        let again = Request::parse(&request.render()).expect("rendered lines must parse");
+        assert_eq!(request, again);
+    }
+
+    #[test]
+    fn submit_defaults_tenant_weight_and_backend() {
+        let parsed = Request::parse("submit id=a dist=zeta:2.5 n=10 seed=3 algo=naive").unwrap();
+        let Request::Submit(spec) = parsed else {
+            panic!("expected a submit");
+        };
+        assert_eq!(spec.tenant, "default");
+        assert_eq!(spec.weight, 1);
+        assert_eq!(spec.backend, BackendSpec::Seq);
+        assert_eq!(spec.dist, DistSpec::Zeta(2.5));
+    }
+
+    #[test]
+    fn malformed_requests_are_rejected_with_reasons() {
+        for line in [
+            "",
+            "frobnicate",
+            "submit id=a",
+            "submit id=a dist=uniform n=5 seed=1 algo=naive",
+            "submit id=a dist=uniform:4 n=5 seed=1 algo=quantum",
+            "submit id=a dist=uniform:4 n=5 seed=1 algo=naive backend=warp:9",
+            "cancel",
+        ] {
+            assert!(Request::parse(line).is_err(), "`{line}` must not parse");
+        }
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let lines = [
+            Response::Accepted { id: "a".into() },
+            Response::Cancelled { id: "a".into() },
+            Response::Cancelling { id: "a".into() },
+            Response::Drained,
+            Response::Bye,
+            Response::Status {
+                queued: 3,
+                inflight: 1,
+                completed: 9,
+                draining: true,
+            },
+            Response::Error {
+                message: "queue is draining".into(),
+            },
+        ];
+        for response in lines {
+            let again = Response::parse(&response.render()).unwrap();
+            assert_eq!(response, again);
+        }
+    }
+
+    #[test]
+    fn every_backend_spec_is_observationally_identical() {
+        // The core model invariant, restated at the protocol layer: one spec,
+        // every backend, one result line.
+        let mut base = spec("same");
+        base.backend = BackendSpec::Seq;
+        let reference = render_result(&base, &run_job(&base, Duration::ZERO, None));
+        for backend in [
+            BackendSpec::Threaded(2),
+            BackendSpec::Batched(16),
+            BackendSpec::Coalesced(4),
+        ] {
+            let mut other = base.clone();
+            other.backend = backend;
+            let line = render_result(&base, &run_job(&other, Duration::ZERO, None));
+            assert_eq!(line, reference, "{backend} diverged from seq");
+        }
+    }
+
+    #[test]
+    fn an_untripped_token_never_changes_the_result() {
+        let spec = spec("tok");
+        let token = CancellationToken::new();
+        let with = render_result(&spec, &run_job(&spec, Duration::ZERO, Some(&token)));
+        let without = render_result(&spec, &run_job(&spec, Duration::ZERO, None));
+        assert_eq!(with, without);
+    }
+
+    #[test]
+    fn result_lines_verify_against_the_ground_truth() {
+        for algo in AlgoSpec::ALL {
+            let mut job = spec(algo.name());
+            job.algo = algo;
+            let run = run_job(&job, Duration::ZERO, None);
+            let mut rng = Xoshiro256StarStar::seed_from_u64(job.seed);
+            let instance =
+                Instance::from_distribution(&AnyDistribution::uniform(5), job.n, &mut rng);
+            assert!(
+                instance.verify(&run.partition),
+                "{algo} misclassified its instance"
+            );
+        }
+    }
+}

@@ -1,0 +1,510 @@
+//! Weighted-fair multiplexing of session jobs onto the [`ThroughputPool`].
+//!
+//! The PR 3 pool injector is strictly FIFO — fine for one grid, unfair for a
+//! daemon where one chatty tenant could enqueue a thousand jobs ahead of
+//! everyone else. The scheduler therefore holds its *own* per-tenant queues
+//! and releases at most `max_inflight` jobs to the pool at a time, picking
+//! the next job by **stride scheduling**: each tenant advances a pass value
+//! by `STRIDE_SCALE / weight` per dispatched job, and the lowest pass (ties
+//! broken by tenant name, so the order is deterministic) dispatches next. A
+//! tenant with weight 3 therefore receives ~3× the dispatch slots of a
+//! weight-1 tenant while both are backlogged, and an idle tenant's unused
+//! share costs it nothing when it returns (its pass is re-anchored to the
+//! current minimum).
+//!
+//! Dispatched jobs run detached ([`ThroughputPool::spawn`]) under
+//! `catch_unwind`, carrying a [`CancellationToken`]; a panicking or
+//! cancelled job releases its fairness slot in the completion path exactly
+//! like a successful one, so a killed session can never leak pool capacity.
+
+use crate::outbox::Outbox;
+use crate::protocol::{render_result, run_job, JobSpec, Response};
+use ecs_model::throughput::JobPanic;
+use ecs_model::{CancellationToken, ThroughputPool};
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// Pass-value increment for a weight-1 tenant; a weight-`w` tenant advances
+/// by `STRIDE_SCALE / w` per dispatch.
+const STRIDE_SCALE: u64 = 1 << 20;
+
+/// One connected session: where its responses go and how many of its jobs
+/// are still somewhere in the daemon.
+#[derive(Debug)]
+pub struct SessionHandle {
+    id: u64,
+    outbox: Outbox,
+    progress: Mutex<SessionProgress>,
+}
+
+#[derive(Debug, Default)]
+struct SessionProgress {
+    outstanding: usize,
+    drain_requested: bool,
+}
+
+impl SessionHandle {
+    pub(crate) fn new(id: u64) -> Self {
+        Self {
+            id,
+            outbox: Outbox::new(),
+            progress: Mutex::new(SessionProgress::default()),
+        }
+    }
+
+    /// The session's response queue.
+    pub fn outbox(&self) -> &Outbox {
+        &self.outbox
+    }
+
+    /// Queues a response line for the session's writer.
+    pub fn respond(&self, response: &Response) {
+        self.outbox.push(response.render());
+    }
+
+    fn note_submitted(&self) {
+        self.lock_progress().outstanding += 1;
+    }
+
+    /// Delivers a job's terminal response, then releases the session's
+    /// outstanding count — in that order, so a `drained` barrier line can
+    /// never overtake the last result.
+    fn finish_job(&self, response: &Response) {
+        let mut progress = self.lock_progress();
+        self.outbox.push(response.render());
+        progress.outstanding = progress.outstanding.saturating_sub(1);
+        if progress.outstanding == 0 && progress.drain_requested {
+            progress.drain_requested = false;
+            self.outbox.push(Response::Drained.render());
+        }
+    }
+
+    /// Arms the session's drain barrier (or fires it immediately when
+    /// nothing is outstanding).
+    pub fn request_drain(&self) {
+        let mut progress = self.lock_progress();
+        if progress.outstanding == 0 {
+            self.outbox.push(Response::Drained.render());
+        } else {
+            progress.drain_requested = true;
+        }
+    }
+
+    fn lock_progress(&self) -> std::sync::MutexGuard<'_, SessionProgress> {
+        self.progress
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+#[derive(Debug)]
+struct Tenant {
+    pass: u64,
+    stride: u64,
+    queue: VecDeque<QueuedJob>,
+}
+
+#[derive(Debug)]
+struct QueuedJob {
+    spec: JobSpec,
+    session: Arc<SessionHandle>,
+}
+
+#[derive(Debug, Default)]
+struct SchedState {
+    tenants: BTreeMap<String, Tenant>,
+    inflight: HashMap<String, CancellationToken>,
+    queued: usize,
+    completed: u64,
+    draining: bool,
+}
+
+/// The daemon-wide job scheduler (see the module docs).
+#[derive(Debug)]
+pub struct Scheduler {
+    pool: ThroughputPool,
+    linger: Duration,
+    max_inflight: usize,
+    state: Mutex<SchedState>,
+    settled: Condvar,
+}
+
+impl Scheduler {
+    /// A scheduler dispatching onto `pool`, at most `max_inflight` jobs at a
+    /// time, with `linger` as the coalesced-backend wave window.
+    pub fn new(pool: ThroughputPool, max_inflight: usize, linger: Duration) -> Self {
+        Self {
+            pool,
+            linger,
+            max_inflight: max_inflight.max(1),
+            state: Mutex::new(SchedState::default()),
+            settled: Condvar::new(),
+        }
+    }
+
+    /// The scheduler's pool (its workers run every job).
+    pub fn pool(&self) -> &ThroughputPool {
+        &self.pool
+    }
+
+    fn job_key(session: &SessionHandle, id: &str) -> String {
+        format!("{}:{}", session.id, id)
+    }
+
+    /// Admits one job for `session`, responding `accepted` (and eventually
+    /// a terminal line) through the session outbox, or `error` when the
+    /// daemon is draining.
+    pub fn submit(self: &Arc<Self>, spec: JobSpec, session: &Arc<SessionHandle>) {
+        let mut state = self.lock();
+        if state.draining {
+            session.respond(&Response::Error {
+                message: format!("daemon is draining; job {} rejected", spec.id),
+            });
+            return;
+        }
+        let floor = state
+            .tenants
+            .values()
+            .filter(|tenant| !tenant.queue.is_empty())
+            .map(|tenant| tenant.pass)
+            .min()
+            .unwrap_or(0);
+        let stride = STRIDE_SCALE / u64::from(spec.weight.max(1));
+        let tenant = state
+            .tenants
+            .entry(spec.tenant.clone())
+            .or_insert_with(|| Tenant {
+                pass: floor,
+                stride,
+                queue: VecDeque::new(),
+            });
+        // Weight is a property of the tenant's latest submit; re-anchor an
+        // idle tenant so a long absence never becomes a burst of catch-up.
+        tenant.stride = stride;
+        if tenant.queue.is_empty() {
+            tenant.pass = tenant.pass.max(floor);
+        }
+        session.respond(&Response::Accepted {
+            id: spec.id.clone(),
+        });
+        session.note_submitted();
+        tenant.queue.push_back(QueuedJob {
+            spec,
+            session: Arc::clone(session),
+        });
+        state.queued += 1;
+        self.dispatch_locked(&mut state);
+    }
+
+    /// Cancels `id` for `session`: a still-queued job is removed and
+    /// reported `cancelled` immediately; an in-flight job gets its token
+    /// tripped (`cancelling` now, `cancelled` when it unwinds); anything
+    /// else is an error.
+    pub fn cancel(&self, session: &Arc<SessionHandle>, id: &str) {
+        let key = Self::job_key(session, id);
+        let mut state = self.lock();
+        let queued_at = state.tenants.iter().find_map(|(name, tenant)| {
+            tenant
+                .queue
+                .iter()
+                .position(|job| job.session.id == session.id && job.spec.id == id)
+                .map(|at| (name.clone(), at))
+        });
+        if let Some((name, at)) = queued_at {
+            let tenant = state.tenants.get_mut(&name).expect("tenant exists");
+            let job = tenant.queue.remove(at).expect("position was just found");
+            state.queued -= 1;
+            state.completed += 1;
+            drop(state);
+            job.session
+                .finish_job(&Response::Cancelled { id: id.to_string() });
+            self.settled.notify_all();
+            return;
+        }
+        if let Some(token) = state.inflight.get(&key) {
+            token.cancel();
+            drop(state);
+            session.respond(&Response::Cancelling { id: id.to_string() });
+            return;
+        }
+        drop(state);
+        session.respond(&Response::Error {
+            message: format!("unknown job {id}"),
+        });
+    }
+
+    /// Daemon-wide counters.
+    pub fn status(&self) -> Response {
+        let state = self.lock();
+        Response::Status {
+            queued: state.queued,
+            inflight: state.inflight.len(),
+            completed: state.completed,
+            draining: state.draining,
+        }
+    }
+
+    /// Stops admitting new jobs (submits respond `error` from now on).
+    pub fn start_draining(&self) {
+        self.lock().draining = true;
+    }
+
+    /// Blocks until nothing is queued or in flight. Pair with
+    /// [`Scheduler::start_draining`] to drain the daemon to a stop.
+    pub fn wait_idle(&self) {
+        let mut state = self.lock();
+        while state.queued > 0 || !state.inflight.is_empty() {
+            state = self
+                .settled
+                .wait(state)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+
+    /// Force-stops the scheduler: drops every queued job (reported
+    /// `cancelled`) and trips every in-flight token. In-flight jobs still
+    /// unwind through their normal completion path, so callers should
+    /// [`Scheduler::wait_idle`] afterwards.
+    pub fn abort_all(&self) {
+        let mut state = self.lock();
+        state.draining = true;
+        let mut dropped = Vec::new();
+        for tenant in state.tenants.values_mut() {
+            while let Some(job) = tenant.queue.pop_front() {
+                dropped.push(job);
+            }
+        }
+        state.queued = 0;
+        state.completed += dropped.len() as u64;
+        for token in state.inflight.values() {
+            token.cancel();
+        }
+        drop(state);
+        for job in dropped {
+            job.session
+                .finish_job(&Response::Cancelled { id: job.spec.id });
+        }
+        self.settled.notify_all();
+    }
+
+    /// Releases fairness slots to the pool while capacity and queued work
+    /// both remain.
+    fn dispatch_locked(self: &Arc<Self>, state: &mut SchedState) {
+        while state.inflight.len() < self.max_inflight && state.queued > 0 {
+            let next = state
+                .tenants
+                .iter()
+                .filter(|(_, tenant)| !tenant.queue.is_empty())
+                .min_by_key(|(name, tenant)| (tenant.pass, name.as_str()))
+                .map(|(name, _)| name.clone())
+                .expect("queued > 0 implies a non-empty tenant");
+            let tenant = state.tenants.get_mut(&next).expect("tenant exists");
+            tenant.pass += tenant.stride;
+            let job = tenant.queue.pop_front().expect("queue was non-empty");
+            state.queued -= 1;
+            let token = CancellationToken::new();
+            let key = Self::job_key(&job.session, &job.spec.id);
+            state.inflight.insert(key.clone(), token.clone());
+            let scheduler = Arc::clone(self);
+            let linger = self.linger;
+            self.pool.spawn(move || {
+                let QueuedJob { spec, session } = job;
+                let outcome =
+                    catch_unwind(AssertUnwindSafe(|| run_job(&spec, linger, Some(&token))));
+                let response = match outcome {
+                    Ok(run) => Response::Result {
+                        id: spec.id.clone(),
+                        line: render_result(&spec, &run),
+                    },
+                    Err(payload) => {
+                        let panic = JobPanic::from_payload(payload);
+                        if panic.is_cancelled() {
+                            Response::Cancelled {
+                                id: spec.id.clone(),
+                            }
+                        } else {
+                            Response::Failed {
+                                id: spec.id.clone(),
+                                message: panic.message().to_string(),
+                            }
+                        }
+                    }
+                };
+                scheduler.complete(&key, &session, &response);
+            });
+        }
+    }
+
+    /// The completion path every job takes — success, panic, or
+    /// cancellation: deliver the terminal response, release the fairness
+    /// slot, dispatch whoever is next.
+    fn complete(self: &Arc<Self>, key: &str, session: &Arc<SessionHandle>, response: &Response) {
+        session.finish_job(response);
+        let mut state = self.lock();
+        state.inflight.remove(key);
+        state.completed += 1;
+        self.dispatch_locked(&mut state);
+        drop(state);
+        self.settled.notify_all();
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, SchedState> {
+        self.state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::{AlgoSpec, BackendSpec, DistSpec};
+
+    fn spec(id: &str, tenant: &str, weight: u32) -> JobSpec {
+        JobSpec {
+            id: id.to_string(),
+            tenant: tenant.to_string(),
+            weight,
+            dist: DistSpec::Uniform(4),
+            n: 16,
+            seed: 5,
+            algo: AlgoSpec::RoundRobin,
+            backend: BackendSpec::Seq,
+        }
+    }
+
+    fn drain_lines(session: &SessionHandle) -> Vec<Response> {
+        session.request_drain();
+        let mut lines = Vec::new();
+        loop {
+            let line = session.outbox().pop().expect("drained before close");
+            let response = Response::parse(&line).expect("daemon lines parse");
+            if response == Response::Drained {
+                return lines;
+            }
+            lines.push(response);
+        }
+    }
+
+    fn result_order(lines: &[Response]) -> Vec<String> {
+        lines
+            .iter()
+            .filter_map(|line| match line {
+                Response::Result { id, .. } => Some(id.clone()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Parks the shared pool's workers on a channel so every submit in the
+    /// test lands before any job runs; dropping the sender releases them.
+    /// This removes all timing from the dispatch-order assertions.
+    fn park_pool(pool: &ThroughputPool) -> std::sync::mpsc::Sender<()> {
+        let (hold, release) = std::sync::mpsc::channel::<()>();
+        let release = Arc::new(Mutex::new(release));
+        for _ in 0..pool.workers() {
+            let release = Arc::clone(&release);
+            pool.spawn(move || {
+                let _ = release
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .recv();
+            });
+        }
+        hold
+    }
+
+    #[test]
+    fn a_heavier_tenant_receives_proportionally_more_slots() {
+        // One worker, one slot: completion order IS dispatch order. The pool
+        // is parked while every submit lands, so the stride pick order is
+        // fully deterministic: tenant `b` (weight 3) drains its whole
+        // backlog while `a` (weight 1, same arrival pass) gets one slot.
+        let pool = ThroughputPool::from_jobs(1);
+        let scheduler = Arc::new(Scheduler::new(pool, 1, Duration::ZERO));
+        let session = Arc::new(SessionHandle::new(1));
+        let parked = park_pool(scheduler.pool());
+        scheduler.submit(spec("plug", "z", 1), &session);
+        for j in 0..4 {
+            scheduler.submit(spec(&format!("a{j}"), "a", 1), &session);
+        }
+        for j in 0..4 {
+            scheduler.submit(spec(&format!("b{j}"), "b", 3), &session);
+        }
+        drop(parked);
+        let order = result_order(&drain_lines(&session));
+        let expected: Vec<String> = ["plug", "a0", "b0", "b1", "b2", "b3", "a1", "a2", "a3"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert_eq!(order, expected, "stride dispatch order must be exact");
+    }
+
+    #[test]
+    fn queued_jobs_cancel_immediately_and_inflight_slots_are_released() {
+        let scheduler = Arc::new(Scheduler::new(
+            ThroughputPool::from_jobs(1),
+            1,
+            Duration::ZERO,
+        ));
+        let session = Arc::new(SessionHandle::new(7));
+        // The parked pool keeps the head-of-line job from finishing, so the
+        // cancels are guaranteed to land while `victim` is still queued.
+        let parked = park_pool(scheduler.pool());
+        scheduler.submit(spec("slow", "t", 1), &session);
+        scheduler.submit(spec("victim", "t", 1), &session);
+        scheduler.submit(spec("survivor", "t", 1), &session);
+        scheduler.cancel(&session, "victim");
+        scheduler.cancel(&session, "missing");
+        drop(parked);
+        let lines = drain_lines(&session);
+        assert!(
+            lines.contains(&Response::Cancelled {
+                id: "victim".into()
+            }),
+            "queued cancel must report cancelled: {lines:?}"
+        );
+        assert!(
+            lines
+                .iter()
+                .any(|line| matches!(line, Response::Error { .. })),
+            "cancelling an unknown job must error: {lines:?}"
+        );
+        let order = result_order(&lines);
+        assert_eq!(
+            order,
+            vec!["slow".to_string(), "survivor".to_string()],
+            "the cancelled job must release its slot to the survivor"
+        );
+        // The drain barrier fires on response delivery, which precedes the
+        // slot release; settle the scheduler before reading its counters.
+        scheduler.wait_idle();
+        let Response::Status {
+            queued, inflight, ..
+        } = scheduler.status()
+        else {
+            panic!("status must render counters")
+        };
+        assert_eq!((queued, inflight), (0, 0));
+    }
+
+    #[test]
+    fn draining_rejects_new_submits() {
+        let scheduler = Arc::new(Scheduler::new(
+            ThroughputPool::from_jobs(1),
+            2,
+            Duration::ZERO,
+        ));
+        let session = Arc::new(SessionHandle::new(2));
+        scheduler.start_draining();
+        scheduler.submit(spec("late", "t", 1), &session);
+        scheduler.wait_idle();
+        let lines = drain_lines(&session);
+        assert!(
+            matches!(lines.as_slice(), [Response::Error { .. }]),
+            "a draining daemon must reject submits: {lines:?}"
+        );
+    }
+}

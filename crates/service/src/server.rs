@@ -1,0 +1,329 @@
+//! The daemon: transports, per-session threads, and lifecycle.
+//!
+//! A daemon owns one [`crate::Scheduler`] and any number of sessions. Each
+//! session is a full-duplex line stream served by **two** threads:
+//!
+//! * the *reader* parses request lines and forwards them to the scheduler,
+//!   gating each `submit` on [`crate::Outbox::wait_below`] — a client that
+//!   stops reading results stops being read (backpressure);
+//! * the *writer* drains the session outbox to the stream. Completions are
+//!   pushed by pool workers and never block.
+//!
+//! Two transports share that code path: TCP (`Daemon::bind`, one accept
+//! thread) and an in-process loopback pipe (`DaemonHandle::connect`), which
+//! tests and single-process benchmarks use to exercise the real protocol
+//! without a socket. Shutdown is graceful by protocol (`shutdown` drains
+//! the scheduler, then closes every session) or forceful from the owner
+//! ([`DaemonHandle::stop`], which cancels in-flight jobs first); both end
+//! with every thread joined — [`DaemonHandle::join`] returning is the
+//! no-leaked-threads guarantee CI relies on.
+
+use crate::client::Client;
+use crate::pipe::pipe;
+use crate::protocol::{Request, Response};
+use crate::scheduler::{Scheduler, SessionHandle};
+use ecs_model::backend::available_parallelism;
+use ecs_model::batching::DEFAULT_LINGER;
+use ecs_model::ThroughputPool;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Daemon tuning knobs.
+#[derive(Debug, Clone)]
+pub struct DaemonConfig {
+    /// The pool every session's jobs run on.
+    pub pool: ThroughputPool,
+    /// Fairness slots: jobs released to the pool at a time.
+    pub max_inflight: usize,
+    /// Wave linger for `coalesced:W` jobs (the `--linger-us` knob).
+    pub linger: Duration,
+    /// Result lines a session may have queued before its reader stops
+    /// admitting new submits.
+    pub outbox_limit: usize,
+}
+
+impl Default for DaemonConfig {
+    fn default() -> Self {
+        let workers = available_parallelism();
+        Self {
+            pool: ThroughputPool::from_jobs(workers),
+            max_inflight: 2 * workers,
+            linger: DEFAULT_LINGER,
+            outbox_limit: 64,
+        }
+    }
+}
+
+/// State shared by every session thread and the handle.
+struct DaemonShared {
+    scheduler: Arc<Scheduler>,
+    outbox_limit: usize,
+    next_session: AtomicU64,
+    stopping: AtomicBool,
+    listen_addr: Option<SocketAddr>,
+    /// Force-closers for every live connection's read side, so `stop()` can
+    /// unblock readers parked on an idle stream.
+    closers: Mutex<Vec<Box<dyn Fn() + Send>>>,
+    threads: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl DaemonShared {
+    /// Ends the accept loop and every session: drains are NOT awaited here —
+    /// callers decide whether to drain first (protocol `shutdown`) or cancel
+    /// first ([`DaemonHandle::stop`]).
+    fn close_all(&self) {
+        if self.stopping.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        for closer in self
+            .closers
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .drain(..)
+        {
+            closer();
+        }
+        // Unblock the accept loop with a throwaway connection to ourselves.
+        if let Some(addr) = self.listen_addr {
+            let _ = TcpStream::connect(addr);
+        }
+    }
+
+    fn adopt_thread(&self, handle: JoinHandle<()>) {
+        self.threads
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .push(handle);
+    }
+
+    fn register_closer(&self, closer: Box<dyn Fn() + Send>) {
+        let mut closers = self
+            .closers
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if self.stopping.load(Ordering::SeqCst) {
+            // Lost the race with close_all: close this connection directly.
+            closer();
+        } else {
+            closers.push(closer);
+        }
+    }
+}
+
+/// The equivalence-sorting daemon.
+#[derive(Debug)]
+pub struct Daemon;
+
+impl Daemon {
+    /// Starts a TCP daemon listening on `addr` (use port `0` for an
+    /// ephemeral port, reported by [`DaemonHandle::local_addr`]).
+    pub fn bind(addr: &str, config: DaemonConfig) -> std::io::Result<DaemonHandle> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let shared = Arc::new(DaemonShared {
+            scheduler: Arc::new(Scheduler::new(
+                config.pool,
+                config.max_inflight,
+                config.linger,
+            )),
+            outbox_limit: config.outbox_limit,
+            next_session: AtomicU64::new(0),
+            stopping: AtomicBool::new(false),
+            listen_addr: Some(local),
+            closers: Mutex::new(Vec::new()),
+            threads: Mutex::new(Vec::new()),
+        });
+        let accept_shared = Arc::clone(&shared);
+        let accept = std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                if accept_shared.stopping.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = stream else { continue };
+                let session_shared = Arc::clone(&accept_shared);
+                let closer_stream = match stream.try_clone() {
+                    Ok(clone) => clone,
+                    Err(_) => continue,
+                };
+                // Close only the read side: the reader unblocks with EOF
+                // while the session's writer still flushes queued results.
+                accept_shared.register_closer(Box::new(move || {
+                    let _ = closer_stream.shutdown(std::net::Shutdown::Read);
+                }));
+                let reader = BufReader::new(match stream.try_clone() {
+                    Ok(clone) => clone,
+                    Err(_) => continue,
+                });
+                let handle = std::thread::spawn(move || {
+                    serve_session(&session_shared, reader, stream);
+                });
+                accept_shared.adopt_thread(handle);
+            }
+        });
+        Ok(DaemonHandle {
+            shared,
+            accept: Some(accept),
+        })
+    }
+
+    /// Starts a daemon with no listener; sessions are opened in-process via
+    /// [`DaemonHandle::connect`].
+    pub fn loopback(config: DaemonConfig) -> DaemonHandle {
+        let shared = Arc::new(DaemonShared {
+            scheduler: Arc::new(Scheduler::new(
+                config.pool,
+                config.max_inflight,
+                config.linger,
+            )),
+            outbox_limit: config.outbox_limit,
+            next_session: AtomicU64::new(0),
+            stopping: AtomicBool::new(false),
+            listen_addr: None,
+            closers: Mutex::new(Vec::new()),
+            threads: Mutex::new(Vec::new()),
+        });
+        DaemonHandle {
+            shared,
+            accept: None,
+        }
+    }
+}
+
+/// The owner's view of a running daemon.
+pub struct DaemonHandle {
+    shared: Arc<DaemonShared>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl DaemonHandle {
+    /// The TCP address the daemon listens on (`None` for loopback daemons).
+    pub fn local_addr(&self) -> Option<SocketAddr> {
+        self.shared.listen_addr
+    }
+
+    /// The daemon's scheduler (status inspection in tests and binaries).
+    pub fn scheduler(&self) -> &Arc<Scheduler> {
+        &self.shared.scheduler
+    }
+
+    /// Opens an in-process session over a pair of byte pipes, returning the
+    /// connected [`Client`]. Works on TCP daemons too (the session simply
+    /// bypasses the socket).
+    pub fn connect(&self) -> Client {
+        let (client_tx, server_rx) = pipe();
+        let (server_tx, client_rx) = pipe();
+        let shared = Arc::clone(&self.shared);
+        let close_rx = server_rx.closer();
+        self.shared
+            .register_closer(Box::new(move || close_rx.close()));
+        let handle = std::thread::spawn(move || {
+            serve_session(&shared, BufReader::new(server_rx), server_tx);
+        });
+        self.shared.adopt_thread(handle);
+        Client::new(BufReader::new(client_rx), client_tx)
+    }
+
+    /// Force-stops the daemon: drops queued jobs, cancels in-flight jobs,
+    /// waits for them to unwind, then closes every session and the
+    /// listener. Use the protocol `shutdown` for a graceful drain instead.
+    pub fn stop(&self) {
+        self.shared.scheduler.abort_all();
+        self.shared.scheduler.wait_idle();
+        self.shared.close_all();
+    }
+
+    /// Waits for the daemon to finish (a client must have sent `shutdown`,
+    /// or the owner called [`DaemonHandle::stop`]). Returning means every
+    /// accept, reader, and writer thread has exited — nothing is leaked.
+    pub fn join(mut self) {
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        // Session threads may still be spawning sessions' writer threads;
+        // drain the registry until it stays empty.
+        loop {
+            let batch: Vec<JoinHandle<()>> = {
+                let mut threads = self
+                    .shared
+                    .threads
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                threads.drain(..).collect()
+            };
+            if batch.is_empty() {
+                return;
+            }
+            for handle in batch {
+                let _ = handle.join();
+            }
+        }
+    }
+}
+
+/// Serves one session: spawns the writer, runs the reader loop inline, and
+/// tears both down when the client disconnects or the daemon stops.
+fn serve_session<R, W>(shared: &Arc<DaemonShared>, mut reader: R, mut writer: W)
+where
+    R: BufRead + Send,
+    W: Write + Send + 'static,
+{
+    let session = Arc::new(SessionHandle::new(
+        shared.next_session.fetch_add(1, Ordering::SeqCst),
+    ));
+    let writer_session = Arc::clone(&session);
+    let writer_thread = std::thread::spawn(move || {
+        while let Some(line) = writer_session.outbox().pop() {
+            if writeln!(writer, "{line}").is_err() {
+                break;
+            }
+            if writer.flush().is_err() {
+                break;
+            }
+        }
+    });
+
+    let scheduler = Arc::clone(&shared.scheduler);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) | Err(_) => break,
+            Ok(_) => {}
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        match Request::parse(&line) {
+            Ok(Request::Submit(spec)) => {
+                // Backpressure: don't admit more work while this session's
+                // results sit unread.
+                session.outbox().wait_below(shared.outbox_limit);
+                scheduler.submit(spec, &session);
+            }
+            Ok(Request::Cancel { id }) => scheduler.cancel(&session, &id),
+            Ok(Request::Status) => session.respond(&scheduler.status()),
+            Ok(Request::Drain) => session.request_drain(),
+            Ok(Request::Shutdown) => {
+                // Graceful daemon stop: refuse new work, finish everything,
+                // then close every session (the epilogue sends this
+                // session's `bye`).
+                scheduler.start_draining();
+                scheduler.wait_idle();
+                shared.close_all();
+                break;
+            }
+            Err(message) => session.respond(&Response::Error { message }),
+        }
+        if shared.stopping.load(Ordering::SeqCst) {
+            break;
+        }
+    }
+
+    session.respond(&Response::Bye);
+    session.outbox().close();
+    let _ = writer_thread.join();
+}

@@ -12,6 +12,11 @@
 //!   [`Scope::spawn_fifo`] — borrowed task spawning; FIFO-spawned tasks start
 //!   in strict submission order via a pool-wide injector queue, giving
 //!   round-robin fairness across interleaved job sources;
+//! * [`ThreadPool::spawn`] / [`ThreadPool::spawn_fifo`] — detached `'static`
+//!   task spawning for long-lived daemons, with per-task panic containment;
+//! * [`try_help`] — cooperative non-blocking wave-park: a worker that must
+//!   wait (e.g. on an in-flight oracle wave) drains one pending pool task
+//!   instead of sleeping the OS thread;
 //! * `prelude::{par_iter, into_par_iter}` over slices and integer ranges,
 //!   with `map`, `with_min_len`, `for_each` and `collect`;
 //! * chunked dispatch with **deterministic in-order collection**: results are
@@ -30,7 +35,8 @@ pub mod iter;
 pub mod pool;
 
 pub use pool::{
-    current_num_threads, scope, Scope, ThreadPool, ThreadPoolBuildError, ThreadPoolBuilder,
+    current_num_threads, scope, try_help, Scope, ThreadPool, ThreadPoolBuildError,
+    ThreadPoolBuilder,
 };
 
 /// The rayon prelude: traits that add `par_iter` / `into_par_iter` and the
@@ -408,6 +414,81 @@ mod tests {
             });
         });
         assert!(checked.load(std::sync::atomic::Ordering::Relaxed));
+    }
+
+    #[test]
+    fn detached_spawns_run_and_survive_panics() {
+        let p = pool(2);
+        let (tx, rx) = std::sync::mpsc::channel();
+        for i in 0..20usize {
+            let tx = tx.clone();
+            if i % 5 == 0 {
+                // A panicking detached task must not kill its worker.
+                p.spawn(move || panic!("detached boom {i}"));
+            }
+            p.spawn_fifo(move || tx.send(i).unwrap());
+        }
+        drop(tx);
+        let mut seen: Vec<usize> = rx.iter().collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..20).collect::<Vec<_>>());
+        // Workers survived every panic and the pool still runs batches.
+        let out: Vec<usize> = p.install(|| (0..8usize).into_par_iter().map(|i| i).collect());
+        assert_eq!(out, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn detached_fifo_spawns_start_in_submission_order() {
+        let p = pool(1);
+        let order = std::sync::Arc::new(Mutex::new(Vec::new()));
+        let (tx, rx) = std::sync::mpsc::channel();
+        for i in 0..32usize {
+            let order = std::sync::Arc::clone(&order);
+            let tx = tx.clone();
+            p.spawn_fifo(move || {
+                order.lock().unwrap().push(i);
+                tx.send(()).unwrap();
+            });
+        }
+        drop(tx);
+        for _ in 0..32 {
+            rx.recv_timeout(Duration::from_secs(30)).unwrap();
+        }
+        assert_eq!(order.lock().unwrap().clone(), (0..32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn try_help_is_a_noop_off_the_pool_and_drains_on_it() {
+        // Off a worker thread there is nothing to help with.
+        assert!(!super::try_help());
+        // On a worker: a task that parks itself can drain the other queued
+        // task via try_help instead of sleeping — observable on a 1-worker
+        // pool, where nothing else could possibly run it.
+        let p = pool(1);
+        let helped = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let (tx, rx) = std::sync::mpsc::channel();
+        let (ready_tx, ready_rx) = std::sync::mpsc::channel::<()>();
+        {
+            let helped = std::sync::Arc::clone(&helped);
+            let tx = tx.clone();
+            p.spawn_fifo(move || {
+                // Park until the sibling task is queued, then help it run.
+                ready_rx.recv().unwrap();
+                while super::try_help() {}
+                tx.send(helped.load(std::sync::atomic::Ordering::Relaxed))
+                    .unwrap();
+            });
+        }
+        {
+            let helped = std::sync::Arc::clone(&helped);
+            p.spawn_fifo(move || helped.store(true, std::sync::atomic::Ordering::Relaxed));
+        }
+        ready_tx.send(()).unwrap();
+        drop(tx);
+        assert!(
+            rx.recv_timeout(Duration::from_secs(30)).unwrap(),
+            "try_help did not run the queued sibling task"
+        );
     }
 
     #[test]

@@ -52,11 +52,12 @@ thread_local! {
     /// Stack of pools entered via [`ThreadPool::install`] on this thread.
     static CURRENT_POOL: std::cell::RefCell<Vec<Arc<PoolShared>>> =
         const { std::cell::RefCell::new(Vec::new()) };
-    /// The pool this thread is a worker of, if any (nested batches run
-    /// inline; scopes targeting the *same* pool run spawns inline, scopes
-    /// targeting a different pool queue normally — its workers are free to
-    /// drain them while this one blocks).
-    static WORKER_POOL: std::cell::RefCell<Option<std::sync::Weak<PoolShared>>> =
+    /// The pool this thread is a worker of, if any, plus its worker index
+    /// (nested batches run inline; scopes targeting the *same* pool run
+    /// spawns inline, scopes targeting a different pool queue normally — its
+    /// workers are free to drain them while this one blocks; the index lets
+    /// [`try_help`] reuse the worker's own task-finding order).
+    static WORKER_POOL: std::cell::RefCell<Option<(std::sync::Weak<PoolShared>, usize)>> =
         const { std::cell::RefCell::new(None) };
 }
 
@@ -64,7 +65,45 @@ thread_local! {
 /// upgrade always succeeds while the worker loop runs (the loop itself holds
 /// an `Arc` to its pool).
 fn current_worker_pool() -> Option<Arc<PoolShared>> {
-    WORKER_POOL.with(|w| w.borrow().as_ref().and_then(std::sync::Weak::upgrade))
+    WORKER_POOL.with(|w| {
+        w.borrow()
+            .as_ref()
+            .and_then(|(pool, _)| std::sync::Weak::upgrade(pool))
+    })
+}
+
+/// The current thread's pool *and* worker index, if it is a worker thread.
+fn current_worker() -> Option<(Arc<PoolShared>, usize)> {
+    WORKER_POOL.with(|w| {
+        w.borrow()
+            .as_ref()
+            .and_then(|(pool, index)| Some((std::sync::Weak::upgrade(pool)?, *index)))
+    })
+}
+
+/// Cooperative help: if the current thread is a pool worker, pop or steal
+/// **one** pending task from its own pool and run it, returning whether a
+/// task was run. Returns `false` immediately on non-worker threads and when
+/// the pool has no pending work.
+///
+/// This is the non-blocking wave-park primitive behind the batching oracle's
+/// in-flight waves: a worker whose query is parked in a forming or in-flight
+/// wave drains other pool tasks instead of sleeping the OS thread, so slow
+/// oracles never stall a pool worker. The helped task runs under
+/// `catch_unwind` relative to nothing extra — scope and batch tasks carry
+/// their own panic capture, and `'static` spawns are wrapped at submission —
+/// so a panic inside it propagates exactly as it would on the worker loop.
+pub fn try_help() -> bool {
+    let Some((pool, worker)) = current_worker() else {
+        return false;
+    };
+    match pool.find_task(worker) {
+        Some(task) => {
+            task();
+            true
+        }
+        None => false,
+    }
 }
 
 /// Erases the lifetime of a queued task.
@@ -198,7 +237,7 @@ impl PoolShared {
     }
 
     fn worker_loop(self: Arc<Self>, worker: usize) {
-        WORKER_POOL.with(|w| *w.borrow_mut() = Some(Arc::downgrade(&self)));
+        WORKER_POOL.with(|w| *w.borrow_mut() = Some((Arc::downgrade(&self), worker)));
         loop {
             if let Some(task) = self.find_task(worker) {
                 task();
@@ -628,6 +667,36 @@ impl ThreadPool {
         R: Send,
     {
         scope_on(Arc::clone(&self.shared), op)
+    }
+
+    /// Spawns a detached `'static` task onto the pool's work-stealing
+    /// deques, mirroring rayon's free-standing `spawn`. The task is wrapped
+    /// in `catch_unwind` (worker loops run tasks bare), so a panicking
+    /// detached task is swallowed instead of killing a worker thread —
+    /// long-lived daemons catch and report their own job failures before
+    /// this backstop is ever reached.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce() + Send + 'static,
+    {
+        self.shared.submit_batch(vec![Box::new(move || {
+            drop(panic::catch_unwind(AssertUnwindSafe(f)))
+        })]);
+    }
+
+    /// Spawns a detached `'static` task onto the pool-wide FIFO injector
+    /// queue: detached tasks submitted this way start in strict submission
+    /// order (rayon's free `spawn_fifo`), which is what lets a long-lived
+    /// scheduler dispatch jobs with the same fairness discipline as
+    /// [`Scope::spawn_fifo`]. Panics are contained as in
+    /// [`ThreadPool::spawn`].
+    pub fn spawn_fifo<F>(&self, f: F)
+    where
+        F: FnOnce() + Send + 'static,
+    {
+        self.shared.submit_fifo(Box::new(move || {
+            drop(panic::catch_unwind(AssertUnwindSafe(f)))
+        }));
     }
 
     pub(crate) fn shared(&self) -> &PoolShared {

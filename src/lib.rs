@@ -25,6 +25,8 @@
 //! * [`adversary`] — the Section 3 lower-bound adversaries ([`ecs_adversary`]).
 //! * [`analysis`] — statistics, regression, and the Section 5 experiment
 //!   runners ([`ecs_analysis`]).
+//! * [`service`] — equivalence-sorting as a service: the async session
+//!   daemon over the throughput pool ([`ecs_service`]).
 //!
 //! # Example
 //!
@@ -52,6 +54,7 @@ pub use ecs_distributions as distributions;
 pub use ecs_graph as graph;
 pub use ecs_model as model;
 pub use ecs_rng as rng;
+pub use ecs_service as service;
 
 /// The most commonly used items, re-exported flat.
 pub mod prelude {
@@ -75,6 +78,7 @@ pub mod prelude {
         RoundSizeHistogram, ThroughputPool, Transcript,
     };
     pub use ecs_rng::{EcsRng, SeedableEcsRng, SplitMix64, StreamSplit, Xoshiro256StarStar};
+    pub use ecs_service::{Client, Daemon, DaemonConfig, JobSpec, Request, Response};
 }
 
 #[cfg(test)]

@@ -1,0 +1,276 @@
+//! Service-level determinism: the daemon is bit-identical to a serial loop.
+//!
+//! The style of `throughput_determinism.rs`, one layer up: instead of
+//! handing closures to a [`ThroughputPool`], these tests speak the daemon's
+//! wire protocol over the in-process loopback transport and compare every
+//! streamed `result` line against the serial reference — the same
+//! [`ecs_service::protocol::run_job`] / `render_result` pair, no daemon.
+//! Whatever the interleaving of 64 concurrent sessions' submits and cancels,
+//! a job's result line must depend only on its spec.
+
+use ecs_model::ThroughputPool;
+use ecs_service::protocol::{render_result, run_job};
+use ecs_service::{
+    AlgoSpec, BackendSpec, Daemon, DaemonConfig, DistSpec, JobSpec, Request, Response,
+};
+use std::collections::HashMap;
+use std::time::Duration;
+
+const SESSIONS: usize = 64;
+const JOBS_PER_SESSION: usize = 2;
+
+/// The deterministic grid: spec `(session, j)` depends only on its
+/// coordinates, so the serial reference reconstructs it without any shared
+/// state. Cycles all six algorithms, several distributions, and all three
+/// backend families (including the coalescing adapter).
+fn grid_spec(session: usize, j: usize) -> JobSpec {
+    let algo = AlgoSpec::ALL[(session + j) % AlgoSpec::ALL.len()];
+    let dist = match (session + 3 * j) % 4 {
+        0 => DistSpec::Uniform(4),
+        1 => DistSpec::Geometric(0.3),
+        2 => DistSpec::Zeta(2.5),
+        _ => DistSpec::Balanced(5),
+    };
+    let backend = match (session + j) % 3 {
+        0 => BackendSpec::Seq,
+        1 => BackendSpec::Batched(16),
+        _ => BackendSpec::Coalesced(4),
+    };
+    JobSpec {
+        id: format!("s{session:02}-j{j}"),
+        tenant: format!("t{}", session % 5),
+        weight: 1 + (session % 3) as u32,
+        dist,
+        n: 18 + (session % 7),
+        seed: 0x5eed ^ (session as u64) << 8 ^ j as u64,
+        algo,
+        backend,
+    }
+}
+
+fn daemon_config() -> DaemonConfig {
+    DaemonConfig {
+        pool: ThroughputPool::from_jobs(2),
+        max_inflight: 4,
+        linger: Duration::ZERO,
+        outbox_limit: 16,
+    }
+}
+
+#[test]
+fn sixty_four_concurrent_sessions_match_the_serial_loop_bit_for_bit() {
+    let daemon = Daemon::loopback(daemon_config());
+    // Every session also submits one sacrificial job and cancels it right
+    // away, so real results are produced under an arbitrary interleaving of
+    // other sessions' submits AND cancels.
+    let collected: Vec<(String, String)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..SESSIONS)
+            .map(|s| {
+                let mut client = daemon.connect();
+                scope.spawn(move || {
+                    let mut sacrificial = grid_spec(s, JOBS_PER_SESSION);
+                    sacrificial.id = format!("s{s:02}-kill");
+                    sacrificial.n = 160;
+                    sacrificial.algo = AlgoSpec::Naive;
+                    client.submit(&sacrificial).expect("submit sacrificial");
+                    for j in 0..JOBS_PER_SESSION {
+                        client.submit(&grid_spec(s, j)).expect("submit job");
+                    }
+                    client
+                        .send(&Request::Cancel {
+                            id: sacrificial.id.clone(),
+                        })
+                        .expect("send cancel");
+                    let responses = client.drain().expect("drain session");
+                    let mut lines = Vec::new();
+                    let mut kill_terminated = false;
+                    for response in responses {
+                        match response {
+                            Response::Result { id, line } => {
+                                if id == sacrificial.id {
+                                    // Raced to completion before the cancel:
+                                    // must still match the serial reference.
+                                    let run = run_job(&sacrificial, Duration::ZERO, None);
+                                    assert_eq!(line, render_result(&sacrificial, &run));
+                                    kill_terminated = true;
+                                } else {
+                                    lines.push((id, line));
+                                }
+                            }
+                            Response::Cancelled { id } => {
+                                assert_eq!(id, sacrificial.id, "only the sacrificial job may die");
+                                kill_terminated = true;
+                            }
+                            Response::Accepted { .. } | Response::Cancelling { .. } => {}
+                            // The cancel raced past the job's completion:
+                            // `error unknown job`, with the result line
+                            // already (or about to be) delivered.
+                            Response::Error { message } => {
+                                assert!(message.contains("unknown"), "unexpected error: {message}");
+                            }
+                            other => panic!("unexpected response: {other:?}"),
+                        }
+                    }
+                    assert!(kill_terminated, "the sacrificial job must terminate");
+                    assert_eq!(lines.len(), JOBS_PER_SESSION);
+                    lines
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|handle| handle.join().expect("session thread"))
+            .collect()
+    });
+
+    // The serial reference, keyed by job id.
+    let serial: HashMap<String, String> = (0..SESSIONS)
+        .flat_map(|s| (0..JOBS_PER_SESSION).map(move |j| grid_spec(s, j)))
+        .map(|spec| {
+            let run = run_job(&spec, Duration::ZERO, None);
+            (spec.id.clone(), render_result(&spec, &run))
+        })
+        .collect();
+    assert_eq!(collected.len(), SESSIONS * JOBS_PER_SESSION);
+    for (id, line) in &collected {
+        assert_eq!(
+            Some(line),
+            serial.get(id),
+            "job {id}: daemon result differs from the serial loop"
+        );
+    }
+    daemon.stop();
+    daemon.join();
+}
+
+#[test]
+fn a_tiny_outbox_limit_backpressures_without_losing_results() {
+    // outbox_limit 1: after one unread result line the session's reader
+    // stops admitting submits until the client reads. Submitting the whole
+    // slate before reading anything must still deliver every line, in
+    // per-job order, with nothing dropped or duplicated.
+    let daemon = Daemon::loopback(DaemonConfig {
+        outbox_limit: 1,
+        ..daemon_config()
+    });
+    let mut client = daemon.connect();
+    let specs: Vec<JobSpec> = (0..6).map(|j| grid_spec(70 + j, 0)).collect();
+    for spec in &specs {
+        client.submit(spec).expect("submit");
+    }
+    let responses = client.drain().expect("drain");
+    let results: HashMap<String, String> = responses
+        .iter()
+        .filter_map(|response| match response {
+            Response::Result { id, line } => Some((id.clone(), line.clone())),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(results.len(), specs.len());
+    for spec in &specs {
+        let run = run_job(spec, Duration::ZERO, None);
+        assert_eq!(
+            results.get(&spec.id),
+            Some(&render_result(spec, &run)),
+            "job {}: backpressured result differs",
+            spec.id
+        );
+    }
+    daemon.stop();
+    daemon.join();
+}
+
+#[test]
+fn cancelling_one_session_leaves_the_others_bit_identical() {
+    // The service-level restatement of the killed-session pool test: one
+    // session's long job is cancelled mid-grid; every other session's
+    // results must be untouched.
+    let daemon = Daemon::loopback(daemon_config());
+    let outcome: Vec<Vec<(String, String)>> = std::thread::scope(|scope| {
+        let victim = {
+            let mut client = daemon.connect();
+            scope.spawn(move || {
+                let mut big = grid_spec(90, 0);
+                big.id = "victim-big".to_string();
+                big.n = 700;
+                big.algo = AlgoSpec::Naive;
+                big.backend = BackendSpec::Seq;
+                client.submit(&big).expect("submit big job");
+                client
+                    .send(&Request::Cancel { id: big.id.clone() })
+                    .expect("send cancel");
+                let responses = client.drain().expect("drain victim");
+                assert!(
+                    responses
+                        .iter()
+                        .any(|r| matches!(r, Response::Cancelled { .. } | Response::Result { .. })),
+                    "the big job must terminate one way or the other: {responses:?}"
+                );
+                Vec::new()
+            })
+        };
+        let mut handles = vec![victim];
+        handles.extend((0..4).map(|s| {
+            let mut client = daemon.connect();
+            scope.spawn(move || {
+                let specs: Vec<JobSpec> = (0..3).map(|j| grid_spec(80 + s, j % 2)).collect();
+                // Same id would collide within the session; disambiguate.
+                let specs: Vec<JobSpec> = specs
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, mut spec)| {
+                        spec.id = format!("w{s}-{i}");
+                        spec
+                    })
+                    .collect();
+                for spec in &specs {
+                    client.submit(spec).expect("submit worker job");
+                }
+                let responses = client.drain().expect("drain worker");
+                let results: HashMap<String, String> = responses
+                    .iter()
+                    .filter_map(|response| match response {
+                        Response::Result { id, line } => Some((id.clone(), line.clone())),
+                        _ => None,
+                    })
+                    .collect();
+                specs
+                    .iter()
+                    .map(|spec| {
+                        let run = run_job(spec, Duration::ZERO, None);
+                        assert_eq!(
+                            results.get(&spec.id),
+                            Some(&render_result(spec, &run)),
+                            "job {}: result changed while a sibling session was killed",
+                            spec.id
+                        );
+                        (spec.id.clone(), results[&spec.id].clone())
+                    })
+                    .collect()
+            })
+        }));
+        handles
+            .into_iter()
+            .map(|handle| handle.join().expect("session thread"))
+            .collect()
+    });
+    assert_eq!(outcome.iter().map(Vec::len).sum::<usize>(), 12);
+    daemon.stop();
+    daemon.join();
+}
+
+#[test]
+fn a_protocol_shutdown_stops_the_daemon_with_nothing_leaked() {
+    let daemon = Daemon::loopback(daemon_config());
+    let mut client = daemon.connect();
+    client.submit(&grid_spec(99, 0)).expect("submit");
+    let results = client.drain().expect("drain");
+    assert!(results.iter().any(|r| matches!(r, Response::Result { .. })));
+    let tail = client.shutdown().expect("shutdown");
+    assert!(
+        tail.contains(&Response::Bye),
+        "shutdown must end with bye: {tail:?}"
+    );
+    // join() returning is the no-leaked-threads guarantee.
+    daemon.join();
+}
