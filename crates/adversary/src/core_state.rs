@@ -7,15 +7,27 @@
 //! at round start, so the answers an algorithm observes never depend on
 //! which OS thread asked first or how the round was cut into batch waves.
 //!
+//! The knowledge graph lives on the packed substrates of
+//! [`ecs_graph::bitset`]: the known-unequal relation is a [`PairBitset`]
+//! (one bit per unordered vertex pair, word-granular edge tests, per-root
+//! degree counters), and the mark flags and per-color membership filters are
+//! [`BitRow`]s, so the hot candidate checks of `find_swap_partner`
+//! ("is this class adjacent to the candidate?", "does this class still have
+//! an unmarked member?") collapse into word-parallel row intersections
+//! instead of hash-set walks. The per-color member *lists* are kept as
+//! ordered vectors alongside the masks: the adversary's swap-partner choice
+//! depends on list order (insertion order mutated by `swap_remove`), and the
+//! golden transcripts pin that order, so the lists stay the source of truth
+//! for iteration while the masks answer every order-independent question.
+//!
 //! Answering and cost accounting are deliberately split:
 //! [`AdversaryCore::answer`] applies the swap/mark/edge/contract intents of
 //! one pair without counting it, and [`AdversaryCore::record`] charges one
 //! comparison (and optionally a transcript entry) per *query served* — the
 //! round protocol plans a pair once but charges every repeat.
 
-use ecs_graph::UnionFind;
+use ecs_graph::{BitRow, PairBitset, UnionFind};
 use ecs_model::{Partition, Transcript};
-use std::collections::{HashMap, HashSet};
 
 /// Why an element ended up marked.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -28,6 +40,23 @@ pub enum Mark {
     Both,
 }
 
+/// The mutable-state interface the [`crate::RoundCommit`] protocol drives.
+///
+/// Two implementations exist: the packed [`AdversaryCore`] (production) and
+/// the pointer-based [`crate::legacy::LegacyCore`] retained as the reference
+/// for the substrate-parity suite and the packed-vs-pointer benchmarks.
+pub trait AdversaryState {
+    /// Number of elements.
+    fn n(&self) -> usize;
+
+    /// Answers one equivalence test and applies its swap/mark/edge/contract
+    /// intents **without charging it** — the planning half of the protocol.
+    fn answer(&mut self, a: usize, b: usize) -> bool;
+
+    /// Charges one served query (cost counter and optional transcript).
+    fn record(&mut self, a: usize, b: usize, answer: bool);
+}
+
 /// The adversary's mutable state. The public adversary types wrap this (via
 /// [`crate::RoundCommit`]) in a mutex so it can sit behind the `&self` oracle
 /// interface.
@@ -38,10 +67,22 @@ pub struct AdversaryCore {
     degree_threshold: usize,
     /// Color (eventual class) of every element.
     color: Vec<usize>,
-    /// Elements of each color (marked and unmarked alike).
+    /// Elements of each color in list order (marked and unmarked alike).
+    /// Iteration order is observable through swap-partner choice, so these
+    /// ordered lists stay authoritative; the masks below mirror them.
     members: Vec<Vec<usize>>,
-    /// Marks per element.
-    mark: Vec<Option<Mark>>,
+    /// Position of each element inside its color's member list — turns the
+    /// legacy `position()` scan in a swap into O(1) bookkeeping.
+    member_pos: Vec<usize>,
+    /// Bit-per-element mirror of `members`, one row per color, for
+    /// word-parallel class filters.
+    members_mask: Vec<BitRow>,
+    /// Elements marked with [`Mark::HighElementDegree`] (possibly `Both`).
+    mark_degree: BitRow,
+    /// Elements marked with [`Mark::HighColorDegree`] (possibly `Both`).
+    mark_color: BitRow,
+    /// Union of the two mark rows — the "is marked at all" filter.
+    marked: BitRow,
     /// Whether the whole color class has been marked.
     color_marked: Vec<bool>,
     /// Colors that must dodge marking by swapping away if possible
@@ -49,8 +90,13 @@ pub struct AdversaryCore {
     protected_color: Option<usize>,
     /// Contraction structure over elements (vertices of the knowledge graph).
     uf: UnionFind,
-    /// Known-different edges between vertex roots.
-    adj: HashMap<usize, HashSet<usize>>,
+    /// Known-different edges between vertex roots: one bit per unordered
+    /// pair, packed upper-triangular.
+    unequal: PairBitset,
+    /// Degree of every live root in the known-unequal graph.
+    degree: Vec<u32>,
+    /// Reused neighbour buffer for contractions (no per-contract allocation).
+    scratch: Vec<usize>,
     /// Number of equivalence tests answered.
     comparisons: u64,
     /// Number of marked elements.
@@ -82,10 +128,15 @@ impl AdversaryCore {
         }
         let n: usize = sizes.iter().sum();
         let mut color = Vec::with_capacity(n);
+        let mut member_pos = Vec::with_capacity(n);
         let mut members = vec![Vec::new(); sizes.len()];
+        let mut members_mask = vec![BitRow::new(n); sizes.len()];
         for (c, &s) in sizes.iter().enumerate() {
             for _ in 0..s {
-                members[c].push(color.len());
+                let e = color.len();
+                member_pos.push(members[c].len());
+                members[c].push(e);
+                members_mask[c].set(e);
                 color.push(c);
             }
         }
@@ -94,11 +145,17 @@ impl AdversaryCore {
             degree_threshold,
             color,
             members,
-            mark: vec![None; n],
+            member_pos,
+            members_mask,
+            mark_degree: BitRow::new(n),
+            mark_color: BitRow::new(n),
+            marked: BitRow::new(n),
             color_marked: vec![false; sizes.len()],
             protected_color,
             uf: UnionFind::new(n),
-            adj: HashMap::new(),
+            unequal: PairBitset::new(n),
+            degree: vec![0; n],
+            scratch: Vec::new(),
             comparisons: 0,
             marked_elements: 0,
             swaps: 0,
@@ -141,12 +198,27 @@ impl AdversaryCore {
         self.transcript.as_ref()
     }
 
+    /// The mark on `element`, if any, reassembled from the packed mark rows.
+    pub fn mark_of(&self, element: usize) -> Option<Mark> {
+        match (
+            self.mark_degree.test(element),
+            self.mark_color.test(element),
+        ) {
+            (false, false) => None,
+            (true, false) => Some(Mark::HighElementDegree),
+            (false, true) => Some(Mark::HighColorDegree),
+            (true, true) => Some(Mark::Both),
+        }
+    }
+
     /// Whether any element of the protected color has been marked (Theorem 6:
-    /// the bound counts comparisons until this first happens).
+    /// the bound counts comparisons until this first happens). One
+    /// word-parallel intersection of the color's member mask with the mark
+    /// row.
     pub fn protected_color_touched(&self) -> bool {
         match self.protected_color {
             None => false,
-            Some(p) => self.members[p].iter().any(|&e| self.mark[e].is_some()),
+            Some(p) => self.members_mask[p].intersects(&self.marked),
         }
     }
 
@@ -175,22 +247,19 @@ impl AdversaryCore {
         }
     }
 
-    fn degree(&self, root: usize) -> usize {
-        self.adj.get(&root).map(|s| s.len()).unwrap_or(0)
-    }
-
-    fn adjacent(&self, ra: usize, rb: usize) -> bool {
-        self.adj.get(&ra).map(|s| s.contains(&rb)).unwrap_or(false)
-    }
-
     fn add_edge(&mut self, ra: usize, rb: usize) {
         if ra == rb {
             return;
         }
-        self.adj.entry(ra).or_default().insert(rb);
-        self.adj.entry(rb).or_default().insert(ra);
+        if self.unequal.set(ra, rb) {
+            self.degree[ra] += 1;
+            self.degree[rb] += 1;
+        }
     }
 
+    /// Merges `rb`'s vertex into `ra`'s (or vice versa, whichever survives
+    /// union-by-size), migrating the dropped root's packed edge row onto the
+    /// keeper with exact degree bookkeeping.
     fn contract(&mut self, ra: usize, rb: usize) {
         if ra == rb {
             return;
@@ -198,26 +267,36 @@ impl AdversaryCore {
         self.uf.union(ra, rb);
         let keep = self.uf.find(ra);
         let drop = if keep == ra { rb } else { ra };
-        let dropped = self.adj.remove(&drop).unwrap_or_default();
-        for z in dropped {
-            if let Some(set) = self.adj.get_mut(&z) {
-                set.remove(&drop);
-                set.insert(keep);
+        let mut moved = std::mem::take(&mut self.scratch);
+        moved.clear();
+        self.unequal.for_each_in_row(drop, |z| moved.push(z));
+        for &z in &moved {
+            self.unequal.clear(drop, z);
+            self.degree[z] -= 1;
+            if z != keep && self.unequal.set(keep, z) {
+                self.degree[keep] += 1;
+                self.degree[z] += 1;
             }
-            self.adj.entry(keep).or_default().insert(z);
         }
+        self.degree[drop] = 0;
+        self.scratch = moved;
     }
 
     fn set_mark(&mut self, element: usize, mark: Mark) {
-        match self.mark[element] {
-            None => {
-                self.mark[element] = Some(mark);
-                self.marked_elements += 1;
+        match mark {
+            Mark::HighElementDegree => {
+                self.mark_degree.set(element);
             }
-            Some(existing) if existing != mark => {
-                self.mark[element] = Some(Mark::Both);
+            Mark::HighColorDegree => {
+                self.mark_color.set(element);
             }
-            _ => {}
+            Mark::Both => {
+                self.mark_degree.set(element);
+                self.mark_color.set(element);
+            }
+        }
+        if self.marked.set(element) {
+            self.marked_elements += 1;
         }
     }
 
@@ -226,11 +305,11 @@ impl AdversaryCore {
     /// protected (smallest-class) elements the adversary first tries to swap
     /// the element out of harm's way, per Theorem 6.
     fn maybe_mark_high_degree(&mut self, element: usize) {
-        if self.mark[element].is_some() {
+        if self.marked.test(element) {
             return;
         }
         let root = self.uf.find_immutable(element);
-        if self.degree(root) < self.degree_threshold {
+        if (self.degree[root] as usize) < self.degree_threshold {
             return;
         }
         if Some(self.color[element]) == self.protected_color {
@@ -249,52 +328,47 @@ impl AdversaryCore {
     /// `z` must not be adjacent to any vertex colored like `candidate`
     /// (`avoid_color`), and `candidate` must not be adjacent to any vertex
     /// colored like `z`.
+    ///
+    /// Classes are filtered word-parallel — "any unmarked member left?" is
+    /// `mask ∧ ¬marked`, and "is this class adjacent to the candidate?" is
+    /// one packed-row/mask intersection — while the surviving candidates are
+    /// still visited in member-list order, which is the order the golden
+    /// transcripts pin.
     fn find_swap_partner(&self, candidate: usize, avoid_color: usize) -> Option<usize> {
         let cand_root = self.uf.find_immutable(candidate);
-        // Colors adjacent to the candidate (cheap: unmarked vertices have
-        // degree at most the threshold).
-        let colors_adjacent_to_candidate: HashSet<usize> = self
-            .adj
-            .get(&cand_root)
-            .map(|set| {
-                set.iter()
-                    .map(|&r| self.color[self.representative_element(r)])
-                    .collect()
-            })
-            .unwrap_or_default();
+        let avoid_mask = &self.members_mask[avoid_color];
         for (c, members) in self.members.iter().enumerate() {
             if c == avoid_color || self.color_marked[c] {
                 continue;
             }
-            if colors_adjacent_to_candidate.contains(&c) {
+            // Word-parallel skip: a class with no unmarked member cannot
+            // yield a partner (same outcome as scanning its list).
+            if !self.members_mask[c].any_and_not(&self.marked) {
+                continue;
+            }
+            // Colors adjacent to the candidate: the candidate's packed edge
+            // row intersected with this class's member mask. Unmarked
+            // vertices are singleton groups, so a root's own index is its
+            // representative element and the mask lookup is exact.
+            if self
+                .unequal
+                .row_intersects(cand_root, &self.members_mask[c])
+            {
                 continue;
             }
             for &z in members {
-                if self.mark[z].is_some() || self.color[z] != c {
+                if self.marked.test(z) || self.color[z] != c {
                     continue;
                 }
                 let z_root = self.uf.find_immutable(z);
-                // z must not be adjacent to the avoided color.
-                let z_adjacent_to_avoid = self
-                    .adj
-                    .get(&z_root)
-                    .map(|set| {
-                        set.iter()
-                            .any(|&r| self.color[self.representative_element(r)] == avoid_color)
-                    })
-                    .unwrap_or(false);
-                if !z_adjacent_to_avoid {
+                // z must not be adjacent to the avoided color: one more
+                // packed row/mask intersection.
+                if !self.unequal.row_intersects(z_root, avoid_mask) {
                     return Some(z);
                 }
             }
         }
         None
-    }
-
-    /// An element belonging to the vertex `root` (unmarked vertices are
-    /// singletons, so this is exact for the cases where colors matter).
-    fn representative_element(&self, root: usize) -> usize {
-        root
     }
 
     fn swap_colors(&mut self, a: usize, b: usize) {
@@ -305,16 +379,31 @@ impl AdversaryCore {
         }
         self.color[a] = cb;
         self.color[b] = ca;
-        // Maintain the membership lists.
-        if let Some(pos) = self.members[ca].iter().position(|&e| e == a) {
-            self.members[ca].swap_remove(pos);
-        }
-        if let Some(pos) = self.members[cb].iter().position(|&e| e == b) {
-            self.members[cb].swap_remove(pos);
-        }
-        self.members[ca].push(b);
-        self.members[cb].push(a);
+        // Maintain the membership lists with the exact swap_remove-then-push
+        // sequence the swap-partner order depends on, plus the packed masks.
+        self.remove_member(ca, a);
+        self.remove_member(cb, b);
+        self.push_member(ca, b);
+        self.push_member(cb, a);
+        self.members_mask[ca].clear(a);
+        self.members_mask[ca].set(b);
+        self.members_mask[cb].clear(b);
+        self.members_mask[cb].set(a);
         self.swaps += 1;
+    }
+
+    fn remove_member(&mut self, c: usize, e: usize) {
+        let pos = self.member_pos[e];
+        debug_assert_eq!(self.members[c][pos], e, "member position out of sync");
+        self.members[c].swap_remove(pos);
+        if let Some(&moved) = self.members[c].get(pos) {
+            self.member_pos[moved] = pos;
+        }
+    }
+
+    fn push_member(&mut self, c: usize, e: usize) {
+        self.member_pos[e] = self.members[c].len();
+        self.members[c].push(e);
     }
 
     fn mark_whole_color(&mut self, color: usize) {
@@ -322,8 +411,8 @@ impl AdversaryCore {
             return;
         }
         self.color_marked[color] = true;
-        let members = self.members[color].clone();
-        for e in members {
+        for idx in 0..self.members[color].len() {
+            let e = self.members[color][idx];
             self.set_mark(e, Mark::HighColorDegree);
         }
     }
@@ -345,7 +434,7 @@ impl AdversaryCore {
             // Already conceded equal earlier; stay consistent.
             return true;
         }
-        if self.adjacent(ra, rb) {
+        if self.unequal.test(ra, rb) {
             // Already answered "not equal" for these vertices.
             return false;
         }
@@ -355,8 +444,8 @@ impl AdversaryCore {
         self.maybe_mark_high_degree(b);
 
         // Cases 2 and 3: same-colored pair with at least one unmarked element.
-        if self.color[a] == self.color[b] && (self.mark[a].is_none() || self.mark[b].is_none()) {
-            let unmarked = if self.mark[a].is_none() { a } else { b };
+        if self.color[a] == self.color[b] && (!self.marked.test(a) || !self.marked.test(b)) {
+            let unmarked = if !self.marked.test(a) { a } else { b };
             let common = self.color[a];
             match self.find_swap_partner(unmarked, common) {
                 Some(partner) => self.swap_colors(unmarked, partner),
@@ -365,7 +454,7 @@ impl AdversaryCore {
         }
 
         // Case 4: answer.
-        let both_marked = self.mark[a].is_some() && self.mark[b].is_some();
+        let both_marked = self.marked.test(a) && self.marked.test(b);
         let same = if both_marked {
             self.color[a] == self.color[b]
         } else {
@@ -386,6 +475,20 @@ impl AdversaryCore {
             self.add_edge(ra, rb);
         }
         same
+    }
+}
+
+impl AdversaryState for AdversaryCore {
+    fn n(&self) -> usize {
+        AdversaryCore::n(self)
+    }
+
+    fn answer(&mut self, a: usize, b: usize) -> bool {
+        AdversaryCore::answer(self, a, b)
+    }
+
+    fn record(&mut self, a: usize, b: usize, answer: bool) {
+        AdversaryCore::record(self, a, b, answer);
     }
 }
 
@@ -482,5 +585,38 @@ mod tests {
         core.record(0, 3, false);
         assert_eq!(core.transcript().unwrap().len(), 1);
         assert_eq!(core.comparisons(), 2);
+    }
+
+    #[test]
+    fn mark_bits_compose_like_the_enum() {
+        let mut core = AdversaryCore::new(&[4, 4], 1, None);
+        assert_eq!(core.mark_of(0), None);
+        core.set_mark(0, Mark::HighElementDegree);
+        assert_eq!(core.mark_of(0), Some(Mark::HighElementDegree));
+        core.set_mark(0, Mark::HighElementDegree);
+        assert_eq!(core.mark_of(0), Some(Mark::HighElementDegree));
+        assert_eq!(core.marked_elements(), 1, "re-marking is idempotent");
+        core.set_mark(0, Mark::HighColorDegree);
+        assert_eq!(core.mark_of(0), Some(Mark::Both));
+        core.set_mark(1, Mark::HighColorDegree);
+        assert_eq!(core.mark_of(1), Some(Mark::HighColorDegree));
+        core.set_mark(1, Mark::HighElementDegree);
+        assert_eq!(core.mark_of(1), Some(Mark::Both));
+        assert_eq!(core.marked_elements(), 2);
+    }
+
+    #[test]
+    fn degrees_track_the_packed_graph_through_contractions() {
+        let mut core = AdversaryCore::new(&[2, 2, 2], 1, None);
+        // Force some edges and a contraction, then recount degrees from the
+        // packed relation and compare with the incremental counters.
+        for (a, b) in [(0, 2), (0, 4), (2, 4), (1, 3)] {
+            let _ = core.answer(a, b);
+        }
+        for v in 0..core.n() {
+            let mut recounted = 0u32;
+            core.unequal.for_each_in_row(v, |_| recounted += 1);
+            assert_eq!(core.degree[v], recounted, "degree mismatch at vertex {v}");
+        }
     }
 }

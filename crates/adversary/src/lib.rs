@@ -36,17 +36,27 @@
 //! so any algorithm from `ecs-core` can be run against them, plus helpers
 //! that report the paper's bound for the chosen parameters so benchmark
 //! tables can print "measured vs. `n²/(64f)`" side by side.
+//!
+//! The adversary state lives on the **packed bitset substrate** of
+//! [`ecs_graph::bitset`] — the known-unequal relation is one bit per
+//! unordered pair, marks and class filters are bit rows, and round plans
+//! are packed triangles. The pre-bitset pointer implementation is retained
+//! verbatim in [`legacy`]; the parity suite in `tests/substrate_parity.rs`
+//! pins the two substrates bit-for-bit against each other.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod core_state;
 pub mod equal_size;
+pub mod legacy;
 pub mod round_commit;
 pub mod smallest_class;
 
+pub use core_state::{AdversaryCore, AdversaryState, Mark};
 pub use equal_size::EqualSizeAdversary;
-pub use round_commit::RoundCommit;
+pub use legacy::{LegacyAdversary, LegacyCore};
+pub use round_commit::{RoundCommit, PACKED_PLAN_MAX_N};
 pub use smallest_class::SmallestClassAdversary;
 
 use ecs_model::{EquivalenceOracle, Partition};

@@ -29,35 +29,96 @@
 //! and `Batched` backends for round-based algorithms: the plan is a pure
 //! function of (committed state, round pairs), and both are
 //! backend-independent.
+//!
+//! ## Plan storage
+//!
+//! The plan is two packed upper-triangular [`PairBitset`]s over the element
+//! universe — one bit says "this pair is in the open round", its twin holds
+//! the planned answer — so serving a query is two word probes at the same
+//! packed index and no hashing. The buffers are allocated once (lazily, at
+//! the first round) and recycled: closing a round clears exactly the words
+//! the round touched, so commit cost scans the round's words rather than
+//! the whole triangle. Universes too large for the packed triangle (above
+//! [`PACKED_PLAN_MAX_N`]) and explicitly-requested baselines
+//! ([`RoundCommit::with_spill_plan`]) fall back to the legacy hash-map plan.
 
-use crate::core_state::AdversaryCore;
+use crate::core_state::{AdversaryCore, AdversaryState};
+use ecs_graph::{BitRow, PairBitset};
 use std::collections::HashMap;
 
-/// Drives an [`AdversaryCore`] through the plan/serve/commit round protocol.
+/// Largest universe that plans rounds in the packed pair triangle; above
+/// this (8 MiB of plan bits per `PairBitset` at 8192 elements costs ~4 MiB,
+/// quadratic beyond) the protocol spills to the hash-map plan.
+pub const PACKED_PLAN_MAX_N: usize = 8192;
+
+/// The open round's planned pairs and answers. The packed buffers persist
+/// across rounds (allocated at the first [`RoundCommit::begin_round`], wiped
+/// word-granularly at [`RoundCommit::end_round`]); the hash map is rebuilt
+/// per round like the original pointer-based protocol.
 #[derive(Debug)]
-pub struct RoundCommit {
-    core: AdversaryCore,
-    /// The open round's planned answers, keyed by normalized pair; `None`
-    /// when no round is open.
-    plan: Option<HashMap<(usize, usize), bool>>,
+enum PlanStore {
+    /// No round planned yet — the storage mode is decided lazily at the
+    /// first `begin_round`, when the universe size is known to matter.
+    Undecided,
+    Packed {
+        /// Bit (a, b) set iff the pair is part of the open round.
+        planned: PairBitset,
+        /// Planned answer for pair (a, b); only meaningful under `planned`.
+        answers: PairBitset,
+        /// Self-comparisons (a, a) planned this round (always answered
+        /// `true`); kept off the triangle, which stores strict pairs only.
+        diagonal: BitRow,
+        diagonal_used: bool,
+        /// Word indices of `planned`/`answers` written this round — the
+        /// commit wipes exactly these (duplicates are harmless).
+        touched: Vec<u32>,
+    },
+    Spill(HashMap<(usize, usize), bool>),
+}
+
+/// Drives an [`AdversaryState`] through the plan/serve/commit round protocol.
+/// The default state is the packed [`AdversaryCore`]; the pointer-based
+/// [`crate::legacy::LegacyCore`] slots in for parity tests and benchmarks.
+#[derive(Debug)]
+pub struct RoundCommit<S: AdversaryState = AdversaryCore> {
+    core: S,
+    store: PlanStore,
+    /// Whether a round is currently open (the plan is live).
+    round_open: bool,
+    /// When set, always plan into the hash map even for small universes —
+    /// the pointer baseline for the packed-vs-spill benchmarks.
+    force_spill: bool,
     /// Rounds committed so far (single-pair auto-rounds included).
     rounds_committed: u64,
 }
 
-impl RoundCommit {
+impl<S: AdversaryState> RoundCommit<S> {
     /// Wraps a core in the round protocol.
-    pub fn new(core: AdversaryCore) -> Self {
+    pub fn new(core: S) -> Self {
         Self {
             core,
-            plan: None,
+            store: PlanStore::Undecided,
+            round_open: false,
+            force_spill: false,
             rounds_committed: 0,
+        }
+    }
+
+    /// Wraps a core in the round protocol with the hash-map plan forced on,
+    /// regardless of universe size — the pointer baseline that the
+    /// packed-vs-spill benchmarks and the substrate-parity suite compare
+    /// against.
+    pub fn with_spill_plan(core: S) -> Self {
+        Self {
+            force_spill: true,
+            ..Self::new(core)
         }
     }
 
     /// The adversary state (already advanced past the open round's intents
     /// while a round is open — unobservable through the oracle interface,
     /// which serves planned answers until the round closes).
-    pub fn core(&self) -> &AdversaryCore {
+    pub fn core(&self) -> &S {
         &self.core
     }
 
@@ -67,14 +128,20 @@ impl RoundCommit {
     /// # Panics
     ///
     /// Panics while a round is open.
-    pub fn core_mut(&mut self) -> &mut AdversaryCore {
-        assert!(self.plan.is_none(), "cannot mutate the adversary mid-round");
+    pub fn core_mut(&mut self) -> &mut S {
+        assert!(!self.round_open, "cannot mutate the adversary mid-round");
         &mut self.core
     }
 
     /// Number of rounds committed so far.
     pub fn rounds_committed(&self) -> u64 {
         self.rounds_committed
+    }
+
+    /// Whether this protocol plans rounds in the packed pair triangle (after
+    /// the lazy decision at the first round; `false` while still undecided).
+    pub fn plan_is_packed(&self) -> bool {
+        matches!(self.store, PlanStore::Packed { .. })
     }
 
     /// Opens a round over `pairs` (the session's round, in submission order):
@@ -88,17 +155,57 @@ impl RoundCommit {
     /// be shared by two concurrently-evaluating sessions.
     pub fn begin_round(&mut self, pairs: &[(usize, usize)]) {
         assert!(
-            self.plan.is_none(),
+            !self.round_open,
             "a previous adversary round is still open (is the oracle shared by two sessions?)"
         );
-        let mut plan = HashMap::with_capacity(pairs.len());
-        for &(a, b) in pairs {
-            let answer = self.core.answer(a, b);
-            // Repeats within a round replay the committed fact and get the
-            // identical answer, so first-wins insertion is a no-op for them.
-            plan.entry(normalize(a, b)).or_insert(answer);
+        if matches!(self.store, PlanStore::Undecided) {
+            let n = self.core.n();
+            self.store = if self.force_spill || n > PACKED_PLAN_MAX_N {
+                PlanStore::Spill(HashMap::new())
+            } else {
+                PlanStore::Packed {
+                    planned: PairBitset::new(n),
+                    answers: PairBitset::new(n),
+                    diagonal: BitRow::new(n),
+                    diagonal_used: false,
+                    touched: Vec::new(),
+                }
+            };
         }
-        self.plan = Some(plan);
+        let Self { core, store, .. } = self;
+        match store {
+            PlanStore::Undecided => unreachable!("plan storage decided above"),
+            PlanStore::Packed {
+                planned,
+                answers,
+                diagonal,
+                diagonal_used,
+                touched,
+            } => {
+                for &(a, b) in pairs {
+                    // Repeats within a round replay the committed fact and get
+                    // the identical answer, so re-planning them is a no-op.
+                    let answer = core.answer(a, b);
+                    if a == b {
+                        diagonal.set(a);
+                        *diagonal_used = true;
+                    } else if planned.set(a, b) {
+                        if answer {
+                            answers.set(a, b);
+                        }
+                        touched.push(planned.word_index(a, b) as u32);
+                    }
+                }
+            }
+            PlanStore::Spill(plan) => {
+                plan.reserve(pairs.len());
+                for &(a, b) in pairs {
+                    let answer = core.answer(a, b);
+                    plan.entry(normalize(a, b)).or_insert(answer);
+                }
+            }
+        }
+        self.round_open = true;
     }
 
     /// Answers one query. Inside an open round the answer is served from the
@@ -108,14 +215,38 @@ impl RoundCommit {
     ///
     /// Panics if a round is open and `(a, b)` was not part of it.
     pub fn query(&mut self, a: usize, b: usize) -> bool {
-        let answer = match self.plan.as_ref() {
-            Some(plan) => *plan.get(&normalize(a, b)).unwrap_or_else(|| {
-                panic!("query ({a}, {b}) is not part of the open adversary round")
-            }),
-            None => self.core.answer(a, b),
+        let answer = if self.round_open {
+            match &self.store {
+                PlanStore::Undecided => unreachable!("open round always has a plan"),
+                PlanStore::Packed {
+                    planned,
+                    answers,
+                    diagonal,
+                    ..
+                } => {
+                    if a == b {
+                        assert!(
+                            diagonal.test(a),
+                            "query ({a}, {b}) is not part of the open adversary round"
+                        );
+                        true
+                    } else {
+                        assert!(
+                            planned.test(a, b),
+                            "query ({a}, {b}) is not part of the open adversary round"
+                        );
+                        answers.test(a, b)
+                    }
+                }
+                PlanStore::Spill(plan) => *plan.get(&normalize(a, b)).unwrap_or_else(|| {
+                    panic!("query ({a}, {b}) is not part of the open adversary round")
+                }),
+            }
+        } else {
+            self.core.answer(a, b)
         };
         self.core.record(a, b, answer);
-        if self.plan.is_none() {
+        if !self.round_open {
             self.rounds_committed += 1;
         }
         answer
@@ -124,7 +255,7 @@ impl RoundCommit {
     /// Answers a wave of queries in pair order. Inside an open round the
     /// wave is served from the plan; outside, the whole wave forms one round.
     pub fn query_batch(&mut self, pairs: &[(usize, usize)]) -> Vec<bool> {
-        if self.plan.is_some() {
+        if self.round_open {
             return pairs.iter().map(|&(a, b)| self.query(a, b)).collect();
         }
         self.begin_round(pairs);
@@ -134,14 +265,36 @@ impl RoundCommit {
     }
 
     /// Closes the open round: discards the plan and publishes the round's
-    /// merged state advance.
+    /// merged state advance. With the packed plan this wipes exactly the
+    /// words the round touched, so a k-pair round commits in O(k), not O(n²).
     ///
     /// # Panics
     ///
     /// Panics if no round is open.
     pub fn end_round(&mut self) {
-        assert!(self.plan.is_some(), "no adversary round is open");
-        self.plan = None;
+        assert!(self.round_open, "no adversary round is open");
+        match &mut self.store {
+            PlanStore::Undecided => unreachable!("open round always has a plan"),
+            PlanStore::Packed {
+                planned,
+                answers,
+                diagonal,
+                diagonal_used,
+                touched,
+            } => {
+                for &w in touched.iter() {
+                    planned.clear_word(w as usize);
+                    answers.clear_word(w as usize);
+                }
+                touched.clear();
+                if *diagonal_used {
+                    diagonal.clear_all();
+                    *diagonal_used = false;
+                }
+            }
+            PlanStore::Spill(plan) => plan.clear(),
+        }
+        self.round_open = false;
         self.rounds_committed += 1;
     }
 }
@@ -160,6 +313,10 @@ mod tests {
 
     fn protocol(sizes: &[usize], threshold: usize) -> RoundCommit {
         RoundCommit::new(AdversaryCore::new(sizes, threshold, None))
+    }
+
+    fn spill_protocol(sizes: &[usize], threshold: usize) -> RoundCommit {
+        RoundCommit::with_spill_plan(AdversaryCore::new(sizes, threshold, None))
     }
 
     #[test]
@@ -219,6 +376,51 @@ mod tests {
     }
 
     #[test]
+    fn packed_and_spill_plans_serve_identical_rounds() {
+        let rounds: Vec<Vec<(usize, usize)>> = vec![
+            vec![(0, 1), (2, 3), (4, 5), (6, 7)],
+            vec![(0, 2), (1, 3), (4, 6), (5, 7), (0, 2)],
+            vec![(0, 4), (1, 5), (2, 6), (3, 7), (7, 3)],
+            vec![(0, 7), (1, 6), (2, 5), (3, 4)],
+        ];
+        let mut packed = protocol(&[4, 4], 1);
+        let mut spill = spill_protocol(&[4, 4], 1);
+        for round in &rounds {
+            packed.begin_round(round);
+            spill.begin_round(round);
+            for &(a, b) in round {
+                assert_eq!(packed.query(a, b), spill.query(a, b), "pair ({a}, {b})");
+            }
+            packed.end_round();
+            spill.end_round();
+        }
+        assert!(packed.plan_is_packed());
+        assert!(!spill.plan_is_packed());
+        assert_eq!(packed.core().partition(), spill.core().partition());
+        assert_eq!(packed.core().comparisons(), spill.core().comparisons());
+        assert_eq!(packed.core().swaps(), spill.core().swaps());
+        assert_eq!(packed.rounds_committed(), spill.rounds_committed());
+    }
+
+    #[test]
+    fn packed_plan_words_are_recycled_between_rounds() {
+        let mut p = protocol(&[4, 4], 1);
+        p.begin_round(&[(0, 4), (1, 5)]);
+        let _ = p.query(0, 4);
+        let _ = p.query(1, 5);
+        p.end_round();
+        // A later round over different pairs must not see stale plan bits.
+        p.begin_round(&[(2, 6)]);
+        let _ = p.query(2, 6);
+        p.end_round();
+        let stale = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            p.begin_round(&[(3, 7)]);
+            p.query(0, 4) // planned two rounds ago, must be rejected now
+        }));
+        assert!(stale.is_err(), "stale plan bits survived the commit wipe");
+    }
+
+    #[test]
     fn repeats_and_orientations_are_served_and_charged() {
         let mut p = protocol(&[5, 5, 5, 5], 5);
         p.begin_round(&[(0, 1), (1, 0), (0, 1)]);
@@ -253,6 +455,14 @@ mod tests {
     #[should_panic(expected = "not part of the open adversary round")]
     fn queries_outside_the_plan_are_rejected() {
         let mut p = protocol(&[2, 2], 1);
+        p.begin_round(&[(0, 2)]);
+        let _ = p.query(1, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "not part of the open adversary round")]
+    fn spill_queries_outside_the_plan_are_rejected() {
+        let mut p = spill_protocol(&[2, 2], 1);
         p.begin_round(&[(0, 2)]);
         let _ = p.query(1, 3);
     }

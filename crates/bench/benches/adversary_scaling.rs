@@ -9,7 +9,7 @@
 //! push).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use ecs_adversary::EqualSizeAdversary;
+use ecs_adversary::{EqualSizeAdversary, LegacyAdversary};
 use ecs_bench::runners::{theorem5_table, AdversaryAlgorithm};
 use ecs_bench::smoke;
 use ecs_core::{EcsAlgorithm, ErMergeSort};
@@ -69,6 +69,53 @@ fn round_protocol(c: &mut Criterion) {
     group.finish();
 }
 
+/// Packed bitset substrate vs the retained pointer substrate: the same ER
+/// merge sort forced through the Theorem 5 adversary on both
+/// representations, gated on bit-identical histories before timing.
+fn substrates(c: &mut Criterion) {
+    let (n, f) = if smoke() { (128, 8) } else { (512, 16) };
+
+    // Identity gate: the pointer reference must be driven through the exact
+    // same history (forced count and committed partition) as the packed
+    // production core.
+    let packed_reference = {
+        let adversary = EqualSizeAdversary::new(n, f);
+        let run = ErMergeSort::new().sort(&adversary);
+        assert_eq!(run.partition, adversary.partition());
+        (adversary.comparisons(), adversary.partition())
+    };
+    let legacy_reference = {
+        let adversary = LegacyAdversary::equal_size(n, f);
+        let run = ErMergeSort::new().sort(&adversary);
+        assert_eq!(run.partition, adversary.partition());
+        (adversary.comparisons(), adversary.partition())
+    };
+    assert_eq!(
+        packed_reference, legacy_reference,
+        "packed and pointer substrates diverged at n={n}, f={f}"
+    );
+
+    let mut group = c.benchmark_group("adversary_substrates");
+    group.sample_size(if smoke() { 3 } else { 10 });
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(if smoke() { 1 } else { 2 }));
+    group.bench_with_input(BenchmarkId::new("er_merge", "packed"), &(), |b, _| {
+        b.iter(|| {
+            let adversary = EqualSizeAdversary::new(n, f);
+            let _ = ErMergeSort::new().sort(&adversary);
+            black_box(adversary.comparisons())
+        });
+    });
+    group.bench_with_input(BenchmarkId::new("er_merge", "pointer"), &(), |b, _| {
+        b.iter(|| {
+            let adversary = LegacyAdversary::equal_size(n, f);
+            let _ = ErMergeSort::new().sort(&adversary);
+            black_box(adversary.comparisons())
+        });
+    });
+    group.finish();
+}
+
 fn grid_throughput(c: &mut Criterion) {
     let grid: Vec<(usize, usize)> = if smoke() {
         vec![(128, 4), (128, 8)]
@@ -115,5 +162,5 @@ fn grid_throughput(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, round_protocol, grid_throughput);
+criterion_group!(benches, round_protocol, substrates, grid_throughput);
 criterion_main!(benches);

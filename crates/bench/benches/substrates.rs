@@ -1,10 +1,18 @@
 //! Criterion benchmarks for the substrates: union-find, SCC, Hamiltonian
-//! unions, ER scheduling, and the PRNG.
+//! unions, ER scheduling, the PRNG, and the packed bitset substrate against
+//! its pointer-based counterparts (hash-set pair graphs, scalar `same_batch`
+//! loops, `Vec<Vec<usize>>` class exports).
+//!
+//! Set `ECS_BENCH_SMOKE=1` to shrink the workloads (used by CI on every
+//! push).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use ecs_graph::{tarjan_scc, DiGraph, HamiltonianUnion, UnionFind};
+use ecs_bench::smoke;
+use ecs_graph::{tarjan_scc, DiGraph, HamiltonianUnion, PairBitset, UnionFind};
 use ecs_model::schedule::schedule_er;
+use ecs_model::{EquivalenceOracle, LabelOracle};
 use ecs_rng::{EcsRng, SeedableEcsRng, Xoshiro256StarStar};
+use std::collections::{HashMap, HashSet};
 use std::hint::black_box;
 
 fn union_find(c: &mut Criterion) {
@@ -97,12 +105,156 @@ fn rng_throughput(c: &mut Criterion) {
     group.finish();
 }
 
+/// An oracle deliberately restricted to scalar `same`, so `same_batch` runs
+/// the trait's default per-pair loop — the pointer baseline that the packed
+/// word-parallel path is measured against.
+struct ScalarOnlyOracle(LabelOracle);
+
+impl EquivalenceOracle for ScalarOnlyOracle {
+    fn n(&self) -> usize {
+        self.0.n()
+    }
+    fn same(&self, a: usize, b: usize) -> bool {
+        self.0.same(a, b)
+    }
+}
+
+/// Packed pair triangle vs hash-set adjacency: build the known-unequal graph
+/// of an adversary-sized universe edge by edge, then probe every edge in
+/// both orientations (the `adjacent`/`degree` hot path of the case
+/// analysis).
+fn pair_graph(c: &mut Criterion) {
+    let sizes: &[usize] = if smoke() { &[2_048] } else { &[2_048, 8_192] };
+    let mut group = c.benchmark_group("substrate_pair_graph");
+    group.sample_size(if smoke() { 10 } else { 20 });
+    for &n in sizes {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(6);
+        let edges: Vec<(usize, usize)> = (0..8 * n)
+            .map(|_| {
+                let a = rng.below(n);
+                let mut b = rng.below(n);
+                if a == b {
+                    b = (b + 1) % n;
+                }
+                (a, b)
+            })
+            .collect();
+
+        group.bench_with_input(BenchmarkId::new("packed", n), &edges, |bench, edges| {
+            bench.iter(|| {
+                let mut g = PairBitset::new(n);
+                for &(a, b) in edges {
+                    g.set(a, b);
+                }
+                let mut hits = 0usize;
+                for &(a, b) in edges {
+                    hits += usize::from(g.test(a, b)) + usize::from(g.test(b, a));
+                }
+                black_box(hits)
+            });
+        });
+
+        group.bench_with_input(BenchmarkId::new("hashset", n), &edges, |bench, edges| {
+            bench.iter(|| {
+                let mut g: HashMap<usize, HashSet<usize>> = HashMap::new();
+                for &(a, b) in edges {
+                    g.entry(a).or_default().insert(b);
+                    g.entry(b).or_default().insert(a);
+                }
+                let mut hits = 0usize;
+                for &(a, b) in edges {
+                    hits += usize::from(g.get(&a).is_some_and(|s| s.contains(&b)));
+                    hits += usize::from(g.get(&b).is_some_and(|s| s.contains(&a)));
+                }
+                black_box(hits)
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Word-parallel `same_batch` vs the scalar per-pair loop, on the
+/// representative-scan wave shape (one left endpoint against consecutive
+/// partners) at adversary-grid through paper-scale universes.
+fn word_parallel_same_batch(c: &mut Criterion) {
+    let sizes: &[usize] = if smoke() {
+        &[10_000]
+    } else {
+        &[10_000, 100_000, 1_000_000]
+    };
+    let mut group = c.benchmark_group("substrate_same_batch");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(if smoke() { 1 } else { 2 }));
+    for &n in sizes {
+        let k = 100u32;
+        let mut rng = Xoshiro256StarStar::seed_from_u64(7);
+        let labels: Vec<u32> = (0..n).map(|_| rng.below(k as usize) as u32).collect();
+        let wave: Vec<(usize, usize)> = (1..n).map(|b| (0, b)).collect();
+        let packed = LabelOracle::new(labels.clone());
+        let scalar = ScalarOnlyOracle(LabelOracle::new(labels));
+
+        // Identity gate before timing: the two paths must answer the wave
+        // identically, or the comparison is meaningless.
+        assert_eq!(packed.same_batch(&wave), scalar.same_batch(&wave));
+
+        group.bench_with_input(BenchmarkId::new("packed_wave", n), &wave, |bench, wave| {
+            bench.iter(|| black_box(packed.same_batch(wave).len()));
+        });
+        group.bench_with_input(BenchmarkId::new("scalar_wave", n), &wave, |bench, wave| {
+            bench.iter(|| black_box(scalar.same_batch(wave).len()));
+        });
+    }
+    group.finish();
+}
+
+/// Packed class export ([`UnionFind::classes_as_bitrows`]) vs the
+/// `Vec<Vec<usize>>` group export, on a forest merged down to the small
+/// class count the row view is built for (`k` equivalence classes, the
+/// regime the coloring/SCC/batch consumers operate in). The row view is a
+/// `k x n` bit matrix, so it is only sensible — and only benchmarked — at
+/// small `k`.
+fn class_export(c: &mut Criterion) {
+    let sizes: &[usize] = if smoke() {
+        &[10_000]
+    } else {
+        &[10_000, 100_000]
+    };
+    let k = 64usize;
+    let mut group = c.benchmark_group("substrate_class_export");
+    for &n in sizes {
+        let mut uf = UnionFind::new(n);
+        for i in k..n {
+            // Chain unions within each residue class mod k: exactly k
+            // classes, with non-trivial trees rather than stars.
+            uf.union(i, i - k);
+        }
+        assert_eq!(uf.num_sets(), k);
+        group.bench_with_input(BenchmarkId::new("bitrows", n), &(), |bench, _| {
+            bench.iter(|| {
+                let mut uf = uf.clone();
+                black_box(uf.classes_as_bitrows().len())
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("groups", n), &(), |bench, _| {
+            bench.iter(|| {
+                let mut uf = uf.clone();
+                black_box(uf.groups().len())
+            });
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     union_find,
     scc,
     hamiltonian,
     er_scheduling,
-    rng_throughput
+    rng_throughput,
+    pair_graph,
+    word_parallel_same_batch,
+    class_export
 );
 criterion_main!(benches);

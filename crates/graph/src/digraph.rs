@@ -63,6 +63,13 @@ impl DiGraph {
         self.adj[u].iter().map(|&v| v as usize)
     }
 
+    /// Out-neighbours of `u` as the packed backing slice — the zero-copy
+    /// access the traversals use so a DFS frame indexes the adjacency
+    /// directly instead of collecting an iterator per visit.
+    pub fn neighbor_slice(&self, u: usize) -> &[u32] {
+        &self.adj[u]
+    }
+
     /// Out-degree of `u`.
     pub fn out_degree(&self, u: usize) -> usize {
         self.adj[u].len()

@@ -8,6 +8,11 @@
 //!
 //! * [`UnionFind`] — disjoint sets with union by size and path compression,
 //!   the bookkeeping structure used to aggregate discovered equivalences.
+//! * [`bitset`] — the packed substrates: [`PairBitset`], one bit per
+//!   unordered pair in a flat upper-triangular word array, and [`BitRow`],
+//!   a flat per-element bit set. The adversary knowledge graph, the
+//!   union-find class views, and the word-parallel `same_batch` oracle path
+//!   are all built on these.
 //! * [`DiGraph`] — a compact adjacency-list directed graph.
 //! * [`scc`] — Tarjan's and Kosaraju's strongly connected component
 //!   algorithms (both, so they can cross-validate each other in tests).
@@ -20,6 +25,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bitset;
 pub mod coloring;
 pub mod connected;
 pub mod digraph;
@@ -27,6 +33,7 @@ pub mod hamiltonian;
 pub mod scc;
 pub mod union_find;
 
+pub use bitset::{coord_to_idx, BitRow, PairBitset};
 pub use coloring::{EquitableColoring, WeightedEquitableColoring};
 pub use connected::connected_components;
 pub use digraph::DiGraph;

@@ -8,6 +8,7 @@
 //! implementations are provided — an iterative Tarjan and a Kosaraju — so the
 //! test-suite can cross-validate them on random graphs.
 
+use crate::bitset::BitRow;
 use crate::DiGraph;
 
 /// Computes strongly connected components with an iterative Tarjan algorithm.
@@ -23,7 +24,7 @@ pub fn tarjan_scc(graph: &DiGraph) -> Vec<Vec<usize>> {
 
     let mut index = vec![UNVISITED; n];
     let mut lowlink = vec![0u32; n];
-    let mut on_stack = vec![false; n];
+    let mut on_stack = BitRow::new(n);
     let mut stack: Vec<u32> = Vec::new();
     let mut next_index = 0u32;
     let mut components: Vec<Vec<usize>> = Vec::new();
@@ -46,21 +47,21 @@ pub fn tarjan_scc(graph: &DiGraph) -> Vec<Vec<usize>> {
                     lowlink[v] = next_index;
                     next_index += 1;
                     stack.push(v as u32);
-                    on_stack[v] = true;
+                    on_stack.set(v);
                     call_stack.push(Frame::Resume(v, 0));
                 }
                 Frame::Resume(v, mut cursor) => {
-                    let neighbors: Vec<usize> = graph.neighbors(v).collect();
+                    let neighbors = graph.neighbor_slice(v);
                     let mut descended = false;
                     while cursor < neighbors.len() {
-                        let w = neighbors[cursor];
+                        let w = neighbors[cursor] as usize;
                         cursor += 1;
                         if index[w] == UNVISITED {
                             call_stack.push(Frame::Resume(v, cursor));
                             call_stack.push(Frame::Enter(w));
                             descended = true;
                             break;
-                        } else if on_stack[w] {
+                        } else if on_stack.test(w) {
                             lowlink[v] = lowlink[v].min(index[w]);
                         }
                     }
@@ -72,7 +73,7 @@ pub fn tarjan_scc(graph: &DiGraph) -> Vec<Vec<usize>> {
                         let mut component = Vec::new();
                         loop {
                             let w = stack.pop().expect("tarjan stack underflow") as usize;
-                            on_stack[w] = false;
+                            on_stack.clear(w);
                             component.push(w);
                             if w == v {
                                 break;
@@ -101,21 +102,21 @@ pub fn tarjan_scc(graph: &DiGraph) -> Vec<Vec<usize>> {
 pub fn kosaraju_scc(graph: &DiGraph) -> Vec<Vec<usize>> {
     let n = graph.num_vertices();
     // First pass: iterative DFS on the original graph recording finish order.
-    let mut visited = vec![false; n];
+    let mut visited = BitRow::new(n);
     let mut finish_order: Vec<usize> = Vec::with_capacity(n);
     for root in 0..n {
-        if visited[root] {
+        if visited.test(root) {
             continue;
         }
         let mut stack: Vec<(usize, usize)> = vec![(root, 0)];
-        visited[root] = true;
+        visited.set(root);
         while let Some(&mut (v, ref mut cursor)) = stack.last_mut() {
-            let neighbors: Vec<usize> = graph.neighbors(v).collect();
+            let neighbors = graph.neighbor_slice(v);
             if *cursor < neighbors.len() {
-                let w = neighbors[*cursor];
+                let w = neighbors[*cursor] as usize;
                 *cursor += 1;
-                if !visited[w] {
-                    visited[w] = true;
+                if !visited.test(w) {
+                    visited.set(w);
                     stack.push((w, 0));
                 }
             } else {

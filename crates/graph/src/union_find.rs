@@ -1,4 +1,13 @@
 //! Disjoint-set union (union-find) with union by size and path compression.
+//!
+//! The parent array is packed (`Vec<u32>`), `find` is iterative path halving
+//! with no allocation on any path (pinned by the workspace test
+//! `tests/union_find_alloc.rs`), and the partition exports
+//! ([`UnionFind::groups`], [`UnionFind::labels`],
+//! [`UnionFind::classes_as_bitrows`]) run on flat sentinel vectors instead of
+//! hash maps.
+
+use crate::bitset::BitRow;
 
 /// A disjoint-set forest over elements `0..n`.
 ///
@@ -113,19 +122,20 @@ impl UnionFind {
 
     /// Exports the partition as a list of groups (each a sorted list of
     /// element indices). Groups are ordered by their smallest element.
+    ///
+    /// Two flat passes over a sentinel label vector — elements arrive in
+    /// ascending order, so each group comes out sorted and groups are born
+    /// ordered by smallest member; no hashing, no sorting.
     pub fn groups(&mut self) -> Vec<Vec<usize>> {
-        let n = self.len();
-        let mut by_root: std::collections::HashMap<usize, Vec<usize>> =
-            std::collections::HashMap::new();
-        for x in 0..n {
-            let r = self.find(x);
-            by_root.entry(r).or_default().push(x);
+        let labels = self.labels();
+        let mut sizes = vec![0usize; self.num_sets];
+        for &l in &labels {
+            sizes[l] += 1;
         }
-        let mut groups: Vec<Vec<usize>> = by_root.into_values().collect();
-        for g in &mut groups {
-            g.sort_unstable();
+        let mut groups: Vec<Vec<usize>> = sizes.iter().map(|&s| Vec::with_capacity(s)).collect();
+        for (x, &l) in labels.iter().enumerate() {
+            groups[l].push(x);
         }
-        groups.sort_by_key(|g| g[0]);
         groups
     }
 
@@ -133,20 +143,35 @@ impl UnionFind {
     /// numbered by order of each group's smallest element.
     pub fn labels(&mut self) -> Vec<usize> {
         let n = self.len();
-        let mut label_of_root: std::collections::HashMap<usize, usize> =
-            std::collections::HashMap::new();
+        let mut label_of_root = vec![usize::MAX; n];
         let mut labels = vec![usize::MAX; n];
         let mut next = 0usize;
         for (x, slot) in labels.iter_mut().enumerate() {
             let r = self.find(x);
-            let label = *label_of_root.entry(r).or_insert_with(|| {
-                let l = next;
+            if label_of_root[r] == usize::MAX {
+                label_of_root[r] = next;
                 next += 1;
-                l
-            });
-            *slot = label;
+            }
+            *slot = label_of_root[r];
         }
         labels
+    }
+
+    /// The partition as one [`BitRow`] per set: row `l` has bit `x` set iff
+    /// element `x` carries label `l` (labels as in [`UnionFind::labels`]).
+    ///
+    /// This is the packed view shared by the graph consumers — a class
+    /// membership test is a word load, and whole-class filters (coloring
+    /// candidate masks, SCC seed sets, Hamiltonian occupancy) intersect
+    /// against a row 64 elements per instruction instead of walking a
+    /// `Vec<usize>` member list.
+    pub fn classes_as_bitrows(&mut self) -> Vec<BitRow> {
+        let labels = self.labels();
+        let mut rows = vec![BitRow::new(self.len()); self.num_sets];
+        for (x, &l) in labels.iter().enumerate() {
+            rows[l].set(x);
+        }
+        rows
     }
 }
 
@@ -206,6 +231,29 @@ mod tests {
         assert_ne!(labels[0], labels[2]);
         let max = *labels.iter().max().unwrap();
         assert_eq!(max + 1, uf.num_sets());
+    }
+
+    #[test]
+    fn bitrows_mirror_groups() {
+        let mut uf = UnionFind::new(10);
+        uf.union(0, 4);
+        uf.union(4, 8);
+        uf.union(1, 9);
+        let rows = uf.classes_as_bitrows();
+        let groups = uf.groups();
+        assert_eq!(rows.len(), groups.len());
+        for (row, group) in rows.iter().zip(&groups) {
+            assert_eq!(row.ones(), *group);
+            assert_eq!(row.count_ones(), group.len());
+        }
+        // Rows are disjoint and cover every element.
+        let total: usize = rows.iter().map(|r| r.count_ones()).sum();
+        assert_eq!(total, 10);
+        for (i, a) in rows.iter().enumerate() {
+            for b in rows.iter().skip(i + 1) {
+                assert!(!a.intersects(b));
+            }
+        }
     }
 
     #[test]

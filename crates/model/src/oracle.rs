@@ -1,7 +1,17 @@
 //! Equivalence oracles: the only window an algorithm has onto the hidden
 //! classes.
+//!
+//! The ground-truth oracles answer `same_batch` waves **word-parallel** when
+//! the class structure is small enough to pack: the partition is lowered once
+//! (lazily) into one [`BitRow`] per class, and a wave that scans consecutive
+//! partners against a shared left endpoint — the shape emitted by
+//! representative-scan and merge-style algorithms — is answered 64 pairs per
+//! word fetch instead of one label compare per pair.
 
 use crate::instance::Instance;
+use crate::partition::Partition;
+use ecs_graph::BitRow;
+use std::sync::OnceLock;
 
 /// Answers pairwise equivalence tests.
 ///
@@ -48,7 +58,10 @@ pub trait EquivalenceOracle: Sync {
     /// committed state at round start, so a batch's answers do not depend on
     /// how the round was cut into waves or which thread asked first.
     fn same_batch(&self, pairs: &[(usize, usize)]) -> Vec<bool> {
-        pairs.iter().map(|&(a, b)| self.same(a, b)).collect()
+        // One exact allocation up front; the scalar loop fills it.
+        let mut answers = Vec::with_capacity(pairs.len());
+        answers.extend(pairs.iter().map(|&(a, b)| self.same(a, b)));
+        answers
     }
 
     /// Round-boundary hook: a [`crate::ComparisonSession`] calls this with
@@ -97,22 +110,134 @@ fn validate_pairs(n: usize, pairs: &[(usize, usize)]) {
     }
 }
 
+/// Ceiling on `num_classes * n` bits (16 MiB) for the packed class-row view;
+/// partitions denser than this answer batches with the scalar label loop.
+const CLASS_ROW_MAX_BITS: usize = 1 << 27;
+
+/// The packed class-row view behind the word-parallel batch path: the
+/// canonical label of every element plus one [`BitRow`] per class.
+#[derive(Debug, Clone)]
+struct ClassRows {
+    label_of: Vec<u32>,
+    rows: Vec<BitRow>,
+}
+
+impl ClassRows {
+    /// Lowers a partition into the packed view, or `None` when the row
+    /// matrix would exceed [`CLASS_ROW_MAX_BITS`].
+    fn build(partition: &Partition) -> Option<Self> {
+        if partition
+            .num_classes()
+            .saturating_mul(partition.len())
+            .max(partition.len())
+            > CLASS_ROW_MAX_BITS
+        {
+            return None;
+        }
+        Some(Self {
+            label_of: partition.labels().to_vec(),
+            rows: partition.class_rows(),
+        })
+    }
+
+    /// Answers a wave into `out`, validating inline in the same single pass
+    /// (the pair list is the dominant memory traffic of a large wave, so it
+    /// is walked exactly once). Pairs are grouped into runs that share a
+    /// left endpoint; within a run, maximal stretches of consecutive right
+    /// endpoints are answered from single 64-bit windows of the left
+    /// endpoint's class row — a whole-stretch bounds check stands in for the
+    /// per-pair one. Answers are exactly `labels[a] == labels[b]` pair for
+    /// pair, and out-of-range pairs panic with the same diagnostic as the
+    /// scalar loop.
+    fn answer_wave(&self, n: usize, pairs: &[(usize, usize)], out: &mut Vec<bool>) {
+        let mut i = 0;
+        while i < pairs.len() {
+            let a = pairs[i].0;
+            let mut j = i + 1;
+            while j < pairs.len() && pairs[j].0 == a {
+                j += 1;
+            }
+            // Validate the run's left endpoint against its first partner, so
+            // an out-of-range `a` reports the pair the scalar loop would.
+            validate_pair(n, a, pairs[i].1);
+            let row = &self.rows[self.label_of[a] as usize];
+            let mut k = i;
+            while k < j {
+                let b0 = pairs[k].1;
+                // Probe a full 64-wide window branchlessly first: the `&=`
+                // fold has no early exit, so the consecutiveness check over
+                // the common scan/merge wave shape vectorises instead of
+                // comparing pair by pair.
+                if j - k >= 64 && b0 < n && 64 <= n - b0 {
+                    let window = &pairs[k..k + 64];
+                    let mut consecutive = true;
+                    for (t, p) in window.iter().enumerate() {
+                        consecutive &= p.1 == b0 + t;
+                    }
+                    let self_free = !(b0 <= a && a < b0 + 64);
+                    if consecutive && (self_free || !cfg!(debug_assertions)) {
+                        let word = row.extract_word(b0);
+                        out.extend((0..64u32).map(|t| (word >> t) & 1 == 1));
+                        k += 64;
+                        continue;
+                    }
+                }
+                let mut m = k + 1;
+                while m < j && m - k < 64 && pairs[m].1 == b0 + (m - k) {
+                    m += 1;
+                }
+                let stretch = m - k;
+                let in_bounds = b0 < n && stretch <= n - b0;
+                // In debug builds a stretch containing `a` itself takes the
+                // scalar path so the self-comparison debug assert fires on
+                // the exact offending pair.
+                let self_free = !(b0 <= a && a < b0 + stretch);
+                if stretch >= 8 && in_bounds && (self_free || !cfg!(debug_assertions)) {
+                    // A consecutive in-bounds stretch: one unaligned window
+                    // fetch answers up to 64 partners.
+                    let word = row.extract_word(b0);
+                    out.extend((0..stretch).map(|t| (word >> t) & 1 == 1));
+                } else {
+                    for &(_, b) in &pairs[k..m] {
+                        validate_pair(n, a, b);
+                        out.push(row.test(b));
+                    }
+                }
+                k = m;
+            }
+            i = j;
+        }
+    }
+}
+
 /// The straightforward oracle that answers from an [`Instance`]'s ground
 /// truth.
 #[derive(Debug, Clone)]
 pub struct InstanceOracle<'a> {
     instance: &'a Instance,
+    /// Lazily-built packed class rows (`None` inside once built = partition
+    /// too large to pack; unset = not attempted yet).
+    rows: OnceLock<Option<ClassRows>>,
 }
 
 impl<'a> InstanceOracle<'a> {
     /// Wraps an instance.
     pub fn new(instance: &'a Instance) -> Self {
-        Self { instance }
+        Self {
+            instance,
+            rows: OnceLock::new(),
+        }
     }
 
     /// The wrapped instance.
     pub fn instance(&self) -> &'a Instance {
         self.instance
+    }
+
+    fn class_rows(&self) -> Option<&ClassRows> {
+        self.rows
+            .get_or_init(|| ClassRows::build(self.instance.ground_truth()))
+            .as_ref()
     }
 }
 
@@ -127,13 +252,19 @@ impl EquivalenceOracle for InstanceOracle<'_> {
     }
 
     fn same_batch(&self, pairs: &[(usize, usize)]) -> Vec<bool> {
-        // Validate the whole wave up front, then answer it in one unchecked
-        // pass over the ground truth.
-        validate_pairs(self.instance.n(), pairs);
-        pairs
-            .iter()
-            .map(|&(a, b)| self.instance.same_class(a, b))
-            .collect()
+        // Word-parallel against the packed class rows when the partition
+        // fits (validation folded into the single wave pass); otherwise one
+        // validation pass plus one scalar pass over the ground truth.
+        let n = self.instance.n();
+        let mut answers = Vec::with_capacity(pairs.len());
+        match self.class_rows() {
+            Some(rows) => rows.answer_wave(n, pairs, &mut answers),
+            None => {
+                validate_pairs(n, pairs);
+                answers.extend(pairs.iter().map(|&(a, b)| self.instance.same_class(a, b)));
+            }
+        }
+        answers
     }
 }
 
@@ -145,12 +276,24 @@ impl EquivalenceOracle for InstanceOracle<'_> {
 #[derive(Debug, Clone)]
 pub struct LabelOracle {
     labels: Vec<u32>,
+    /// Lazily-built packed class rows over the canonicalised labels (raw
+    /// labels are arbitrary `u32`s, so they are compacted first).
+    rows: OnceLock<Option<ClassRows>>,
 }
 
 impl LabelOracle {
     /// Builds the oracle from raw labels.
     pub fn new(labels: Vec<u32>) -> Self {
-        Self { labels }
+        Self {
+            labels,
+            rows: OnceLock::new(),
+        }
+    }
+
+    fn class_rows(&self) -> Option<&ClassRows> {
+        self.rows
+            .get_or_init(|| ClassRows::build(&Partition::from_labels(&self.labels)))
+            .as_ref()
     }
 }
 
@@ -165,13 +308,19 @@ impl EquivalenceOracle for LabelOracle {
     }
 
     fn same_batch(&self, pairs: &[(usize, usize)]) -> Vec<bool> {
-        // One validation pass over the wave, then a straight answer pass
-        // over the label vector.
-        validate_pairs(self.labels.len(), pairs);
-        pairs
-            .iter()
-            .map(|&(a, b)| self.labels[a] == self.labels[b])
-            .collect()
+        // Word-parallel against the packed class rows when they fit
+        // (validation folded into the single wave pass); otherwise one
+        // validation pass plus one scalar pass over the labels.
+        let n = self.labels.len();
+        let mut answers = Vec::with_capacity(pairs.len());
+        match self.class_rows() {
+            Some(rows) => rows.answer_wave(n, pairs, &mut answers),
+            None => {
+                validate_pairs(n, pairs);
+                answers.extend(pairs.iter().map(|&(a, b)| self.labels[a] == self.labels[b]));
+            }
+        }
+        answers
     }
 }
 
@@ -278,5 +427,55 @@ mod tests {
     fn same_batch_validates_the_whole_wave() {
         let oracle = LabelOracle::new(vec![1, 2]);
         let _ = oracle.same_batch(&[(0, 1), (0, 2)]);
+    }
+
+    #[test]
+    fn word_parallel_waves_match_the_scalar_loop() {
+        // Exercise every shape the run detector distinguishes: long
+        // consecutive stretches (word fetches, crossing word boundaries),
+        // short stretches (scalar tests), scattered partners, repeated left
+        // endpoints, and descending partners.
+        let mut rng = Xoshiro256StarStar::seed_from_u64(77);
+        let inst = Instance::balanced(300, 9, &mut rng);
+        let labels: Vec<u32> = inst.ground_truth().labels().to_vec();
+        let instance_oracle = InstanceOracle::new(&inst);
+        let label_oracle = LabelOracle::new(labels);
+
+        let mut pairs: Vec<(usize, usize)> = Vec::new();
+        pairs.extend((1..200).map(|b| (0, b))); // long consecutive run
+        pairs.extend([(0, 250), (0, 251), (0, 252)]); // short stretch
+        pairs.extend([(5, 60), (5, 7), (5, 200), (5, 199), (5, 198)]); // scattered + descending
+        pairs.extend((100..170).map(|b| (42, b))); // run crossing word boundaries
+        pairs.extend([(7, 8), (9, 10), (7, 8)]); // repeats, changing left endpoint
+
+        let scalar: Vec<bool> = pairs
+            .iter()
+            .map(|&(a, b)| instance_oracle.same(a, b))
+            .collect();
+        assert_eq!(instance_oracle.same_batch(&pairs), scalar);
+        assert_eq!(label_oracle.same_batch(&pairs), scalar);
+    }
+
+    #[test]
+    fn word_parallel_path_compacts_arbitrary_labels() {
+        // Raw labels are sparse u32s; the packed rows must be built over the
+        // canonicalised labels, not indexed by the raw values.
+        let labels: Vec<u32> = (0..256).map(|i| 1_000_000 + (i % 5) * 7_919).collect();
+        let oracle = LabelOracle::new(labels.clone());
+        let pairs: Vec<(usize, usize)> = (0..255).map(|b| (0, b + 1)).collect();
+        let expected: Vec<bool> = pairs.iter().map(|&(a, b)| labels[a] == labels[b]).collect();
+        assert_eq!(oracle.same_batch(&pairs), expected);
+    }
+
+    #[test]
+    fn oversized_partitions_fall_back_to_the_scalar_path() {
+        // Force the CLASS_ROW_MAX_BITS gate: all-singleton labels make
+        // num_classes * n quadratic.
+        let n = 20_000usize; // 20k classes * 20k elements = 4e8 bits > 2^27
+        let labels: Vec<u32> = (0..n as u32).collect();
+        let oracle = LabelOracle::new(labels);
+        assert!(oracle.class_rows().is_none());
+        let pairs = [(0usize, 1usize), (5, 5000), (19_998, 19_999)];
+        assert_eq!(oracle.same_batch(&pairs), vec![false, false, false]);
     }
 }

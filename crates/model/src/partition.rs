@@ -1,5 +1,7 @@
 //! Canonical partitions of `0..n` into equivalence classes.
 
+use ecs_graph::BitRow;
+
 /// A partition of the elements `0..n` into equivalence classes, stored as a
 /// dense label per element and canonicalised so that labels are numbered by
 /// first occurrence (element 0 always has label 0, the first element with a
@@ -119,6 +121,18 @@ impl Partition {
     pub fn labels(&self) -> &[u32] {
         &self.labels
     }
+
+    /// The classes as packed bit rows: row `l` has bit `e` set iff element
+    /// `e` carries canonical label `l`. This is the view the word-parallel
+    /// `same_batch` oracle path intersects against — membership of 64
+    /// consecutive elements in a class is one word fetch.
+    pub fn class_rows(&self) -> Vec<BitRow> {
+        let mut rows = vec![BitRow::new(self.len()); self.num_classes];
+        for (e, &l) in self.labels.iter().enumerate() {
+            rows[l as usize].set(e);
+        }
+        rows
+    }
 }
 
 #[cfg(test)]
@@ -187,6 +201,18 @@ mod tests {
         assert_eq!(p.class_sizes(), vec![3, 2, 1]);
         assert_eq!(p.smallest_class_size(), 1);
         assert_eq!(p.largest_class_size(), 3);
+    }
+
+    #[test]
+    fn class_rows_mirror_groups() {
+        let p = Partition::from_labels(&[0, 0, 1, 0, 2, 1, 2]);
+        let rows = p.class_rows();
+        assert_eq!(rows.len(), p.num_classes());
+        for (row, group) in rows.iter().zip(p.groups()) {
+            assert_eq!(row.ones(), group);
+        }
+        let total: usize = rows.iter().map(|r| r.count_ones()).sum();
+        assert_eq!(total, p.len());
     }
 
     proptest! {

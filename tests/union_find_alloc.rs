@@ -1,0 +1,73 @@
+//! Pins the allocation-free guarantee of the union-find hot path: `find`,
+//! `find_immutable`, `same_set`, and `union` never touch the heap.
+//!
+//! The packed parent array makes every hot-path operation a pure in-place
+//! walk; a regression that reintroduces a per-`find` allocation (a recursion
+//! buffer, an iterator collect, a hash probe) shows up here as a nonzero
+//! allocation delta rather than as a silent slowdown.
+
+use ecs_graph::UnionFind;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// The system allocator with a global allocation counter bolted on.
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+fn allocations() -> usize {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+#[test]
+fn find_union_and_same_set_never_allocate() {
+    let n = 4096;
+    let mut uf = UnionFind::new(n);
+    // Pre-tangle the forest so finds actually walk and halve paths.
+    for i in 0..n - 1 {
+        uf.union(i, i + 1);
+    }
+    let mut uf2 = UnionFind::new(n);
+
+    let before = allocations();
+    let mut checksum = 0usize;
+    for i in 0..n {
+        checksum ^= uf.find(i);
+        checksum ^= uf.find_immutable(n - 1 - i);
+    }
+    for i in 0..n - 1 {
+        checksum ^= usize::from(uf.same_set(i, i + 1));
+    }
+    for i in (0..n - 1).step_by(2) {
+        uf2.union(i, i + 1);
+    }
+    for i in 0..n {
+        checksum ^= uf2.find(i);
+    }
+    let after = allocations();
+
+    assert_eq!(
+        after - before,
+        0,
+        "union-find hot path allocated (checksum {checksum})"
+    );
+}
