@@ -45,6 +45,13 @@ pub enum Mark {
 /// Two implementations exist: the packed [`AdversaryCore`] (production) and
 /// the pointer-based [`crate::legacy::LegacyCore`] retained as the reference
 /// for the substrate-parity suite and the packed-vs-pointer benchmarks.
+///
+/// Besides answering and charging, the state versions its knowledge: every
+/// element carries the **commit epoch** at which its class membership, mark,
+/// or incident known-unequal edges last changed. The incremental plan cache
+/// in [`crate::RoundCommit`] keys its entries on these epochs — an entry
+/// whose endpoints' epochs are unchanged is reused verbatim instead of being
+/// replayed.
 pub trait AdversaryState {
     /// Number of elements.
     fn n(&self) -> usize;
@@ -55,6 +62,77 @@ pub trait AdversaryState {
 
     /// Charges one served query (cost counter and optional transcript).
     fn record(&mut self, a: usize, b: usize, answer: bool);
+
+    /// The monotone commit counter: bumped once per
+    /// [`AdversaryState::commit_round`].
+    fn commit_epoch(&self) -> u64;
+
+    /// The commit epoch at which `elem`'s knowledge (class membership, mark,
+    /// or incident known-unequal edges recorded on it as a queried endpoint)
+    /// last changed. Zero until the element's first change is committed.
+    fn epoch_of(&self, elem: usize) -> u64;
+
+    /// Seals the answers planned since the previous commit: bumps the commit
+    /// epoch, stamps every element whose knowledge changed in the window,
+    /// and returns that dirty set (each element at most once, in first-touch
+    /// order).
+    fn commit_round(&mut self) -> &[usize];
+}
+
+/// The per-element knowledge-epoch bookkeeping behind the incremental plan
+/// cache, shared by both [`AdversaryState`] substrates so their epoch
+/// streams stay bit-identical: a monotone commit counter, the epoch at which
+/// each element last changed, and the dirty set accumulated since the last
+/// commit (deduplicated through a bit row).
+#[derive(Debug)]
+pub(crate) struct EpochTracker {
+    commit_epoch: u64,
+    elem_epoch: Vec<u64>,
+    /// Elements touched since the last commit, in first-touch order.
+    pending: Vec<usize>,
+    /// Dedup mask over `pending`.
+    pending_mask: BitRow,
+    /// The most recent commit's dirty set, handed back by `commit`.
+    last_dirty: Vec<usize>,
+}
+
+impl EpochTracker {
+    pub(crate) fn new(n: usize) -> Self {
+        Self {
+            commit_epoch: 0,
+            elem_epoch: vec![0; n],
+            pending: Vec::new(),
+            pending_mask: BitRow::new(n),
+            last_dirty: Vec::new(),
+        }
+    }
+
+    /// Records that `elem`'s knowledge changed in the current window.
+    pub(crate) fn touch(&mut self, elem: usize) {
+        if self.pending_mask.set(elem) {
+            self.pending.push(elem);
+        }
+    }
+
+    pub(crate) fn commit_epoch(&self) -> u64 {
+        self.commit_epoch
+    }
+
+    pub(crate) fn epoch_of(&self, elem: usize) -> u64 {
+        self.elem_epoch[elem]
+    }
+
+    /// Bumps the epoch, stamps the pending dirty set, and returns it.
+    pub(crate) fn commit(&mut self) -> &[usize] {
+        self.commit_epoch += 1;
+        for &e in &self.pending {
+            self.elem_epoch[e] = self.commit_epoch;
+            self.pending_mask.clear(e);
+        }
+        std::mem::swap(&mut self.pending, &mut self.last_dirty);
+        self.pending.clear();
+        &self.last_dirty
+    }
 }
 
 /// The adversary's mutable state. The public adversary types wrap this (via
@@ -105,6 +183,8 @@ pub struct AdversaryCore {
     swaps: u64,
     /// Optional record of every served query, for consistency audits.
     transcript: Option<Transcript>,
+    /// Per-element knowledge epochs for the incremental plan cache.
+    epochs: EpochTracker,
 }
 
 impl AdversaryCore {
@@ -160,6 +240,7 @@ impl AdversaryCore {
             marked_elements: 0,
             swaps: 0,
             transcript: None,
+            epochs: EpochTracker::new(n),
         }
     }
 
@@ -283,20 +364,20 @@ impl AdversaryCore {
     }
 
     fn set_mark(&mut self, element: usize, mark: Mark) {
-        match mark {
-            Mark::HighElementDegree => {
-                self.mark_degree.set(element);
-            }
-            Mark::HighColorDegree => {
-                self.mark_color.set(element);
-            }
+        let changed = match mark {
+            Mark::HighElementDegree => self.mark_degree.set(element),
+            Mark::HighColorDegree => self.mark_color.set(element),
             Mark::Both => {
-                self.mark_degree.set(element);
-                self.mark_color.set(element);
+                let degree = self.mark_degree.set(element);
+                let color = self.mark_color.set(element);
+                degree || color
             }
-        }
+        };
         if self.marked.set(element) {
             self.marked_elements += 1;
+        }
+        if changed {
+            self.epochs.touch(element);
         }
     }
 
@@ -390,6 +471,8 @@ impl AdversaryCore {
         self.members_mask[cb].clear(b);
         self.members_mask[cb].set(a);
         self.swaps += 1;
+        self.epochs.touch(a);
+        self.epochs.touch(b);
     }
 
     fn remove_member(&mut self, c: usize, e: usize) {
@@ -474,6 +557,13 @@ impl AdversaryCore {
         } else {
             self.add_edge(ra, rb);
         }
+        // A new fact was recorded (settled pairs returned early above): the
+        // queried endpoints' knowledge changed. Neighbours whose edges merely
+        // migrated in a contraction are deliberately *not* touched — their
+        // already-settled answers are eternal, so cache entries on them stay
+        // valid.
+        self.epochs.touch(a);
+        self.epochs.touch(b);
         same
     }
 }
@@ -489,6 +579,18 @@ impl AdversaryState for AdversaryCore {
 
     fn record(&mut self, a: usize, b: usize, answer: bool) {
         AdversaryCore::record(self, a, b, answer);
+    }
+
+    fn commit_epoch(&self) -> u64 {
+        self.epochs.commit_epoch()
+    }
+
+    fn epoch_of(&self, elem: usize) -> u64 {
+        self.epochs.epoch_of(elem)
+    }
+
+    fn commit_round(&mut self) -> &[usize] {
+        self.epochs.commit()
     }
 }
 
@@ -603,6 +705,42 @@ mod tests {
         core.set_mark(1, Mark::HighElementDegree);
         assert_eq!(core.mark_of(1), Some(Mark::Both));
         assert_eq!(core.marked_elements(), 2);
+    }
+
+    #[test]
+    fn epochs_stamp_only_changed_elements_at_commit() {
+        let mut core = AdversaryCore::new(&[2, 2], 1, None);
+        assert_eq!(core.commit_epoch(), 0);
+        assert!((0..4).all(|e| core.epoch_of(e) == 0));
+        let _ = core.answer(0, 2); // new fact: touches the queried endpoints
+        assert_eq!(core.epoch_of(0), 0, "epochs only move at commit");
+        let dirty = core.commit_round().to_vec();
+        assert_eq!(core.commit_epoch(), 1);
+        assert!(dirty.contains(&0) && dirty.contains(&2));
+        assert_eq!(core.epoch_of(0), 1);
+        assert_eq!(core.epoch_of(2), 1);
+        assert_eq!(core.epoch_of(1), 0, "untouched elements keep their epoch");
+        // Replaying the settled pair is a pure read: nothing new to stamp.
+        let _ = core.answer(0, 2);
+        assert!(core.commit_round().is_empty());
+        assert_eq!(core.commit_epoch(), 2);
+        assert_eq!(core.epoch_of(0), 1);
+    }
+
+    #[test]
+    fn swaps_dirty_the_partner_too() {
+        let mut core = AdversaryCore::new(&[5, 5, 5, 5], 5, None);
+        assert!(
+            !core.answer(0, 1),
+            "the probe should be deflected by a swap"
+        );
+        assert!(core.swaps() >= 1);
+        let dirty = core.commit_round().to_vec();
+        assert!(dirty.contains(&0) && dirty.contains(&1));
+        assert!(
+            dirty.len() >= 3,
+            "the swap partner's class membership changed too: {dirty:?}"
+        );
     }
 
     #[test]

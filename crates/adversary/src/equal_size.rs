@@ -3,7 +3,7 @@
 use crate::core_state::AdversaryCore;
 use crate::round_commit::RoundCommit;
 use crate::LowerBoundAdversary;
-use ecs_model::{EquivalenceOracle, Partition, Transcript};
+use ecs_model::{EquivalenceOracle, Partition, PlanStats, Transcript};
 use parking_lot::Mutex;
 
 /// An adaptive oracle that forces any correct equivalence class sorting
@@ -89,6 +89,19 @@ impl EqualSizeAdversary {
     /// sequential comparisons count as one round each).
     pub fn rounds_committed(&self) -> u64 {
         self.protocol.lock().rounds_committed()
+    }
+
+    /// Disables the incremental plan cache: every round eagerly replays all
+    /// of its pairs, like the pre-cache protocol. Observationally identical;
+    /// only [`EqualSizeAdversary::plan_stats`] can tell the modes apart.
+    pub fn with_full_replan(self) -> Self {
+        self.protocol.lock().force_full_replan();
+        self
+    }
+
+    /// The incremental planner's replay-count witness.
+    pub fn plan_stats(&self) -> PlanStats {
+        self.protocol.lock().plan_stats()
     }
 
     /// The partition the adversary has committed to.

@@ -13,9 +13,10 @@
 //! through the parity suite (a behavioral divergence is a bug in the packed
 //! port, not grounds to change this reference).
 
-use crate::core_state::{AdversaryState, Mark};
+use crate::core_state::{AdversaryState, EpochTracker, Mark};
 use crate::round_commit::RoundCommit;
 use ecs_graph::UnionFind;
+use ecs_model::PlanStats;
 use ecs_model::{EquivalenceOracle, Partition};
 use parking_lot::Mutex;
 use std::collections::{HashMap, HashSet};
@@ -36,6 +37,7 @@ pub struct LegacyCore {
     comparisons: u64,
     marked_elements: usize,
     swaps: u64,
+    epochs: EpochTracker,
 }
 
 impl LegacyCore {
@@ -77,6 +79,7 @@ impl LegacyCore {
             comparisons: 0,
             marked_elements: 0,
             swaps: 0,
+            epochs: EpochTracker::new(n),
         }
     }
 
@@ -147,6 +150,13 @@ impl LegacyCore {
     }
 
     fn set_mark(&mut self, element: usize, mark: Mark) {
+        // Epoch parity with the packed core: the element is dirtied exactly
+        // when the requested mark contributes a bit that was not already set.
+        let changed = match self.mark[element] {
+            None => true,
+            Some(Mark::Both) => false,
+            Some(existing) => existing != mark,
+        };
         match self.mark[element] {
             None => {
                 self.mark[element] = Some(mark);
@@ -156,6 +166,9 @@ impl LegacyCore {
                 self.mark[element] = Some(Mark::Both);
             }
             _ => {}
+        }
+        if changed {
+            self.epochs.touch(element);
         }
     }
 
@@ -239,6 +252,8 @@ impl LegacyCore {
         self.members[ca].push(b);
         self.members[cb].push(a);
         self.swaps += 1;
+        self.epochs.touch(a);
+        self.epochs.touch(b);
     }
 
     fn mark_whole_color(&mut self, color: usize) {
@@ -293,6 +308,10 @@ impl LegacyCore {
         } else {
             self.add_edge(ra, rb);
         }
+        // Same dirty rule as the packed core: a new fact dirties its queried
+        // endpoints; contraction-migrated neighbours keep their epochs.
+        self.epochs.touch(a);
+        self.epochs.touch(b);
         same
     }
 }
@@ -309,6 +328,18 @@ impl AdversaryState for LegacyCore {
     fn record(&mut self, a: usize, b: usize, answer: bool) {
         let _ = (a, b, answer);
         self.comparisons += 1;
+    }
+
+    fn commit_epoch(&self) -> u64 {
+        self.epochs.commit_epoch()
+    }
+
+    fn epoch_of(&self, elem: usize) -> u64 {
+        self.epochs.epoch_of(elem)
+    }
+
+    fn commit_round(&mut self) -> &[usize] {
+        self.epochs.commit()
     }
 }
 
@@ -383,6 +414,19 @@ impl LegacyAdversary {
         self.protocol.lock().rounds_committed()
     }
 
+    /// Disables the incremental plan cache: every round is eagerly
+    /// re-planned in full, as in the pre-cache protocol (the baseline the
+    /// replay-count witness and benches compare against).
+    pub fn with_full_replan(self) -> Self {
+        self.protocol.lock().force_full_replan();
+        self
+    }
+
+    /// The incremental planner's replay-count witness.
+    pub fn plan_stats(&self) -> PlanStats {
+        self.protocol.lock().plan_stats()
+    }
+
     /// Whether any protected-color element has been marked.
     pub fn protected_color_touched(&self) -> bool {
         self.protocol.lock().core().protected_color_touched()
@@ -452,6 +496,35 @@ mod tests {
                 packed.protected_color_touched(),
                 legacy.protected_color_touched(),
                 "sizes {sizes:?}"
+            );
+        }
+    }
+
+    /// The epoch streams must match pair for pair too: the plan cache keys
+    /// on them, so a divergence would let the substrates cache differently.
+    #[test]
+    fn epoch_streams_match_across_substrates() {
+        let sizes = vec![3usize, 7, 7, 7, 8];
+        let n: usize = sizes.iter().sum();
+        let mut packed = AdversaryCore::new(&sizes, 2, Some(0));
+        let mut legacy = LegacyCore::new(&sizes, 2, Some(0));
+        for a in 0..n {
+            for b in (a + 1)..n {
+                let _ = AdversaryState::answer(&mut packed, a, b);
+                let _ = AdversaryState::answer(&mut legacy, a, b);
+                assert_eq!(
+                    AdversaryState::commit_round(&mut packed),
+                    AdversaryState::commit_round(&mut legacy),
+                    "dirty sets diverged at ({a}, {b})"
+                );
+            }
+        }
+        assert_eq!(packed.commit_epoch(), legacy.commit_epoch());
+        for e in 0..n {
+            assert_eq!(
+                AdversaryState::epoch_of(&packed, e),
+                AdversaryState::epoch_of(&legacy, e),
+                "element {e}"
             );
         }
     }

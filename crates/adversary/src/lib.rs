@@ -51,12 +51,14 @@ pub mod core_state;
 pub mod equal_size;
 pub mod legacy;
 pub mod round_commit;
+pub mod search;
 pub mod smallest_class;
 
 pub use core_state::{AdversaryCore, AdversaryState, Mark};
 pub use equal_size::EqualSizeAdversary;
 pub use legacy::{LegacyAdversary, LegacyCore};
 pub use round_commit::{RoundCommit, PACKED_PLAN_MAX_N};
+pub use search::{SearchReport, SmallestClassSearch};
 pub use smallest_class::SmallestClassAdversary;
 
 use ecs_model::{EquivalenceOracle, Partition};

@@ -4,7 +4,7 @@
 use crate::core_state::AdversaryCore;
 use crate::round_commit::RoundCommit;
 use crate::LowerBoundAdversary;
-use ecs_model::{EquivalenceOracle, Partition, Transcript};
+use ecs_model::{EquivalenceOracle, Partition, PlanStats, Transcript};
 use parking_lot::Mutex;
 
 /// An adaptive oracle under which identifying any member of the smallest
@@ -100,6 +100,19 @@ impl SmallestClassAdversary {
     /// Comparison rounds committed through the round protocol.
     pub fn rounds_committed(&self) -> u64 {
         self.protocol.lock().rounds_committed()
+    }
+
+    /// Disables the incremental plan cache: every round eagerly replays all
+    /// of its pairs, like the pre-cache protocol. Observationally identical;
+    /// only [`SmallestClassAdversary::plan_stats`] can tell the modes apart.
+    pub fn with_full_replan(self) -> Self {
+        self.protocol.lock().force_full_replan();
+        self
+    }
+
+    /// The incremental planner's replay-count witness.
+    pub fn plan_stats(&self) -> PlanStats {
+        self.protocol.lock().plan_stats()
     }
 
     /// Whether any smallest-class element has been marked yet — the event

@@ -9,7 +9,9 @@
 //! push).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use ecs_adversary::{EqualSizeAdversary, LegacyAdversary};
+use ecs_adversary::{
+    EqualSizeAdversary, LegacyAdversary, SmallestClassAdversary, SmallestClassSearch,
+};
 use ecs_bench::runners::{theorem5_table, AdversaryAlgorithm};
 use ecs_bench::smoke;
 use ecs_core::{EcsAlgorithm, ErMergeSort};
@@ -162,5 +164,71 @@ fn grid_throughput(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, round_protocol, substrates, grid_throughput);
+/// Incremental plan cache vs the full-replan baseline on the repeat-heavy
+/// Theorem 6 adaptive-search workload (audit mode re-asks every earlier
+/// block's intra-block pairs each phase), gated on bit-identical histories —
+/// partition, forced comparisons, and session metrics — before timing.
+fn incremental_planning(c: &mut Criterion) {
+    let (n, ell, wave) = if smoke() { (96, 4, 16) } else { (384, 8, 32) };
+
+    let run = |full_replan: bool| {
+        let adversary = SmallestClassAdversary::new(n, ell);
+        let adversary = if full_replan {
+            adversary.with_full_replan()
+        } else {
+            adversary
+        };
+        let report = SmallestClassSearch::new(wave)
+            .with_audit()
+            .run(&adversary, ExecutionBackend::Sequential);
+        assert_eq!(report.partition, adversary.partition());
+        (
+            report.partition,
+            adversary.comparisons(),
+            report.metrics,
+            adversary.plan_stats(),
+        )
+    };
+
+    // Bit-identity gate: the two plan modes must produce the same history;
+    // only the replay-count witness may differ — and the incremental planner
+    // must actually replay fewer entries on this repeat-heavy workload.
+    let incremental = run(false);
+    let full = run(true);
+    assert_eq!(
+        (&incremental.0, incremental.1, &incremental.2),
+        (&full.0, full.1, &full.2),
+        "plan modes diverged at n={n}, ell={ell}, wave={wave}"
+    );
+    assert!(
+        incremental.3.replayed < full.3.replayed,
+        "incremental planning did not reduce replays: {:?} vs {:?}",
+        incremental.3,
+        full.3
+    );
+
+    let mut group = c.benchmark_group("incremental_planning");
+    group.sample_size(if smoke() { 3 } else { 10 });
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(if smoke() { 1 } else { 2 }));
+    group.bench_with_input(BenchmarkId::new("search_audit", "cached"), &(), |b, _| {
+        b.iter(|| black_box(run(false).1));
+    });
+    group.bench_with_input(
+        BenchmarkId::new("search_audit", "full_replan"),
+        &(),
+        |b, _| {
+            b.iter(|| black_box(run(true).1));
+        },
+    );
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    round_protocol,
+    substrates,
+    grid_throughput,
+    incremental_planning
+);
 criterion_main!(benches);

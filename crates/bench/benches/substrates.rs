@@ -8,7 +8,9 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ecs_bench::smoke;
-use ecs_graph::{tarjan_scc, DiGraph, HamiltonianUnion, PairBitset, UnionFind};
+use ecs_graph::{
+    scc_as_bitrows, tarjan_scc, DiGraph, EquitableColoring, HamiltonianUnion, PairBitset, UnionFind,
+};
 use ecs_model::schedule::schedule_er;
 use ecs_model::{EquivalenceOracle, LabelOracle};
 use ecs_rng::{EcsRng, SeedableEcsRng, Xoshiro256StarStar};
@@ -241,6 +243,41 @@ fn class_export(c: &mut Criterion) {
                 let mut uf = uf.clone();
                 black_box(uf.groups().len())
             });
+        });
+
+        // The coloring and SCC substrates gained the same packed row view;
+        // compare each against its `Vec`-based export in the same `k`-class
+        // regime (k residue-class cycles → exactly k components).
+        let coloring = EquitableColoring::balanced(n, k);
+        assert_eq!(coloring.classes_as_bitrows().len(), k);
+        group.bench_with_input(
+            BenchmarkId::new("coloring_bitrows", n),
+            &coloring,
+            |bench, coloring| {
+                bench.iter(|| black_box(coloring.classes_as_bitrows().len()));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("coloring_sizes", n),
+            &coloring,
+            |bench, coloring| {
+                bench.iter(|| black_box(coloring.class_sizes().len()));
+            },
+        );
+        let edges: Vec<(usize, usize)> = (0..n)
+            .map(|v| (v, if v + k < n { v + k } else { v % k }))
+            .collect();
+        let graph = DiGraph::from_edges(n, &edges);
+        assert_eq!(scc_as_bitrows(&graph).len(), k);
+        group.bench_with_input(
+            BenchmarkId::new("scc_bitrows", n),
+            &graph,
+            |bench, graph| {
+                bench.iter(|| black_box(scc_as_bitrows(graph).len()));
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("scc_groups", n), &graph, |bench, graph| {
+            bench.iter(|| black_box(tarjan_scc(graph).len()));
         });
     }
     group.finish();

@@ -115,6 +115,18 @@ pub fn theorem6_grid() -> Vec<(usize, usize)> {
     ]
 }
 
+/// The `(n, ℓ)` grid of the Theorem 6 *adaptive search* experiment (the
+/// `--search` table): the wave-parallel smallest-class search driven against
+/// the Theorem 6 adversary.
+pub fn search_grid() -> Vec<(usize, usize)> {
+    vec![(384, 4), (384, 8), (768, 8), (768, 16), (1_536, 16)]
+}
+
+/// The `ECS_BENCH_SMOKE` counterpart of [`search_grid`].
+pub fn search_smoke_grid() -> Vec<(usize, usize)> {
+    vec![(96, 4), (192, 8)]
+}
+
 /// A seconds-long `(n, f)` grid for `ECS_BENCH_SMOKE` runs of the Theorem 5
 /// experiment (CI runs the lower-bound binary twice for the backend
 /// byte-identity diff).
@@ -189,5 +201,8 @@ mod tests {
         assert!(theorem6_grid().iter().all(|&(n, l)| n > 2 * l));
         assert!(theorem5_smoke_grid().iter().all(|&(n, f)| n % f == 0));
         assert!(theorem6_smoke_grid().iter().all(|&(n, l)| n > 2 * l));
+        assert!(!search_grid().is_empty());
+        assert!(search_grid().iter().all(|&(n, l)| n > 2 * l));
+        assert!(search_smoke_grid().iter().all(|&(n, l)| n > 2 * l));
     }
 }

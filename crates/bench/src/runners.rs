@@ -1,7 +1,9 @@
 //! Measurement runners shared by the reproduction binaries.
 
 use crate::paper;
-use ecs_adversary::{EqualSizeAdversary, LowerBoundAdversary, SmallestClassAdversary};
+use ecs_adversary::{
+    EqualSizeAdversary, LowerBoundAdversary, SmallestClassAdversary, SmallestClassSearch,
+};
 use ecs_analysis::report::fmt_float;
 use ecs_analysis::{
     dominance_grid_with_backend, figure5_grid_with_backend, DominanceConfig, DominanceResult,
@@ -369,6 +371,120 @@ pub fn theorem6_table(
     )
 }
 
+/// One entry of the Theorem 6 adaptive-search roster: the wave-parallel
+/// [`SmallestClassSearch`] at a given block width, optionally with audit
+/// repeats.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SearchVariant {
+    /// The variant's report name.
+    pub name: &'static str,
+    /// Block width handed to [`SmallestClassSearch::new`].
+    pub wave: usize,
+    /// Whether audit repeats ([`SmallestClassSearch::with_audit`]) are on.
+    pub audit: bool,
+}
+
+/// The search roster driven by [`search_bounds_table`]: two wave widths of
+/// the plain block scan, plus the audit variant whose repeat-heavy rounds
+/// exercise the adversaries' incremental plan cache.
+pub fn search_variants() -> [SearchVariant; 3] {
+    [
+        SearchVariant {
+            name: "block-16",
+            wave: 16,
+            audit: false,
+        },
+        SearchVariant {
+            name: "block-64",
+            wave: 64,
+            audit: false,
+        },
+        SearchVariant {
+            name: "block-64-audit",
+            wave: 64,
+            audit: true,
+        },
+    ]
+}
+
+/// The Theorem 6 *adaptive search* table: every `(grid point, variant)` cell
+/// runs a [`SmallestClassSearch`] against a fresh [`SmallestClassAdversary`]
+/// as one independent throughput-pool job, reporting the forced comparisons
+/// next to the paper bound and the planner's replay-count witness. Rows are
+/// collected in job order, so the table is byte-identical for every `--jobs`
+/// selection.
+pub fn search_bounds_table(
+    grid: &[(usize, usize)],
+    variants: &[SearchVariant],
+    pool: &ThroughputPool,
+    backend: ExecutionBackend,
+) -> Table {
+    let mut table = Table::new(
+        "Theorem 6 — adaptive smallest-class search: forced comparisons vs Ω(n²/ℓ)",
+        &[
+            "search",
+            "n",
+            "ℓ",
+            "forced comparisons",
+            "n²/(64ℓ) (paper bound)",
+            "phases",
+            "found size",
+            "replayed",
+            "replayed / forced",
+        ],
+    );
+    let jobs: Vec<Job<'_, Vec<String>>> = grid
+        .iter()
+        .flat_map(|&(n, ell)| {
+            variants.iter().map(move |&variant| {
+                Box::new(move || {
+                    let adversary = SmallestClassAdversary::new(n, ell);
+                    let mut search = SmallestClassSearch::new(variant.wave);
+                    if variant.audit {
+                        search = search.with_audit();
+                    }
+                    let report = search.run(&adversary, backend);
+                    assert_eq!(
+                        report.partition,
+                        adversary.partition(),
+                        "{} (n = {n}, ℓ = {ell}) did not derive the adversary's \
+                         committed partition",
+                        variant.name
+                    );
+                    assert!(
+                        adversary.smallest_class_pinned(),
+                        "{} (n = {n}, ℓ = {ell}) finished without pinning the class",
+                        variant.name
+                    );
+                    let forced = adversary.comparisons();
+                    assert!(
+                        forced >= adversary.paper_lower_bound(),
+                        "{} (n = {n}, ℓ = {ell}): {forced} comparisons below the bound {}",
+                        variant.name,
+                        adversary.paper_lower_bound()
+                    );
+                    let stats = adversary.plan_stats();
+                    vec![
+                        variant.name.to_string(),
+                        n.to_string(),
+                        ell.to_string(),
+                        forced.to_string(),
+                        adversary.paper_lower_bound().to_string(),
+                        report.phases.to_string(),
+                        report.class_size.to_string(),
+                        stats.replayed.to_string(),
+                        fmt_float(stats.replayed as f64 / forced as f64),
+                    ]
+                }) as Job<'_, Vec<String>>
+            })
+        })
+        .collect();
+    for row in pool.run(jobs) {
+        table.push_row(row);
+    }
+    table
+}
+
 /// Renders a Theorem 7 dominance experiment result.
 ///
 /// The bound of Theorem 7 covers the cross-class tests (the `2·min(Y_i,Y_j)`
@@ -542,6 +658,73 @@ mod tests {
                 backend.label()
             );
         }
+    }
+
+    #[test]
+    fn search_table_runs_and_is_identical_across_pools() {
+        let grid = [(96usize, 4usize), (120, 5)];
+        let variants = [
+            SearchVariant {
+                name: "block-8",
+                wave: 8,
+                audit: false,
+            },
+            SearchVariant {
+                name: "block-8-audit",
+                wave: 8,
+                audit: true,
+            },
+        ];
+        let reference = search_bounds_table(
+            &grid,
+            &variants,
+            &ThroughputPool::from_jobs(1),
+            ExecutionBackend::Sequential,
+        );
+        assert_eq!(reference.num_rows(), grid.len() * variants.len());
+        let md = reference.to_markdown();
+        assert!(md.contains("block-8-audit"));
+        let pooled = search_bounds_table(
+            &grid,
+            &variants,
+            &ThroughputPool::from_jobs(3),
+            ExecutionBackend::Sequential,
+        );
+        assert_eq!(
+            pooled.to_markdown(),
+            md,
+            "search table diverged under the throughput pool"
+        );
+    }
+
+    #[test]
+    fn audit_variant_reuses_the_plan_cache_in_the_table() {
+        // The audit rows must show strictly fewer replays than served
+        // comparisons — the incremental-planning witness, straight from the
+        // rendered table. (The grid point must give the block-64 scan at
+        // least three phases: phase 1 plans an intra-block pair fresh, phase
+        // 2's audit revalidates it with a pure replay, and only from phase 3
+        // on is it served without any replay.)
+        let table = search_bounds_table(
+            &[(192, 8)],
+            &search_variants(),
+            &ThroughputPool::from_jobs(1),
+            ExecutionBackend::Sequential,
+        );
+        let md = table.to_markdown();
+        let audit_row: Vec<&str> = md
+            .lines()
+            .find(|l| l.contains("block-64-audit"))
+            .expect("audit row present")
+            .split('|')
+            .map(str::trim)
+            .collect();
+        let forced: u64 = audit_row[4].parse().expect("forced column");
+        let replayed: u64 = audit_row[8].parse().expect("replayed column");
+        assert!(
+            replayed < forced,
+            "audit workload should replay fewer entries than it serves: {md}"
+        );
     }
 
     #[test]

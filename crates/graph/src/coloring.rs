@@ -8,6 +8,8 @@
 //! This module provides the coloring containers and their invariant checks;
 //! the adversary's decision logic lives in the `ecs-adversary` crate.
 
+use crate::bitset::BitRow;
+
 /// An assignment of one of `k` colors to each of `n` unweighted vertices.
 ///
 /// An *equitable* `k`-coloring is a proper coloring in which every color class
@@ -81,6 +83,19 @@ impl EquitableColoring {
     /// The size of each color class.
     pub fn class_sizes(&self) -> Vec<usize> {
         self.members.iter().map(|m| m.len()).collect()
+    }
+
+    /// The color classes as packed membership rows: row `c` has bit `v` set
+    /// iff `color_of(v) == c`. Derived from the assignment on demand — the
+    /// [`EquitableColoring::members`] lists stay the primary, order-bearing
+    /// representation (their insertion order matters to `recolor`).
+    pub fn classes_as_bitrows(&self) -> Vec<BitRow> {
+        let n = self.num_vertices();
+        let mut rows: Vec<BitRow> = (0..self.num_colors()).map(|_| BitRow::new(n)).collect();
+        for (v, &c) in self.color_of.iter().enumerate() {
+            rows[c as usize].set(v);
+        }
+        rows
     }
 
     /// Reassigns vertex `v` to color `c`.
@@ -217,6 +232,22 @@ impl WeightedEquitableColoring {
     /// All class weights.
     pub fn class_weights(&self) -> &[u64] {
         &self.class_weight
+    }
+
+    /// The color classes as packed membership rows over the *live* vertices:
+    /// row `c` has bit `v` set iff `color_of(v) == c` and `v` still carries
+    /// weight. Zero-weight tombstones left behind by
+    /// [`WeightedEquitableColoring::merge_into`] are omitted, matching how
+    /// [`WeightedEquitableColoring::is_proper_for`] ignores them.
+    pub fn classes_as_bitrows(&self) -> Vec<BitRow> {
+        let n = self.num_vertices();
+        let mut rows: Vec<BitRow> = (0..self.num_colors()).map(|_| BitRow::new(n)).collect();
+        for (v, (&c, &w)) in self.color_of.iter().zip(&self.weight).enumerate() {
+            if w > 0 {
+                rows[c as usize].set(v);
+            }
+        }
+        rows
     }
 
     /// Moves vertex `v` to color `c`, updating class weights.
@@ -396,6 +427,39 @@ mod tests {
         assert!(w.is_proper_for(&[(2, 0)]), "tombstone edges are ignored");
         // A real same-color edge is still rejected.
         assert!(!w.is_proper_for(&[(1, 3)]));
+    }
+
+    #[test]
+    fn bitrows_mirror_member_lists() {
+        let mut c = EquitableColoring::balanced(9, 3);
+        c.swap_colors(0, 4);
+        c.recolor(7, 0);
+        let rows = c.classes_as_bitrows();
+        assert_eq!(rows.len(), c.num_colors());
+        for (color, row) in rows.iter().enumerate() {
+            assert_eq!(row.len(), c.num_vertices());
+            assert_eq!(row.count_ones(), c.members(color).len());
+            for v in 0..c.num_vertices() {
+                assert_eq!(row.test(v), c.members(color).contains(&(v as u32)));
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_bitrows_skip_tombstones() {
+        let mut w = WeightedEquitableColoring::balanced_unit(6, 2);
+        w.merge_into(0, 2); // 2 becomes a zero-weight tombstone with color 0
+        let rows = w.classes_as_bitrows();
+        assert_eq!(rows.len(), 2);
+        assert!(rows[0].test(0) && rows[0].test(4));
+        assert!(!rows[0].test(2), "tombstones are not class members");
+        assert_eq!(rows[0].count_ones(), 2);
+        assert_eq!(rows[1].count_ones(), 3);
+        for v in 0..6 {
+            if w.weight_of(v) > 0 {
+                assert!(rows[w.color_of(v)].test(v));
+            }
+        }
     }
 
     proptest! {

@@ -38,5 +38,5 @@ pub use coloring::{EquitableColoring, WeightedEquitableColoring};
 pub use connected::connected_components;
 pub use digraph::DiGraph;
 pub use hamiltonian::HamiltonianUnion;
-pub use scc::{kosaraju_scc, tarjan_scc};
+pub use scc::{component_labels, kosaraju_scc, scc_as_bitrows, tarjan_scc};
 pub use union_find::UnionFind;

@@ -11,14 +11,17 @@
 use crate::bitset::BitRow;
 use crate::DiGraph;
 
-/// Computes strongly connected components with an iterative Tarjan algorithm.
+/// The shared Tarjan pass behind every SCC export of this module: assigns
+/// each vertex a *canonical* component label (components are numbered by
+/// first appearance when scanning vertices in ascending order, i.e. by their
+/// smallest member) and returns the labels plus the component count.
+/// [`tarjan_scc`], [`component_labels`], and [`scc_as_bitrows`] are all thin
+/// adapters over this pass, so they agree with each other by construction.
 ///
-/// Returns the components as vectors of vertex indices; within a component the
-/// vertices are sorted, and components are ordered by their smallest vertex.
-/// The classic Tarjan emits components in reverse topological order, but the
-/// callers in this workspace treat components as unordered sets, so a
-/// deterministic canonical order is more useful.
-pub fn tarjan_scc(graph: &DiGraph) -> Vec<Vec<usize>> {
+/// The labels vector is the memory-light primary representation: `n` words
+/// regardless of how many components exist (a 200 000-singleton graph would
+/// cost quadratic memory as membership rows).
+fn tarjan_labels(graph: &DiGraph) -> (Vec<usize>, usize) {
     let n = graph.num_vertices();
     const UNVISITED: u32 = u32::MAX;
 
@@ -27,7 +30,10 @@ pub fn tarjan_scc(graph: &DiGraph) -> Vec<Vec<usize>> {
     let mut on_stack = BitRow::new(n);
     let mut stack: Vec<u32> = Vec::new();
     let mut next_index = 0u32;
-    let mut components: Vec<Vec<usize>> = Vec::new();
+    // Raw component ids in Tarjan emission order (reverse topological);
+    // canonicalized below.
+    let mut raw = vec![usize::MAX; n];
+    let mut raw_count = 0usize;
 
     // Explicit DFS state machine: (vertex, neighbour cursor).
     enum Frame {
@@ -70,17 +76,15 @@ pub fn tarjan_scc(graph: &DiGraph) -> Vec<Vec<usize>> {
                     }
                     // All neighbours processed: maybe emit a component.
                     if lowlink[v] == index[v] {
-                        let mut component = Vec::new();
                         loop {
                             let w = stack.pop().expect("tarjan stack underflow") as usize;
                             on_stack.clear(w);
-                            component.push(w);
+                            raw[w] = raw_count;
                             if w == v {
                                 break;
                             }
                         }
-                        component.sort_unstable();
-                        components.push(component);
+                        raw_count += 1;
                     }
                     // Propagate lowlink to the parent frame, if any.
                     if let Some(Frame::Resume(parent, _)) = call_stack.last() {
@@ -92,8 +96,54 @@ pub fn tarjan_scc(graph: &DiGraph) -> Vec<Vec<usize>> {
         }
     }
 
-    components.sort_by_key(|c| c[0]);
+    // Canonicalize: renumber components by their smallest vertex.
+    let mut canon = vec![usize::MAX; raw_count];
+    let mut labels = vec![0usize; n];
+    let mut next = 0usize;
+    for v in 0..n {
+        let r = raw[v];
+        if canon[r] == usize::MAX {
+            canon[r] = next;
+            next += 1;
+        }
+        labels[v] = canon[r];
+    }
+    (labels, raw_count)
+}
+
+/// Computes strongly connected components with an iterative Tarjan algorithm.
+///
+/// Returns the components as vectors of vertex indices; within a component the
+/// vertices are sorted, and components are ordered by their smallest vertex.
+/// The classic Tarjan emits components in reverse topological order, but the
+/// callers in this workspace treat components as unordered sets, so a
+/// deterministic canonical order is more useful. A thin adapter over the
+/// internal label pass shared with [`component_labels`] and
+/// [`scc_as_bitrows`].
+pub fn tarjan_scc(graph: &DiGraph) -> Vec<Vec<usize>> {
+    let (labels, count) = tarjan_labels(graph);
+    let mut components = vec![Vec::new(); count];
+    for (v, &label) in labels.iter().enumerate() {
+        components[label].push(v);
+    }
     components
+}
+
+/// The components of [`tarjan_scc`] as one packed [`BitRow`] membership mask
+/// per component, in the same canonical order (row `c` has bit `v` set iff
+/// `v` is in component `c`).
+///
+/// Costs `num_components × n` bits — on graphs that may decompose into very
+/// many small components, prefer [`component_labels`], which is `n` words no
+/// matter what.
+pub fn scc_as_bitrows(graph: &DiGraph) -> Vec<BitRow> {
+    let n = graph.num_vertices();
+    let (labels, count) = tarjan_labels(graph);
+    let mut rows: Vec<BitRow> = (0..count).map(|_| BitRow::new(n)).collect();
+    for (v, &label) in labels.iter().enumerate() {
+        rows[label].set(v);
+    }
+    rows
 }
 
 /// Computes strongly connected components with Kosaraju's two-pass algorithm.
@@ -156,16 +206,10 @@ pub fn kosaraju_scc(graph: &DiGraph) -> Vec<Vec<usize>> {
 }
 
 /// Returns, for each vertex, the index of its component in the output of
-/// [`tarjan_scc`].
+/// [`tarjan_scc`] — straight from the shared label pass, without
+/// materializing any membership lists.
 pub fn component_labels(graph: &DiGraph) -> Vec<usize> {
-    let components = tarjan_scc(graph);
-    let mut labels = vec![usize::MAX; graph.num_vertices()];
-    for (id, component) in components.iter().enumerate() {
-        for &v in component {
-            labels[v] = id;
-        }
-    }
-    labels
+    tarjan_labels(graph).0
 }
 
 #[cfg(test)]
@@ -261,6 +305,25 @@ mod tests {
     }
 
     #[test]
+    fn bitrows_agree_with_components() {
+        // All three adapters over the shared label pass must describe the
+        // same partition in the same canonical order.
+        let g = DiGraph::from_edges(8, &[(1, 2), (2, 1), (0, 1), (4, 5), (5, 6), (6, 4), (7, 7)]);
+        let components = tarjan_scc(&g);
+        let rows = scc_as_bitrows(&g);
+        let labels = component_labels(&g);
+        assert_eq!(rows.len(), components.len());
+        for (id, (component, row)) in components.iter().zip(&rows).enumerate() {
+            assert_eq!(row.len(), g.num_vertices());
+            assert_eq!(row.count_ones(), component.len());
+            for (v, &label) in labels.iter().enumerate() {
+                assert_eq!(row.test(v), component.contains(&v));
+                assert_eq!(row.test(v), label == id);
+            }
+        }
+    }
+
+    #[test]
     fn deep_chain_does_not_overflow_stack() {
         // 200k-vertex path: a recursive Tarjan would blow the stack here.
         let n = 200_000;
@@ -307,6 +370,23 @@ mod tests {
             let mut all: Vec<usize> = sccs.iter().flatten().copied().collect();
             all.sort_unstable();
             prop_assert_eq!(all, (0..n).collect::<Vec<_>>());
+        }
+
+        #[test]
+        fn bitrows_match_component_lists_on_random_graphs(
+            n in 1usize..40,
+            raw_edges in proptest::collection::vec((0usize..40, 0usize..40), 0..200)
+        ) {
+            let edges: Vec<(usize, usize)> =
+                raw_edges.into_iter().map(|(u, v)| (u % n, v % n)).collect();
+            let g = DiGraph::from_edges(n, &edges);
+            let components = tarjan_scc(&g);
+            let rows = scc_as_bitrows(&g);
+            prop_assert_eq!(rows.len(), components.len());
+            for (component, row) in components.iter().zip(&rows) {
+                let members: Vec<usize> = (0..n).filter(|&v| row.test(v)).collect();
+                prop_assert_eq!(&members, component);
+            }
         }
 
         #[test]

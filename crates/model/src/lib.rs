@@ -62,7 +62,7 @@ pub use backend::ExecutionBackend;
 pub use batching::BatchingOracle;
 pub use cancellation::{CancellableOracle, CancellationToken, Cancelled};
 pub use instance::Instance;
-pub use metrics::{Metrics, RoundSizeHistogram};
+pub use metrics::{Metrics, PlanStats, RoundSizeHistogram};
 pub use oracle::{EquivalenceOracle, InstanceOracle, LabelOracle};
 pub use partition::Partition;
 pub use session::{ComparisonSession, ReadMode};

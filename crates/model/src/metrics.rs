@@ -12,6 +12,55 @@ const HISTOGRAM_BUCKETS: usize = usize::BITS as usize + 2;
 /// exact trace available for every realistically-inspected run.
 pub const DEFAULT_ROUND_TRACE_LIMIT: usize = 4096;
 
+/// Replay-count witness of an incremental round planner.
+///
+/// An order-adaptive oracle that plans comparison rounds against committed
+/// state (the adversaries' round-commit protocol) reports here how much
+/// planning work each strategy actually did. These counters are *planner
+/// diagnostics*, deliberately kept out of [`Metrics`]: the charged cost of a
+/// run must stay bit-identical whether plans were cached or fully replayed,
+/// and `Metrics` equality is part of that contract.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct PlanStats {
+    /// Pair occurrences replayed through the planning case analysis (each
+    /// call into the underlying state's `answer`).
+    pub replayed: u64,
+    /// Queries served straight from a still-valid cache entry — an earlier
+    /// round's answer, or a repeat already planned this round — without a
+    /// fresh replay of their own pair.
+    pub cached: u64,
+    /// Cache entries dropped because an endpoint's knowledge epoch advanced
+    /// at a commit (the packed plan counts these eagerly at the commit; a
+    /// spilled plan validates lazily and counts an entry when a fresh replay
+    /// overwrites it).
+    pub invalidated: u64,
+}
+
+impl PlanStats {
+    /// The difference `self - earlier`, counter-wise: the planning work done
+    /// since `earlier` was sampled.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `earlier` is not component-wise `<= self`.
+    pub fn since(&self, earlier: &PlanStats) -> PlanStats {
+        PlanStats {
+            replayed: self
+                .replayed
+                .checked_sub(earlier.replayed)
+                .expect("earlier sample has more replays"),
+            cached: self
+                .cached
+                .checked_sub(earlier.cached)
+                .expect("earlier sample has more cache hits"),
+            invalidated: self
+                .invalidated
+                .checked_sub(earlier.invalidated)
+                .expect("earlier sample has more invalidations"),
+        }
+    }
+}
+
 /// A bounded summary of per-round comparison counts: rounds are bucketed by
 /// power-of-two size ranges (0, 1, 2, 3–4, 5–8, 9–16, ...), so the memory
 /// footprint is constant no matter how many rounds are charged.

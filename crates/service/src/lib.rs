@@ -55,6 +55,6 @@ pub mod server;
 
 pub use client::Client;
 pub use outbox::Outbox;
-pub use protocol::{AlgoSpec, BackendSpec, DistSpec, JobSpec, Request, Response};
+pub use protocol::{AlgoSpec, BackendSpec, DistSpec, JobSpec, Request, Response, TenantCounters};
 pub use scheduler::{Scheduler, SessionHandle};
 pub use server::{Daemon, DaemonConfig, DaemonHandle};

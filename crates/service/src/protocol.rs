@@ -326,6 +326,20 @@ impl Request {
     }
 }
 
+/// Per-tenant scheduler counters carried by [`Response::Status`], rendered
+/// on the wire as `tenants=name:queued:completed,...` (names have `:`, `,`,
+/// and `=` flattened to `_`, mirroring how `failed` flattens whitespace).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TenantCounters {
+    /// The fairness bucket (as billed by `submit tenant=`).
+    pub name: String,
+    /// This tenant's jobs still waiting for a fairness slot.
+    pub queued: usize,
+    /// This tenant's jobs finished — result, failure, or cancellation —
+    /// since the daemon started.
+    pub completed: u64,
+}
+
 /// A daemon-to-client response line.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Response {
@@ -369,6 +383,9 @@ pub enum Response {
         completed: u64,
         /// Whether the daemon is refusing new submits.
         draining: bool,
+        /// Per-tenant counters, in tenant-name order. Absent from older
+        /// daemons' lines, so parsing tolerates a missing field.
+        tenants: Vec<TenantCounters>,
     },
     /// Every job this session submitted has completed.
     Drained,
@@ -411,6 +428,28 @@ impl Response {
                 inflight: field("inflight")?.parse().map_err(|_| "bad inflight")?,
                 completed: field("completed")?.parse().map_err(|_| "bad completed")?,
                 draining: field("draining")?.parse().map_err(|_| "bad draining")?,
+                // Older daemons do not emit the field; treat absence as empty.
+                tenants: match field("tenants") {
+                    Ok(packed) => packed
+                        .split(',')
+                        .filter(|entry| !entry.is_empty())
+                        .map(|entry| {
+                            let mut parts = entry.rsplitn(3, ':');
+                            let completed = parts.next().and_then(|t| t.parse().ok());
+                            let queued = parts.next().and_then(|t| t.parse().ok());
+                            let name = parts.next();
+                            match (name, queued, completed) {
+                                (Some(name), Some(queued), Some(completed)) => Ok(TenantCounters {
+                                    name: name.to_string(),
+                                    queued,
+                                    completed,
+                                }),
+                                _ => Err(format!("bad tenant counters `{entry}`")),
+                            }
+                        })
+                        .collect::<Result<Vec<_>, _>>()?,
+                    Err(_) => Vec::new(),
+                },
             }),
             "drained" => Ok(Self::Drained),
             "bye" => Ok(Self::Bye),
@@ -429,16 +468,37 @@ impl Response {
             Self::Cancelled { id } => format!("cancelled id={id}"),
             Self::Cancelling { id } => format!("cancelling id={id}"),
             Self::Failed { id, message } => {
-                format!("failed id={id} message={}", message.replace(char::is_whitespace, "_"))
+                format!(
+                    "failed id={id} message={}",
+                    message.replace(char::is_whitespace, "_")
+                )
             }
             Self::Status {
                 queued,
                 inflight,
                 completed,
                 draining,
-            } => format!(
-                "status queued={queued} inflight={inflight} completed={completed} draining={draining}"
-            ),
+                tenants,
+            } => {
+                let mut line = format!(
+                    "status queued={queued} inflight={inflight} completed={completed} draining={draining}"
+                );
+                if !tenants.is_empty() {
+                    let packed: Vec<String> = tenants
+                        .iter()
+                        .map(|t| {
+                            let name: String = t
+                                .name
+                                .chars()
+                                .map(|c| if matches!(c, ':' | ',' | '=') { '_' } else { c })
+                                .collect();
+                            format!("{}:{}:{}", name, t.queued, t.completed)
+                        })
+                        .collect();
+                    line.push_str(&format!(" tenants={}", packed.join(",")));
+                }
+                line
+            }
             Self::Drained => "drained".to_string(),
             Self::Bye => "bye".to_string(),
             Self::Error { message } => format!("error {message}"),
@@ -609,6 +669,25 @@ mod tests {
                 inflight: 1,
                 completed: 9,
                 draining: true,
+                tenants: Vec::new(),
+            },
+            Response::Status {
+                queued: 2,
+                inflight: 1,
+                completed: 7,
+                draining: false,
+                tenants: vec![
+                    TenantCounters {
+                        name: "alpha".into(),
+                        queued: 2,
+                        completed: 4,
+                    },
+                    TenantCounters {
+                        name: "beta".into(),
+                        queued: 0,
+                        completed: 3,
+                    },
+                ],
             },
             Response::Error {
                 message: "queue is draining".into(),
@@ -618,6 +697,44 @@ mod tests {
             let again = Response::parse(&response.render()).unwrap();
             assert_eq!(response, again);
         }
+    }
+
+    #[test]
+    fn status_lines_without_tenant_counters_still_parse() {
+        // Wire compatibility with daemons predating the per-tenant field.
+        let old = "status queued=3 inflight=1 completed=9 draining=false";
+        let parsed = Response::parse(old).unwrap();
+        assert_eq!(
+            parsed,
+            Response::Status {
+                queued: 3,
+                inflight: 1,
+                completed: 9,
+                draining: false,
+                tenants: Vec::new(),
+            }
+        );
+    }
+
+    #[test]
+    fn tenant_names_are_flattened_on_the_wire() {
+        let status = Response::Status {
+            queued: 1,
+            inflight: 0,
+            completed: 2,
+            draining: false,
+            tenants: vec![TenantCounters {
+                name: "a:b,c=d".into(),
+                queued: 1,
+                completed: 2,
+            }],
+        };
+        let line = status.render();
+        assert!(line.ends_with("tenants=a_b_c_d:1:2"), "{line}");
+        let Response::Status { tenants, .. } = Response::parse(&line).unwrap() else {
+            panic!("status must parse");
+        };
+        assert_eq!(tenants[0].name, "a_b_c_d");
     }
 
     #[test]

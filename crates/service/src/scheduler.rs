@@ -18,7 +18,7 @@
 //! like a successful one, so a killed session can never leak pool capacity.
 
 use crate::outbox::Outbox;
-use crate::protocol::{render_result, run_job, JobSpec, Response};
+use crate::protocol::{render_result, run_job, JobSpec, Response, TenantCounters};
 use ecs_model::throughput::JobPanic;
 use ecs_model::{CancellationToken, ThroughputPool};
 use std::collections::{BTreeMap, HashMap, VecDeque};
@@ -104,6 +104,10 @@ struct Tenant {
     pass: u64,
     stride: u64,
     queue: VecDeque<QueuedJob>,
+    /// Jobs of this tenant that reached a terminal response — result,
+    /// failure, or cancellation. Tenants are never removed, so the counter
+    /// survives the queue emptying.
+    completed: u64,
 }
 
 #[derive(Debug)]
@@ -179,6 +183,7 @@ impl Scheduler {
                 pass: floor,
                 stride,
                 queue: VecDeque::new(),
+                completed: 0,
             });
         // Weight is a property of the tenant's latest submit; re-anchor an
         // idle tenant so a long absence never becomes a burst of catch-up.
@@ -215,6 +220,7 @@ impl Scheduler {
         if let Some((name, at)) = queued_at {
             let tenant = state.tenants.get_mut(&name).expect("tenant exists");
             let job = tenant.queue.remove(at).expect("position was just found");
+            tenant.completed += 1;
             state.queued -= 1;
             state.completed += 1;
             drop(state);
@@ -235,7 +241,9 @@ impl Scheduler {
         });
     }
 
-    /// Daemon-wide counters.
+    /// Daemon-wide counters, plus per-tenant queue depth and completed-job
+    /// counts (in tenant-name order — the tenant map is a `BTreeMap`, so the
+    /// rendering is deterministic).
     pub fn status(&self) -> Response {
         let state = self.lock();
         Response::Status {
@@ -243,6 +251,15 @@ impl Scheduler {
             inflight: state.inflight.len(),
             completed: state.completed,
             draining: state.draining,
+            tenants: state
+                .tenants
+                .iter()
+                .map(|(name, tenant)| TenantCounters {
+                    name: name.clone(),
+                    queued: tenant.queue.len(),
+                    completed: tenant.completed,
+                })
+                .collect(),
         }
     }
 
@@ -273,6 +290,7 @@ impl Scheduler {
         let mut dropped = Vec::new();
         for tenant in state.tenants.values_mut() {
             while let Some(job) = tenant.queue.pop_front() {
+                tenant.completed += 1;
                 dropped.push(job);
             }
         }
@@ -309,6 +327,9 @@ impl Scheduler {
             state.inflight.insert(key.clone(), token.clone());
             let scheduler = Arc::clone(self);
             let linger = self.linger;
+            // `complete` cannot recover the fairness bucket from the job key
+            // (ids are session-scoped), so the tenant name rides along.
+            let billed_to = next;
             self.pool.spawn(move || {
                 let QueuedJob { spec, session } = job;
                 let outcome =
@@ -332,19 +353,28 @@ impl Scheduler {
                         }
                     }
                 };
-                scheduler.complete(&key, &session, &response);
+                scheduler.complete(&key, &billed_to, &session, &response);
             });
         }
     }
 
     /// The completion path every job takes — success, panic, or
-    /// cancellation: deliver the terminal response, release the fairness
-    /// slot, dispatch whoever is next.
-    fn complete(self: &Arc<Self>, key: &str, session: &Arc<SessionHandle>, response: &Response) {
+    /// cancellation: deliver the terminal response, bill the tenant, release
+    /// the fairness slot, dispatch whoever is next.
+    fn complete(
+        self: &Arc<Self>,
+        key: &str,
+        tenant: &str,
+        session: &Arc<SessionHandle>,
+        response: &Response,
+    ) {
         session.finish_job(response);
         let mut state = self.lock();
         state.inflight.remove(key);
         state.completed += 1;
+        if let Some(tenant) = state.tenants.get_mut(tenant) {
+            tenant.completed += 1;
+        }
         self.dispatch_locked(&mut state);
         drop(state);
         self.settled.notify_all();
@@ -488,6 +518,51 @@ mod tests {
             panic!("status must render counters")
         };
         assert_eq!((queued, inflight), (0, 0));
+    }
+
+    #[test]
+    fn status_reports_per_tenant_queue_depth_and_completions() {
+        let scheduler = Arc::new(Scheduler::new(
+            ThroughputPool::from_jobs(1),
+            1,
+            Duration::ZERO,
+        ));
+        let session = Arc::new(SessionHandle::new(9));
+        // Parked pool: `a0` occupies the single in-flight slot, everything
+        // else is still queued when status is read.
+        let parked = park_pool(scheduler.pool());
+        scheduler.submit(spec("a0", "a", 1), &session);
+        scheduler.submit(spec("a1", "a", 1), &session);
+        scheduler.submit(spec("b0", "b", 1), &session);
+        scheduler.submit(spec("b1", "b", 1), &session);
+        scheduler.cancel(&session, "b1");
+        let Response::Status { tenants, .. } = scheduler.status() else {
+            panic!("status must render counters")
+        };
+        let snapshot: Vec<(String, usize, u64)> = tenants
+            .into_iter()
+            .map(|t| (t.name, t.queued, t.completed))
+            .collect();
+        assert_eq!(
+            snapshot,
+            vec![("a".to_string(), 1, 0), ("b".to_string(), 1, 1)],
+            "queued cancel bills tenant b; a0 is in flight, a1 and b0 queued"
+        );
+        drop(parked);
+        scheduler.wait_idle();
+        let Response::Status { tenants, .. } = scheduler.status() else {
+            panic!("status must render counters")
+        };
+        let snapshot: Vec<(String, usize, u64)> = tenants
+            .into_iter()
+            .map(|t| (t.name, t.queued, t.completed))
+            .collect();
+        assert_eq!(
+            snapshot,
+            vec![("a".to_string(), 0, 2), ("b".to_string(), 0, 2)],
+            "every terminal response bills its tenant exactly once"
+        );
+        let _ = drain_lines(&session);
     }
 
     #[test]

@@ -58,7 +58,10 @@ pub use ecs_service as service;
 
 /// The most commonly used items, re-exported flat.
 pub mod prelude {
-    pub use ecs_adversary::{EqualSizeAdversary, LowerBoundAdversary, SmallestClassAdversary};
+    pub use ecs_adversary::{
+        EqualSizeAdversary, LowerBoundAdversary, SearchReport, SmallestClassAdversary,
+        SmallestClassSearch,
+    };
     pub use ecs_analysis::{
         dominance_experiment, figure5_series, DominanceConfig, Figure5Config, LinearFit, Summary,
         Table,
@@ -74,7 +77,7 @@ pub mod prelude {
     pub use ecs_graph::{HamiltonianUnion, UnionFind};
     pub use ecs_model::{
         BatchingOracle, ComparisonSession, EquivalenceOracle, ExecutionBackend, Instance,
-        InstanceOracle, LabelOracle, Metrics, Partition, ReadMode, RecordingOracle,
+        InstanceOracle, LabelOracle, Metrics, Partition, PlanStats, ReadMode, RecordingOracle,
         RoundSizeHistogram, ThroughputPool, Transcript,
     };
     pub use ecs_rng::{EcsRng, SeedableEcsRng, SplitMix64, StreamSplit, Xoshiro256StarStar};
