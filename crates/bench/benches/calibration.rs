@@ -1,0 +1,141 @@
+//! Self-tuning vs. best-fixed execution: does `Backend::Auto` earn its keep?
+//!
+//! Three groups on a large balanced instance:
+//!
+//! * **round** — one maximal ER round (a perfect matching of `n / 2` pairs)
+//!   under `Auto`, the sequential backend, and the fixed threaded pools it
+//!   chooses between. Every backend is gated on bit-identical answers before
+//!   timing starts, and `Auto` is additionally gated on replaying its own
+//!   calibration log to the same answers.
+//! * **sort** — the full Theorem 1 compound-merge sort under `Auto` vs. the
+//!   fixed backends, the end-to-end view of the same question.
+//! * **probe** — the calibration micro-probe itself (uncached path cost is
+//!   amortized by a process-wide `OnceLock`; this times the cached read),
+//!   plus the per-round `preview` decision lookup — the overhead `Auto`
+//!   pays on top of whatever backend it lowers to.
+//!
+//! Set `ECS_BENCH_SMOKE=1` to shrink the instances (used by CI to exercise
+//! the harness on every push without paying the full measurement cost).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ecs_bench::smoke;
+use ecs_core::{CrCompoundMerge, EcsAlgorithm};
+use ecs_model::{
+    CalibrationProbe, ComparisonSession, ExecutionBackend, Instance, InstanceOracle, ReadMode,
+};
+use ecs_rng::{SeedableEcsRng, Xoshiro256StarStar};
+use std::hint::black_box;
+
+/// The fixed backends `Auto` lowers onto, for side-by-side comparison.
+fn fixed_backends() -> Vec<ExecutionBackend> {
+    vec![
+        ExecutionBackend::Sequential,
+        ExecutionBackend::threaded(2),
+        ExecutionBackend::threaded(4),
+    ]
+}
+
+/// A maximal ER round: the perfect matching (0,1), (2,3), ...
+fn matching_pairs(n: usize) -> Vec<(usize, usize)> {
+    (0..n / 2).map(|i| (2 * i, 2 * i + 1)).collect()
+}
+
+fn auto_round(c: &mut Criterion) {
+    let n = if smoke() { 20_000 } else { 200_000 };
+    let mut rng = Xoshiro256StarStar::seed_from_u64(2016);
+    let instance = Instance::balanced(n, 8, &mut rng);
+    let oracle = InstanceOracle::new(&instance);
+    let pairs = matching_pairs(n);
+
+    let reference = {
+        let mut session = ComparisonSession::with_backend(
+            &oracle,
+            ReadMode::Concurrent,
+            ExecutionBackend::Sequential,
+        );
+        session.execute_round(&pairs)
+    };
+
+    // Bit-identity gate, with the replay leg: an `Auto` recording must
+    // reproduce the sequential answers, and so must a replay of its log.
+    let recorder = ExecutionBackend::auto();
+    let mut check = ComparisonSession::with_backend(&oracle, ReadMode::Concurrent, recorder);
+    assert_eq!(
+        check.execute_round(&pairs),
+        reference,
+        "auto diverged from sequential answers"
+    );
+    let log = recorder
+        .calibration()
+        .expect("auto exposes its calibration handle")
+        .finish();
+    let replayer = ExecutionBackend::auto_replay(&log);
+    let mut check = ComparisonSession::with_backend(&oracle, ReadMode::Concurrent, replayer);
+    assert_eq!(
+        check.execute_round(&pairs),
+        reference,
+        "auto replay diverged from sequential answers"
+    );
+
+    let mut group = c.benchmark_group(format!("calibration_round_n{n}"));
+    group.sample_size(if smoke() { 3 } else { 10 });
+    let mut contenders = fixed_backends();
+    contenders.push(ExecutionBackend::auto());
+    for backend in contenders {
+        group.bench_with_input(
+            BenchmarkId::new("execute_round", backend.label()),
+            &pairs,
+            |b, pairs| {
+                b.iter(|| {
+                    let mut session =
+                        ComparisonSession::with_backend(&oracle, ReadMode::Concurrent, backend);
+                    black_box(session.execute_round(pairs).len())
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn auto_sort(c: &mut Criterion) {
+    let n = if smoke() { 10_000 } else { 100_000 };
+    let k = 8;
+    let mut rng = Xoshiro256StarStar::seed_from_u64(7);
+    let instance = Instance::balanced(n, k, &mut rng);
+    let oracle = InstanceOracle::new(&instance);
+
+    let mut group = c.benchmark_group(format!("calibration_sort_n{n}"));
+    group.sample_size(if smoke() { 3 } else { 10 });
+    let mut contenders = fixed_backends();
+    contenders.push(ExecutionBackend::auto());
+    for backend in contenders {
+        group.bench_with_input(
+            BenchmarkId::new("sort", backend.label()),
+            &instance,
+            |b, instance| {
+                b.iter(|| {
+                    let run = CrCompoundMerge::new(k).sort_with_backend(&oracle, backend);
+                    debug_assert!(instance.verify(&run.partition));
+                    black_box(run.metrics.comparisons())
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn calibration_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("calibration_overhead");
+    group.sample_size(if smoke() { 3 } else { 10 });
+    group.bench_function("probe_cached", |b| {
+        b.iter(|| black_box(CalibrationProbe::measure().pair_ns));
+    });
+    let backend = ExecutionBackend::auto();
+    group.bench_function("preview_decision", |b| {
+        b.iter(|| black_box(black_box(backend).worker_decision().threads));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, auto_round, auto_sort, calibration_overhead);
+criterion_main!(benches);

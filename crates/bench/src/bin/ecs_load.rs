@@ -96,6 +96,7 @@ fn main() {
         "linger-us",
         "threads",
         "batch",
+        "backend",
     ]);
     let sessions = args.get_usize("sessions", if smoke() { 8 } else { 16 });
     let tenants = args.get_usize("tenants", 4).max(1);

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! serve [--addr HOST:PORT] [--jobs N] [--max-inflight M] [--linger-us U]
+//!       [--trace-dir DIR]
 //! ```
 //!
 //! Binds a TCP listener (`--addr 127.0.0.1:0` picks an ephemeral port,
@@ -22,12 +23,18 @@ fn main() {
         "linger-us",
         "threads",
         "batch",
+        "backend",
+        "trace-dir",
     ]);
     let pool = args.throughput_pool();
     let config = DaemonConfig {
         max_inflight: args.get_usize("max-inflight", 2 * pool.workers()),
         linger: args.linger(),
         pool,
+        // Jobs run under the self-tuning backend by default; with a trace
+        // dir, each finished auto job persists its calibration decision
+        // trace as one replayable `.calib` line.
+        trace_dir: args.get("trace-dir").map(std::path::PathBuf::from),
         ..DaemonConfig::default()
     };
     let addr = args.get_or("addr", "127.0.0.1:7878");

@@ -16,7 +16,7 @@
 //! typos (`--trails 5`) instead of silently ignoring them.
 
 use ecs_model::backend::available_parallelism;
-use ecs_model::{ExecutionBackend, ThroughputPool};
+use ecs_model::{ExecutionBackend, PinnedKnobs, ThroughputPool};
 use std::collections::HashMap;
 
 /// Parsed command-line arguments: `--key value` / `--key=value` pairs and
@@ -103,10 +103,21 @@ impl Args {
         self.switches.iter().any(|s| s == name) || self.values.contains_key(name)
     }
 
-    /// The execution backend selected by `--batch W` / `--threads N`,
-    /// falling back to the `ECS_THREADS` environment variable when both
-    /// flags are absent.
+    /// The execution backend selected by `--backend auto|fixed` composed
+    /// with `--batch W` / `--threads N`, falling back to the `ECS_THREADS`
+    /// environment variable when all three flags are absent.
     ///
+    /// * `--backend auto` selects [`ExecutionBackend::Auto`]: the
+    ///   calibration layer probes the machine at startup and lowers every
+    ///   round to concrete threaded / batched parameters, adapting the
+    ///   comparison threshold (and, unpinned, the worker count and wave) to
+    ///   the observed oracle latency. An explicit `--threads N` / `--batch
+    ///   W` *pins* that knob — calibration keeps it verbatim and adapts only
+    ///   the rest — with a warning saying which knobs remain adaptive. A
+    ///   bare `--backend` and an unrecognized value both select auto (the
+    ///   adaptive flag's analogue of bare `--jobs`), the latter with a
+    ///   warning; `--backend fixed` (or `seq` / `sequential`) explicitly
+    ///   selects the fixed chain below.
     /// * `--batch W` selects [`ExecutionBackend::Batched`]: rounds are
     ///   submitted to the oracle as `same_batch` waves of up to `W` pairs
     ///   (`--batch 0` = the whole round as one wave; a bare `--batch` or an
@@ -118,19 +129,67 @@ impl Args {
     ///   count — it clamps to the machine's available parallelism with a
     ///   warning instead of silently building a degenerate pool.
     pub fn execution_backend(&self) -> ExecutionBackend {
+        if self.has("backend") {
+            match self.get("backend") {
+                // The fixed chain, by explicit request.
+                Some("fixed") | Some("seq") | Some("sequential") => {}
+                Some("auto") | None => return self.auto_backend(),
+                Some(other) => {
+                    warn_once(
+                        "--backend",
+                        &format!(
+                            "warning: --backend {other} is not a recognized backend \
+                             (auto, fixed); selecting auto"
+                        ),
+                    );
+                    return self.auto_backend();
+                }
+            }
+        }
         if self.has("batch") {
-            let wave = match self.get("batch") {
-                Some(value) => value
-                    .parse()
-                    .unwrap_or(ExecutionBackend::DEFAULT_BATCH_WAVE),
-                None => ExecutionBackend::DEFAULT_BATCH_WAVE,
-            };
-            return ExecutionBackend::batched(wave);
+            return ExecutionBackend::batched(self.batch_wave());
         }
         match self.get("threads") {
             Some(value) => ExecutionBackend::from_threads(worker_count("--threads", value, 1)),
             None => ExecutionBackend::from_env(),
         }
+    }
+
+    /// The wave size of a present `--batch` flag (bare and unparsable select
+    /// the default wave size).
+    fn batch_wave(&self) -> usize {
+        match self.get("batch") {
+            Some(value) => value
+                .parse()
+                .unwrap_or(ExecutionBackend::DEFAULT_BATCH_WAVE),
+            None => ExecutionBackend::DEFAULT_BATCH_WAVE,
+        }
+    }
+
+    /// The `--backend auto` lowering: explicit `--threads` / `--batch` pin
+    /// those knobs for the calibration layer instead of selecting a fixed
+    /// backend, with a warning spelling out what stays adaptive.
+    fn auto_backend(&self) -> ExecutionBackend {
+        let mut pins = PinnedKnobs::default();
+        if self.has("batch") {
+            pins.wave = Some(self.batch_wave());
+            warn_once(
+                "--backend/--batch",
+                "warning: --backend auto with --batch pins the wave size (every \
+                 round lowers to batched waves); only the comparison threshold \
+                 stays adaptive",
+            );
+        }
+        if let Some(value) = self.get("threads") {
+            pins.threads = Some(worker_count("--threads", value, 1));
+            warn_once(
+                "--backend/--threads",
+                "warning: --backend auto with --threads pins the worker count; \
+                 the comparison threshold and the threaded-vs-batched choice \
+                 stay adaptive",
+            );
+        }
+        ExecutionBackend::auto_pinned(pins)
     }
 
     /// The throughput pool selected by `--jobs N` (`1` runs trials
@@ -220,21 +279,31 @@ fn worker_count(flag: &str, value: &str, unparsable: usize) -> usize {
     match value.trim().parse::<usize>() {
         Ok(0) => {
             let available = available_parallelism();
-            static WARNED: std::sync::Mutex<Vec<String>> = std::sync::Mutex::new(Vec::new());
-            let mut warned = WARNED
-                .lock()
-                .unwrap_or_else(std::sync::PoisonError::into_inner);
-            if !warned.iter().any(|warned_flag| warned_flag == flag) {
-                warned.push(flag.to_string());
-                eprintln!(
+            warn_once(
+                flag,
+                &format!(
                     "warning: {flag} 0 is not a usable worker count; \
                      clamping to available parallelism ({available})"
-                );
-            }
+                ),
+            );
             available
         }
         Ok(count) => count,
         Err(_) => unparsable,
+    }
+}
+
+/// Prints `message` to stderr at most once per `key` for the process's
+/// lifetime — binaries resolve the backend more than once, and a diagnostic
+/// repeated per resolution reads like a new problem each time.
+fn warn_once(key: &str, message: &str) {
+    static WARNED: std::sync::Mutex<Vec<String>> = std::sync::Mutex::new(Vec::new());
+    let mut warned = WARNED
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    if !warned.iter().any(|warned_key| warned_key == key) {
+        warned.push(key.to_string());
+        eprintln!("{message}");
     }
 }
 
@@ -428,6 +497,64 @@ mod tests {
                 .throughput_pool()
                 .label(),
             "pooled(4)"
+        );
+    }
+
+    #[test]
+    fn backend_flag_selects_auto() {
+        use ecs_model::{ExecutionBackend, PinnedKnobs};
+        let auto = args(&["--backend", "auto"]).execution_backend();
+        assert_eq!(auto.label(), "auto");
+        let handle = auto.calibration().expect("auto carries a handle");
+        assert_eq!(handle.pins(), PinnedKnobs::default());
+        // A bare `--backend` (the adaptive analogue of bare `--jobs`) and an
+        // unrecognized value both still select auto instead of vanishing.
+        assert_eq!(args(&["--backend"]).execution_backend().label(), "auto");
+        assert_eq!(
+            args(&["--backend", "turbo"]).execution_backend().label(),
+            "auto"
+        );
+        // The fixed chain stays reachable by explicit request.
+        assert_eq!(
+            args(&["--backend", "fixed", "--threads", "4"]).execution_backend(),
+            ExecutionBackend::threaded(4)
+        );
+        assert_eq!(
+            args(&["--backend", "seq", "--threads", "1"]).execution_backend(),
+            ExecutionBackend::Sequential
+        );
+    }
+
+    #[test]
+    fn explicit_knobs_pin_auto_calibration() {
+        use ecs_model::PinnedKnobs;
+        let pins = |parts: &[&str]| {
+            args(parts)
+                .execution_backend()
+                .calibration()
+                .expect("auto carries a handle")
+                .pins()
+        };
+        assert_eq!(
+            pins(&["--backend", "auto", "--threads", "4"]),
+            PinnedKnobs {
+                threads: Some(4),
+                wave: None,
+            }
+        );
+        assert_eq!(
+            pins(&["--backend", "auto", "--batch", "32"]),
+            PinnedKnobs {
+                threads: None,
+                wave: Some(32),
+            }
+        );
+        assert_eq!(
+            pins(&["--backend=auto", "--threads", "2", "--batch", "0"]),
+            PinnedKnobs {
+                threads: Some(2),
+                wave: Some(0),
+            }
         );
     }
 

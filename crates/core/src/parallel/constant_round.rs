@@ -20,7 +20,7 @@
 //! attempts are charged.
 
 use crate::run::{EcsAlgorithm, EcsRun};
-use ecs_graph::{HamiltonianUnion, UnionFind};
+use ecs_graph::{Fragments, HamiltonianUnion, UnionFind};
 use ecs_model::{ComparisonSession, EquivalenceOracle, ExecutionBackend, Partition, ReadMode};
 use ecs_rng::{SeedableEcsRng, SplitMix64, Xoshiro256StarStar};
 
@@ -114,33 +114,37 @@ impl ErConstantRound {
             }
         }
 
-        // Step 3: pivot on the large components.
-        let mut fragments = uf.groups();
-        fragments.sort_by_key(|f| std::cmp::Reverse(f.len()));
+        // Step 3: pivot on the large components, read through the packed
+        // fragment view ([`Fragments`]): sizes are cached popcounts and the
+        // pivot order / member order are bit-identical to the legacy
+        // `uf.groups()` path (both derive from `UnionFind::labels`).
+        let fragments = Fragments::from_union_find(&mut uf);
         let threshold = (((lambda * n as f64) / 8.0).floor() as usize).max(1);
 
         let mut labels = vec![usize::MAX; n];
         let mut next_label = 0usize;
-        for fragment in &fragments {
-            if fragment.len() < threshold {
+        for idx in fragments.by_size_desc() {
+            let size = fragments.size(idx);
+            if size < threshold {
                 break;
             }
-            if labels[fragment[0]] != usize::MAX {
+            let first = fragments.smallest(idx).expect("fragments are non-empty");
+            if labels[first] != usize::MAX {
                 // This fragment's class was already classified by an earlier
                 // (larger) pivot of the same class.
                 continue;
             }
             let label = next_label;
             next_label += 1;
-            for &e in fragment {
-                labels[e] = label;
-            }
+            fragments.row(idx).for_each_one(|e| labels[e] = label);
             let others: Vec<usize> = (0..n).filter(|&x| labels[x] == usize::MAX).collect();
-            for chunk in others.chunks(fragment.len()) {
-                let round: Vec<(usize, usize)> = chunk
-                    .iter()
-                    .enumerate()
-                    .map(|(i, &o)| (fragment[i], o))
+            for chunk in others.chunks(size) {
+                // Zip the fragment's ascending members against the chunk —
+                // the lazy prefix of `fragment[i]` the legacy indexing read.
+                let round: Vec<(usize, usize)> = fragments
+                    .row(idx)
+                    .iter_ones()
+                    .zip(chunk.iter().copied())
                     .collect();
                 let answers = session.execute_round(&round);
                 for (&(_, o), &same) in round.iter().zip(&answers) {

@@ -428,9 +428,46 @@ impl BitRow {
         out
     }
 
+    /// A lazy ascending iterator over the set bits — what consumers that
+    /// only need a prefix (e.g. zipping fragment members against a shorter
+    /// chunk) use instead of materializing [`BitRow::ones`].
+    pub fn iter_ones(&self) -> IterOnes<'_> {
+        IterOnes {
+            words: &self.words,
+            next_word: 0,
+            current: 0,
+        }
+    }
+
     /// The backing words.
     pub fn words(&self) -> &[u64] {
         &self.words
+    }
+}
+
+/// Iterator behind [`BitRow::iter_ones`]: drains one word at a time with
+/// `trailing_zeros`, exactly the [`BitRow::for_each_one`] walk but
+/// suspendable.
+#[derive(Debug, Clone)]
+pub struct IterOnes<'a> {
+    words: &'a [u64],
+    /// Index of the next word to load into `current`.
+    next_word: usize,
+    /// Remaining bits of word `next_word - 1`.
+    current: u64,
+}
+
+impl Iterator for IterOnes<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        while self.current == 0 {
+            self.current = *self.words.get(self.next_word)?;
+            self.next_word += 1;
+        }
+        let bit = self.current.trailing_zeros() as usize;
+        self.current &= self.current - 1;
+        Some((self.next_word - 1) * 64 + bit)
     }
 }
 
@@ -620,6 +657,18 @@ mod tests {
         seen.clear();
         r.for_each_one_below(1000, |i| seen.push(i));
         assert_eq!(seen, vec![0, 63, 64, 100, 149]);
+    }
+
+    #[test]
+    fn iter_ones_matches_ones_and_is_lazy() {
+        let mut r = BitRow::new(150);
+        for &i in &[0usize, 63, 64, 100, 149] {
+            r.set(i);
+        }
+        assert_eq!(r.iter_ones().collect::<Vec<_>>(), r.ones());
+        assert_eq!(r.iter_ones().take(2).collect::<Vec<_>>(), vec![0, 63]);
+        assert_eq!(BitRow::new(0).iter_ones().next(), None);
+        assert_eq!(BitRow::new(70).iter_ones().next(), None);
     }
 
     proptest! {

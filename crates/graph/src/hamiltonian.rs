@@ -14,7 +14,7 @@
 //! exclusive-read comparison rounds (each round a perfect or near-perfect
 //! matching).
 
-use crate::DiGraph;
+use crate::{BitRow, DiGraph, UnionFind};
 use ecs_rng::EcsRng;
 
 /// The natural logarithm of 2, used by the probability bound.
@@ -219,6 +219,80 @@ impl HamiltonianUnion {
     }
 }
 
+/// The connected fragments a tested `H_d` overlay induces, packed on the
+/// [`BitRow`] substrate ([`UnionFind::classes_as_bitrows`]) instead of
+/// exploded `Vec<Vec<usize>>` member lists.
+///
+/// The constant-round pivot consumer reads fragments through this view:
+/// size checks are cached popcounts and membership sweeps are word scans.
+/// Member order is identical to [`UnionFind::groups`] — both derive from
+/// [`UnionFind::labels`], so members ascend within a fragment and fragments
+/// are born ordered by smallest member — which is what makes the packed
+/// lowering bit-identical to the legacy `Vec` path. The `Vec` export
+/// survives as the thin [`Fragments::to_groups`] / [`Fragments::members`]
+/// adapters.
+#[derive(Debug, Clone)]
+pub struct Fragments {
+    rows: Vec<BitRow>,
+    /// Cached popcount per row, so the hot size comparisons never rescan.
+    sizes: Vec<usize>,
+}
+
+impl Fragments {
+    /// Packs the current partition of `uf`, one [`BitRow`] per fragment.
+    pub fn from_union_find(uf: &mut UnionFind) -> Self {
+        let rows = uf.classes_as_bitrows();
+        let sizes = rows.iter().map(BitRow::count_ones).collect();
+        Self { rows, sizes }
+    }
+
+    /// Number of fragments.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the universe (and so the fragment list) is empty.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Member count of fragment `i` (a cached popcount).
+    pub fn size(&self, i: usize) -> usize {
+        self.sizes[i]
+    }
+
+    /// The packed membership row of fragment `i`.
+    pub fn row(&self, i: usize) -> &BitRow {
+        &self.rows[i]
+    }
+
+    /// The smallest member of fragment `i` (fragments are never empty, but
+    /// the lookup stays total).
+    pub fn smallest(&self, i: usize) -> Option<usize> {
+        self.rows[i].iter_ones().next()
+    }
+
+    /// Fragment indices ordered largest-first; ties keep the
+    /// smallest-member birth order (stable sort), exactly matching
+    /// `groups().sort_by_key(|f| Reverse(f.len()))` on the legacy path.
+    pub fn by_size_desc(&self) -> Vec<usize> {
+        let mut order: Vec<usize> = (0..self.len()).collect();
+        order.sort_by_key(|&i| std::cmp::Reverse(self.sizes[i]));
+        order
+    }
+
+    /// Thin adapter: fragment `i` as an ascending member list.
+    pub fn members(&self, i: usize) -> Vec<usize> {
+        self.rows[i].ones()
+    }
+
+    /// Thin adapter: the whole partition as `Vec<Vec<usize>>`, bit-identical
+    /// to [`UnionFind::groups`].
+    pub fn to_groups(&self) -> Vec<Vec<usize>> {
+        self.rows.iter().map(BitRow::ones).collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -293,6 +367,51 @@ mod tests {
             // Round count: 2 per cycle for even n, 3 per cycle for odd n >= 3.
             let per_cycle = if n % 2 == 0 { 2 } else { 3 };
             assert_eq!(rounds.len(), per_cycle * h.num_cycles());
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn packed_fragments_cross_validate_against_groups(
+            n in 1usize..80,
+            unions in proptest::collection::vec((0usize..80, 0usize..80), 0..120),
+            seed in 0u64..1_000,
+        ) {
+            // Drive the union-find with H_d edge answers plus arbitrary
+            // extra unions, then require the packed view and the legacy
+            // `Vec` export to agree on everything the pivot consumer reads.
+            let mut uf = UnionFind::new(n);
+            let h = HamiltonianUnion::random(n, 2, &mut rng(seed));
+            for (u, v) in h.comparison_pairs() {
+                if (u + v + seed as usize).is_multiple_of(3) {
+                    uf.union(u, v);
+                }
+            }
+            for (a, b) in unions {
+                if a % n != b % n {
+                    uf.union(a % n, b % n);
+                }
+            }
+            let fragments = Fragments::from_union_find(&mut uf);
+            let groups = uf.groups();
+            prop_assert_eq!(fragments.to_groups(), groups.clone());
+            prop_assert_eq!(fragments.len(), groups.len());
+            let mut legacy_order: Vec<Vec<usize>> = groups.clone();
+            legacy_order.sort_by_key(|f| std::cmp::Reverse(f.len()));
+            let packed_order: Vec<Vec<usize>> = fragments
+                .by_size_desc()
+                .into_iter()
+                .map(|i| fragments.members(i))
+                .collect();
+            prop_assert_eq!(packed_order, legacy_order, "pivot order must match");
+            for (i, group) in groups.iter().enumerate() {
+                prop_assert_eq!(fragments.size(i), group.len());
+                prop_assert_eq!(fragments.smallest(i), group.first().copied());
+                let prefix: Vec<usize> =
+                    fragments.row(i).iter_ones().take(2).collect();
+                prop_assert_eq!(&prefix, &group[..group.len().min(2)]);
+            }
         }
     }
 

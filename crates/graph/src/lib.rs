@@ -37,6 +37,6 @@ pub use bitset::{coord_to_idx, BitRow, PairBitset};
 pub use coloring::{EquitableColoring, WeightedEquitableColoring};
 pub use connected::connected_components;
 pub use digraph::DiGraph;
-pub use hamiltonian::HamiltonianUnion;
+pub use hamiltonian::{Fragments, HamiltonianUnion};
 pub use scc::{component_labels, kosaraju_scc, scc_as_bitrows, tarjan_scc};
 pub use union_find::UnionFind;

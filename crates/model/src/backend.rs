@@ -15,11 +15,13 @@
 //! effects are applied in one deterministic commit when the round closes, so
 //! they too are bit-identical across backends, wave sizes, and thread counts.
 
+use crate::calibrate::{CalibrationHandle, CalibrationLog, PinnedKnobs, TuningDecision};
 use crate::oracle::EquivalenceOracle;
 use rayon::prelude::*;
 use rayon::{ThreadPool, ThreadPoolBuilder};
 use std::collections::HashMap;
 use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
 
 /// Smallest number of items a single pool task will process when a round is
 /// sharded, keeping chunks cache-friendly instead of pair-at-a-time.
@@ -59,6 +61,18 @@ pub enum ExecutionBackend {
         /// [`ExecutionBackend::batched`].
         wave: usize,
     },
+    /// Self-tuning: each round is lowered to concrete `Threaded` / `Batched`
+    /// parameters by a [`CalibrationHandle`] — a startup micro-probe plus
+    /// observed per-round latency feedback, with every decision recorded so
+    /// a run replays bit-identically from its [`CalibrationLog`]. Outputs
+    /// (partitions, [`crate::Metrics`], CSVs) are identical to
+    /// [`ExecutionBackend::Sequential`] regardless: charging precedes
+    /// evaluation and answers are collected in submission order, so tuning
+    /// can only move *where and in what waves* the oracle calls happen.
+    Auto {
+        /// Ticket into the calibration registry (recording or replaying).
+        calibration: CalibrationHandle,
+    },
 }
 
 impl ExecutionBackend {
@@ -85,6 +99,38 @@ impl ExecutionBackend {
     /// round as a single wave).
     pub fn batched(wave: usize) -> Self {
         ExecutionBackend::Batched { wave }
+    }
+
+    /// A fresh self-tuning backend: probes the process (cached), then adapts
+    /// threshold/wave from observed round latency, recording every decision.
+    pub fn auto() -> Self {
+        Self::auto_pinned(PinnedKnobs::default())
+    }
+
+    /// A self-tuning backend with explicitly pinned knobs: a pinned knob
+    /// (`--threads`, `--batch`) is lowered verbatim into every decision and
+    /// excluded from adaptation; the remaining knobs stay adaptive.
+    pub fn auto_pinned(pins: PinnedKnobs) -> Self {
+        ExecutionBackend::Auto {
+            calibration: CalibrationHandle::record(pins),
+        }
+    }
+
+    /// A self-tuning backend that replays a recorded [`CalibrationLog`]
+    /// verbatim: the decision schedule — and therefore every output — is
+    /// bit-identical to the recording run.
+    pub fn auto_replay(log: &CalibrationLog) -> Self {
+        ExecutionBackend::Auto {
+            calibration: CalibrationHandle::replay(log),
+        }
+    }
+
+    /// The calibration handle, when this is an [`ExecutionBackend::Auto`].
+    pub fn calibration(&self) -> Option<CalibrationHandle> {
+        match *self {
+            ExecutionBackend::Auto { calibration } => Some(calibration),
+            _ => None,
+        }
     }
 
     /// Maps a thread-count knob (e.g. a `--threads` flag) onto a backend:
@@ -134,11 +180,52 @@ impl ExecutionBackend {
         }
     }
 
+    /// The planning-time [`TuningDecision`] of this backend: what pool
+    /// sizing, labels, and throughput planning consume instead of reading
+    /// variant fields. For [`ExecutionBackend::Auto`] this previews the
+    /// calibration **without** touching the recorded trace, so planning
+    /// questions never desynchronize record from replay.
+    pub fn worker_decision(&self) -> TuningDecision {
+        match *self {
+            ExecutionBackend::Sequential => TuningDecision::sequential(),
+            ExecutionBackend::Threaded { threads, threshold } => TuningDecision {
+                threads: threads.max(1),
+                threshold: threshold.max(1),
+                wave: None,
+            },
+            ExecutionBackend::Batched { wave } => TuningDecision {
+                threads: 1,
+                threshold: usize::MAX,
+                wave: Some(wave),
+            },
+            ExecutionBackend::Auto { calibration } => calibration.preview(),
+        }
+    }
+
+    /// The per-round [`TuningDecision`] for a round of `len` pairs. For
+    /// [`ExecutionBackend::Auto`] this is the recording/replaying step — it
+    /// advances the decision trace — so only [`ExecutionBackend::evaluate`]
+    /// calls it, exactly once per evaluated round.
+    fn tuning(&self, len: usize) -> TuningDecision {
+        match *self {
+            ExecutionBackend::Auto { calibration } => calibration.decide(len),
+            _ => self.worker_decision(),
+        }
+    }
+
     /// The number of OS threads this backend evaluates on.
     pub fn threads(&self) -> usize {
         match *self {
             ExecutionBackend::Sequential | ExecutionBackend::Batched { .. } => 1,
             ExecutionBackend::Threaded { threads, .. } => threads.max(1),
+            ExecutionBackend::Auto { .. } => {
+                let decision = self.worker_decision();
+                if decision.wave.is_some() {
+                    1
+                } else {
+                    decision.threads
+                }
+            }
         }
     }
 
@@ -148,13 +235,21 @@ impl ExecutionBackend {
     }
 
     /// A short human-readable label (`"sequential"`, `"threaded(4)"`,
-    /// `"batched(256)"`) for benchmark tables and CLI banners.
+    /// `"batched(256)"`, `"auto"`, `"auto(replay)"`) for benchmark tables
+    /// and CLI banners.
     pub fn label(&self) -> String {
         match *self {
             ExecutionBackend::Sequential => "sequential".to_string(),
             ExecutionBackend::Threaded { threads, .. } => format!("threaded({threads})"),
             ExecutionBackend::Batched { wave: 0 } => "batched(all)".to_string(),
             ExecutionBackend::Batched { wave } => format!("batched({wave})"),
+            ExecutionBackend::Auto { calibration } => {
+                if calibration.is_replay() {
+                    "auto(replay)".to_string()
+                } else {
+                    "auto".to_string()
+                }
+            }
         }
     }
 
@@ -171,37 +266,64 @@ impl ExecutionBackend {
 
     /// Evaluates one round of comparisons against the oracle, returning one
     /// answer per pair in submission order.
+    ///
+    /// Every variant lowers through the same [`TuningDecision`] seam; the
+    /// fixed-parameter variants just lower to a constant decision. For
+    /// [`ExecutionBackend::Auto`], non-empty rounds additionally feed their
+    /// observed wall-clock back into the calibration (recording mode only).
     pub fn evaluate<O: EquivalenceOracle + ?Sized>(
         &self,
         oracle: &O,
         pairs: &[(usize, usize)],
     ) -> Vec<bool> {
+        if pairs.is_empty() {
+            return Vec::new();
+        }
         match *self {
-            ExecutionBackend::Threaded { threads, threshold }
-                if threads > 1 && pairs.len() >= threshold.max(1) =>
-            {
-                shared_pool(threads).install(|| {
-                    pairs
-                        .par_iter()
-                        .with_min_len(MIN_CHUNK.min(threshold.max(1)))
-                        .map(|&(a, b)| oracle.same(a, b))
-                        .collect()
-                })
+            ExecutionBackend::Auto { calibration } => {
+                let decision = calibration.decide(pairs.len());
+                let start = Instant::now();
+                let answers = Self::evaluate_decision(oracle, pairs, decision);
+                calibration.observe(pairs.len(), start.elapsed());
+                answers
             }
-            ExecutionBackend::Batched { wave } if !pairs.is_empty() => {
-                if wave == 0 || wave >= pairs.len() {
-                    oracle.same_batch(pairs)
-                } else {
-                    // Waves are cut in pair order, so concatenating their
-                    // answers reproduces the scalar answer vector exactly.
-                    let mut answers = Vec::with_capacity(pairs.len());
-                    for wave_pairs in pairs.chunks(wave) {
-                        answers.extend(oracle.same_batch(wave_pairs));
-                    }
-                    answers
+            _ => Self::evaluate_decision(oracle, pairs, self.tuning(pairs.len())),
+        }
+    }
+
+    /// Evaluates one non-empty round under one concrete decision. This is
+    /// the single lowering every backend variant funnels through: the
+    /// batched wave path when `wave` is set, the pool path when the round
+    /// clears the threshold, the inline scalar loop otherwise.
+    fn evaluate_decision<O: EquivalenceOracle + ?Sized>(
+        oracle: &O,
+        pairs: &[(usize, usize)],
+        decision: TuningDecision,
+    ) -> Vec<bool> {
+        if let Some(wave) = decision.wave {
+            return if wave == 0 || wave >= pairs.len() {
+                oracle.same_batch(pairs)
+            } else {
+                // Waves are cut in pair order, so concatenating their
+                // answers reproduces the scalar answer vector exactly.
+                let mut answers = Vec::with_capacity(pairs.len());
+                for wave_pairs in pairs.chunks(wave) {
+                    answers.extend(oracle.same_batch(wave_pairs));
                 }
-            }
-            _ => pairs.iter().map(|&(a, b)| oracle.same(a, b)).collect(),
+                answers
+            };
+        }
+        let threshold = decision.threshold.max(1);
+        if decision.threads > 1 && pairs.len() >= threshold {
+            shared_pool(decision.threads).install(|| {
+                pairs
+                    .par_iter()
+                    .with_min_len(MIN_CHUNK.min(threshold))
+                    .map(|&(a, b)| oracle.same(a, b))
+                    .collect()
+            })
+        } else {
+            pairs.iter().map(|&(a, b)| oracle.same(a, b)).collect()
         }
     }
 }
@@ -339,6 +461,64 @@ mod tests {
         assert!(ExecutionBackend::batched(8)
             .evaluate(&oracle, &[])
             .is_empty());
+    }
+
+    #[test]
+    fn auto_matches_sequential_and_replays_its_own_log() {
+        use crate::calibrate::PinnedKnobs;
+        let labels: Vec<u32> = (0..6_000u32).map(|i| i % 11).collect();
+        let oracle = LabelOracle::new(labels);
+        let rounds: Vec<Vec<(usize, usize)>> = vec![
+            (0..3_000).map(|i| (i, i + 3_000)).collect(),
+            (0..10).map(|i| (i, i + 1)).collect(),
+            Vec::new(),
+            // `6i ≡ -1 (mod 6000)` has no solution, so no self-comparison.
+            (0..5_000).map(|i| (i, (i * 7 + 1) % 6_000)).collect(),
+        ];
+        let reference: Vec<Vec<bool>> = rounds
+            .iter()
+            .map(|round| ExecutionBackend::Sequential.evaluate(&oracle, round))
+            .collect();
+
+        let auto = ExecutionBackend::auto();
+        let recorded: Vec<Vec<bool>> = rounds
+            .iter()
+            .map(|round| auto.evaluate(&oracle, round))
+            .collect();
+        assert_eq!(recorded, reference, "auto diverged from sequential");
+
+        let log = auto.calibration().expect("auto carries a handle").log();
+        // Empty rounds are never evaluated, so they record no decision.
+        assert_eq!(log.decisions.len(), 3);
+        let replay = ExecutionBackend::auto_replay(&log);
+        assert_eq!(replay.label(), "auto(replay)");
+        let replayed: Vec<Vec<bool>> = rounds
+            .iter()
+            .map(|round| replay.evaluate(&oracle, round))
+            .collect();
+        assert_eq!(replayed, reference);
+        assert_eq!(
+            replay.calibration().unwrap().log(),
+            log,
+            "the replayed schedule must equal the recording"
+        );
+
+        // Pinned knobs flow through to the lowered decisions.
+        let pinned = ExecutionBackend::auto_pinned(PinnedKnobs {
+            threads: Some(2),
+            wave: None,
+        });
+        assert_eq!(pinned.worker_decision().threads, 2);
+        assert_eq!(pinned.evaluate(&oracle, &rounds[0]), reference[0]);
+    }
+
+    #[test]
+    fn auto_handles_are_identity_distinct() {
+        let a = ExecutionBackend::auto();
+        let b = ExecutionBackend::auto();
+        assert_ne!(a, b, "two recordings are distinct backends");
+        assert_eq!(a, a);
+        assert!(a.label() == "auto");
     }
 
     #[test]

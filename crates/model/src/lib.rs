@@ -23,9 +23,11 @@
 //!   oracles whose cost is dominated by per-request overhead.
 //! * [`ExecutionBackend`] — where comparisons physically run: sequentially
 //!   on the calling thread, sharded across a work-stealing pool of OS
-//!   threads, or submitted as `same_batch` waves
-//!   ([`ExecutionBackend::Batched`]), with answers always collected in
-//!   submission order.
+//!   threads, submitted as `same_batch` waves
+//!   ([`ExecutionBackend::Batched`]), or self-tuned per round
+//!   ([`ExecutionBackend::Auto`], lowering through the [`calibrate`]
+//!   module's deterministic-replayable [`CalibrationLog`]), with answers
+//!   always collected in submission order.
 //! * [`BatchingOracle`] — an adapter coalescing concurrent scalar `same`
 //!   calls (e.g. from [`ThroughputPool`] job workers) into batch waves.
 //! * [`ComparisonSession`] — counts comparisons and rounds, enforces the ER /
@@ -48,6 +50,7 @@
 
 pub mod backend;
 pub mod batching;
+pub mod calibrate;
 pub mod cancellation;
 pub mod instance;
 pub mod metrics;
@@ -60,6 +63,9 @@ pub mod transcript;
 
 pub use backend::ExecutionBackend;
 pub use batching::BatchingOracle;
+pub use calibrate::{
+    CalibrationHandle, CalibrationLog, CalibrationProbe, PinnedKnobs, TuningDecision,
+};
 pub use cancellation::{CancellableOracle, CancellationToken, Cancelled};
 pub use instance::Instance;
 pub use metrics::{Metrics, PlanStats, RoundSizeHistogram};

@@ -97,7 +97,11 @@ impl RoundSizeHistogram {
         }
     }
 
-    fn record(&mut self, size: usize) {
+    /// Counts one value into its power-of-two bucket. [`Metrics`] feeds
+    /// round sizes through this; other consumers (e.g. the service daemon's
+    /// per-tenant job-latency histograms) may count any `usize`-valued
+    /// quantity — the bucket boundaries are pure powers of two either way.
+    pub fn record(&mut self, size: usize) {
         self.counts[Self::bucket(size)] += 1;
     }
 

@@ -135,9 +135,17 @@ impl ThroughputPool {
         self.backend
     }
 
-    /// The number of OS threads draining the job queue.
+    /// The number of OS threads draining the job queue. Routed through the
+    /// backend's planning-time [`crate::TuningDecision`] (never the recorded
+    /// trace), so an `Auto` pool's worker count is stable for the pool's
+    /// lifetime and planning it cannot perturb a calibration recording.
     pub fn workers(&self) -> usize {
-        self.backend.threads()
+        let decision = self.backend.worker_decision();
+        if decision.wave.is_some() {
+            1
+        } else {
+            decision.threads
+        }
     }
 
     /// A short label (`"serial"`, `"pooled(4)"`) for banners and benchmarks.

@@ -25,8 +25,8 @@ use ecs_core::{
 };
 use ecs_distributions::class_distribution::AnyDistribution;
 use ecs_model::{
-    BatchingOracle, CancellableOracle, CancellationToken, EquivalenceOracle, ExecutionBackend,
-    Instance, InstanceOracle,
+    BatchingOracle, CalibrationLog, CancellableOracle, CancellationToken, EquivalenceOracle,
+    ExecutionBackend, Instance, InstanceOracle, TuningDecision,
 };
 use ecs_rng::{SeedableEcsRng, Xoshiro256StarStar};
 use std::fmt;
@@ -155,13 +155,23 @@ pub enum BackendSpec {
     /// with wave budget `W` and the daemon's `--linger-us` window, so a
     /// parked caller helps drain other sessions' jobs while its wave forms.
     Coalesced(usize),
+    /// `auto` — the calibration layer lowers every round to concrete
+    /// threaded / batched parameters ([`ExecutionBackend::Auto`]); the
+    /// recorded per-job decision trace rides back in
+    /// [`JobRun::calibration`]. This is the daemon's default since the
+    /// self-tuning PR — results are backend-independent by construction, so
+    /// the switch is observationally invisible to clients.
+    Auto,
 }
 
 impl BackendSpec {
-    /// Parses `seq`, `threaded:4`, `batched:256`, `coalesced:8`.
+    /// Parses `seq`, `auto`, `threaded:4`, `batched:256`, `coalesced:8`.
     pub fn parse(text: &str) -> Result<Self, String> {
         if text == "seq" {
             return Ok(Self::Seq);
+        }
+        if text == "auto" {
+            return Ok(Self::Auto);
         }
         let (kind, param) = text
             .split_once(':')
@@ -185,6 +195,7 @@ impl fmt::Display for BackendSpec {
             Self::Threaded(n) => write!(f, "threaded:{n}"),
             Self::Batched(w) => write!(f, "batched:{w}"),
             Self::Coalesced(w) => write!(f, "coalesced:{w}"),
+            Self::Auto => write!(f, "auto"),
         }
     }
 }
@@ -294,9 +305,11 @@ impl Request {
                         .parse()
                         .map_err(|_| "unparsable seed".to_string())?,
                     algo: AlgoSpec::parse(&required("algo")?)?,
+                    // The self-tuning backend is the daemon default; a
+                    // client that wants a fixed lowering says so explicitly.
                     backend: match lookup(&fields, "backend") {
                         Some(text) => BackendSpec::parse(&text)?,
-                        None => BackendSpec::Seq,
+                        None => BackendSpec::Auto,
                     },
                 };
                 Ok(Self::Submit(spec))
@@ -338,6 +351,30 @@ pub struct TenantCounters {
     /// This tenant's jobs finished — result, failure, or cancellation —
     /// since the daemon started.
     pub completed: u64,
+}
+
+/// Per-tenant completed-job latency histogram carried by
+/// [`Response::Status`], rendered on the wire as
+/// `latency_us=name:lo.hi.count;lo.hi.count,...` — the non-empty
+/// power-of-two microsecond buckets of an
+/// [`ecs_model::RoundSizeHistogram`]-shaped histogram, exactly as
+/// [`ecs_model::RoundSizeHistogram::nonzero_buckets`] reports them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TenantLatency {
+    /// The fairness bucket (flattened like [`TenantCounters::name`]).
+    pub name: String,
+    /// `(smallest µs in bucket, largest µs in bucket, jobs)` triples,
+    /// smallest first.
+    pub buckets: Vec<(usize, usize, u64)>,
+}
+
+/// Flattens a tenant name for the wire: `:`, `,`, and `=` become `_`
+/// (mirroring how `failed` flattens whitespace), so packed per-tenant fields
+/// stay splittable.
+fn flatten_name(name: &str) -> String {
+    name.chars()
+        .map(|c| if matches!(c, ':' | ',' | '=') { '_' } else { c })
+        .collect()
 }
 
 /// A daemon-to-client response line.
@@ -386,6 +423,19 @@ pub enum Response {
         /// Per-tenant counters, in tenant-name order. Absent from older
         /// daemons' lines, so parsing tolerates a missing field.
         tenants: Vec<TenantCounters>,
+        /// Per-tenant completed-job latency histograms, in tenant-name
+        /// order. Absent from older daemons' lines (parsed as empty), and
+        /// malformed entries are skipped rather than failing the line.
+        latency: Vec<TenantLatency>,
+        /// Daemon-wide completed-job rate since startup, in millijobs per
+        /// second (integer, so the line stays ASCII-token friendly). Absent
+        /// from older daemons' lines.
+        rate_mjps: Option<u64>,
+        /// The most recently lowered `auto` [`TuningDecision`] per tenant,
+        /// in tenant-name order — what "currently tuned to" means for a
+        /// tenant's jobs. Tenants that never ran an `auto` job are absent,
+        /// as is the whole field on older daemons.
+        tuning: Vec<(String, TuningDecision)>,
     },
     /// Every job this session submitted has completed.
     Drained,
@@ -450,6 +500,43 @@ impl Response {
                         .collect::<Result<Vec<_>, _>>()?,
                     Err(_) => Vec::new(),
                 },
+                // The three self-tuning fields are newer still; absence *and*
+                // malformed entries both degrade to "not reported" so a new
+                // client keeps working against any daemon vintage.
+                latency: match field("latency_us") {
+                    Ok(packed) => packed
+                        .split(',')
+                        .filter_map(|entry| {
+                            let (name, buckets) = entry.split_once(':')?;
+                            let buckets = buckets
+                                .split(';')
+                                .filter_map(|triple| {
+                                    let mut parts = triple.split('.');
+                                    let lo = parts.next()?.parse().ok()?;
+                                    let hi = parts.next()?.parse().ok()?;
+                                    let count = parts.next()?.parse().ok()?;
+                                    Some((lo, hi, count))
+                                })
+                                .collect();
+                            Some(TenantLatency {
+                                name: name.to_string(),
+                                buckets,
+                            })
+                        })
+                        .collect(),
+                    Err(_) => Vec::new(),
+                },
+                rate_mjps: field("rate_mjps").ok().and_then(|t| t.parse().ok()),
+                tuning: match field("tuning") {
+                    Ok(packed) => packed
+                        .split(',')
+                        .filter_map(|entry| {
+                            let (name, decision) = entry.split_once(':')?;
+                            Some((name.to_string(), TuningDecision::parse(decision)?))
+                        })
+                        .collect(),
+                    Err(_) => Vec::new(),
+                },
             }),
             "drained" => Ok(Self::Drained),
             "bye" => Ok(Self::Bye),
@@ -479,6 +566,9 @@ impl Response {
                 completed,
                 draining,
                 tenants,
+                latency,
+                rate_mjps,
+                tuning,
             } => {
                 let mut line = format!(
                     "status queued={queued} inflight={inflight} completed={completed} draining={draining}"
@@ -486,16 +576,35 @@ impl Response {
                 if !tenants.is_empty() {
                     let packed: Vec<String> = tenants
                         .iter()
-                        .map(|t| {
-                            let name: String = t
-                                .name
-                                .chars()
-                                .map(|c| if matches!(c, ':' | ',' | '=') { '_' } else { c })
-                                .collect();
-                            format!("{}:{}:{}", name, t.queued, t.completed)
-                        })
+                        .map(|t| format!("{}:{}:{}", flatten_name(&t.name), t.queued, t.completed))
                         .collect();
                     line.push_str(&format!(" tenants={}", packed.join(",")));
+                }
+                if !latency.is_empty() {
+                    let packed: Vec<String> = latency
+                        .iter()
+                        .map(|t| {
+                            let buckets: Vec<String> = t
+                                .buckets
+                                .iter()
+                                .map(|(lo, hi, count)| format!("{lo}.{hi}.{count}"))
+                                .collect();
+                            format!("{}:{}", flatten_name(&t.name), buckets.join(";"))
+                        })
+                        .collect();
+                    line.push_str(&format!(" latency_us={}", packed.join(",")));
+                }
+                if let Some(rate) = rate_mjps {
+                    line.push_str(&format!(" rate_mjps={rate}"));
+                }
+                if !tuning.is_empty() {
+                    let packed: Vec<String> = tuning
+                        .iter()
+                        .map(|(name, decision)| {
+                            format!("{}:{}", flatten_name(name), decision.render())
+                        })
+                        .collect();
+                    line.push_str(&format!(" tuning={}", packed.join(",")));
                 }
                 line
             }
@@ -514,6 +623,31 @@ impl Response {
 /// the daemon and a serial caller produce bit-identical [`EcsRun`]s. Panics
 /// with [`ecs_model::Cancelled`] if `token` trips mid-run.
 pub fn run_job(spec: &JobSpec, linger: Duration, token: Option<&CancellationToken>) -> EcsRun {
+    run_job_traced(spec, linger, token).run
+}
+
+/// A completed job evaluation: the run itself, plus — for
+/// [`BackendSpec::Auto`] jobs — the calibration decision trace the daemon
+/// persists and reports.
+#[derive(Debug, Clone)]
+pub struct JobRun {
+    /// The partition and metrics, bit-identical across every backend.
+    pub run: EcsRun,
+    /// The recorded [`CalibrationLog`] of an `auto` job (`None` for fixed
+    /// backends). Replaying it through
+    /// [`ExecutionBackend::auto_replay`] reproduces the run's exact
+    /// threshold / wave schedule.
+    pub calibration: Option<CalibrationLog>,
+}
+
+/// [`run_job`] with the calibration trace kept: what the daemon's dispatch
+/// path calls, so an `auto` job's lowered parameters can be persisted and
+/// surfaced through `status`.
+pub fn run_job_traced(
+    spec: &JobSpec,
+    linger: Duration,
+    token: Option<&CancellationToken>,
+) -> JobRun {
     let mut rng = Xoshiro256StarStar::seed_from_u64(spec.seed);
     let n = spec.n.max(1);
     let instance = match spec.dist {
@@ -531,8 +665,12 @@ pub fn run_job(spec: &JobSpec, linger: Duration, token: Option<&CancellationToke
     };
     let k = instance.ground_truth().num_classes().max(1);
     let oracle = InstanceOracle::new(&instance);
+    let untraced = |run: EcsRun| JobRun {
+        run,
+        calibration: None,
+    };
     match (spec.backend, token) {
-        (BackendSpec::Coalesced(wave), Some(token)) => execute(
+        (BackendSpec::Coalesced(wave), Some(token)) => untraced(execute(
             spec,
             k,
             &CancellableOracle::new(
@@ -540,20 +678,38 @@ pub fn run_job(spec: &JobSpec, linger: Duration, token: Option<&CancellationToke
                 token.clone(),
             ),
             ExecutionBackend::Sequential,
-        ),
-        (BackendSpec::Coalesced(wave), None) => execute(
+        )),
+        (BackendSpec::Coalesced(wave), None) => untraced(execute(
             spec,
             k,
             &BatchingOracle::with_linger(oracle, wave, linger),
             ExecutionBackend::Sequential,
-        ),
-        (backend, Some(token)) => execute(
+        )),
+        (BackendSpec::Auto, token) => {
+            // One fresh calibration handle per job: the recorded trace is the
+            // job's own schedule, not a process-wide aggregate.
+            let backend = ExecutionBackend::auto();
+            let run = match token {
+                Some(token) => execute(
+                    spec,
+                    k,
+                    &CancellableOracle::new(oracle, token.clone()),
+                    backend,
+                ),
+                None => execute(spec, k, &oracle, backend),
+            };
+            JobRun {
+                run,
+                calibration: backend.calibration().map(|handle| handle.finish()),
+            }
+        }
+        (backend, Some(token)) => untraced(execute(
             spec,
             k,
             &CancellableOracle::new(oracle, token.clone()),
             plain_backend(backend),
-        ),
-        (backend, None) => execute(spec, k, &oracle, plain_backend(backend)),
+        )),
+        (backend, None) => untraced(execute(spec, k, &oracle, plain_backend(backend))),
     }
 }
 
@@ -562,7 +718,9 @@ fn plain_backend(spec: BackendSpec) -> ExecutionBackend {
         BackendSpec::Seq => ExecutionBackend::Sequential,
         BackendSpec::Threaded(n) => ExecutionBackend::from_threads(n.max(1)),
         BackendSpec::Batched(w) => ExecutionBackend::batched(w),
-        BackendSpec::Coalesced(_) => unreachable!("coalesced is handled by the caller"),
+        BackendSpec::Coalesced(_) | BackendSpec::Auto => {
+            unreachable!("coalesced and auto are handled by the caller")
+        }
     }
 }
 
@@ -637,7 +795,11 @@ mod tests {
         };
         assert_eq!(spec.tenant, "default");
         assert_eq!(spec.weight, 1);
-        assert_eq!(spec.backend, BackendSpec::Seq);
+        assert_eq!(
+            spec.backend,
+            BackendSpec::Auto,
+            "the daemon default is the self-tuning backend"
+        );
         assert_eq!(spec.dist, DistSpec::Zeta(2.5));
     }
 
@@ -670,6 +832,9 @@ mod tests {
                 completed: 9,
                 draining: true,
                 tenants: Vec::new(),
+                latency: Vec::new(),
+                rate_mjps: None,
+                tuning: Vec::new(),
             },
             Response::Status {
                 queued: 2,
@@ -687,6 +852,29 @@ mod tests {
                         queued: 0,
                         completed: 3,
                     },
+                ],
+                latency: vec![TenantLatency {
+                    name: "alpha".into(),
+                    buckets: vec![(0, 0, 1), (513, 1024, 3)],
+                }],
+                rate_mjps: Some(1500),
+                tuning: vec![
+                    (
+                        "alpha".into(),
+                        TuningDecision {
+                            threads: 2,
+                            threshold: 4096,
+                            wave: None,
+                        },
+                    ),
+                    (
+                        "beta".into(),
+                        TuningDecision {
+                            threads: 1,
+                            threshold: 64,
+                            wave: Some(256),
+                        },
+                    ),
                 ],
             },
             Response::Error {
@@ -712,8 +900,39 @@ mod tests {
                 completed: 9,
                 draining: false,
                 tenants: Vec::new(),
+                latency: Vec::new(),
+                rate_mjps: None,
+                tuning: Vec::new(),
             }
         );
+        // A PR 8 daemon's line (tenants, but no self-tuning fields) and a
+        // line with malformed self-tuning entries both still parse, with the
+        // unusable parts degraded to "not reported".
+        let pr8 = "status queued=0 inflight=0 completed=2 draining=false tenants=a:0:2";
+        let Response::Status {
+            latency,
+            rate_mjps,
+            tuning,
+            ..
+        } = Response::parse(pr8).unwrap()
+        else {
+            panic!("status must parse");
+        };
+        assert_eq!((latency, rate_mjps, tuning), (Vec::new(), None, Vec::new()));
+        let mangled = "status queued=0 inflight=0 completed=2 draining=false \
+                       latency_us=a:junk;1.2.3 rate_mjps=fast tuning=a:1:2";
+        let Response::Status {
+            latency,
+            rate_mjps,
+            tuning,
+            ..
+        } = Response::parse(mangled).unwrap()
+        else {
+            panic!("status must parse");
+        };
+        assert_eq!(latency[0].buckets, vec![(1, 2, 3)], "bad triples skipped");
+        assert_eq!(rate_mjps, None);
+        assert!(tuning.is_empty(), "a truncated decision is skipped");
     }
 
     #[test]
@@ -728,6 +947,9 @@ mod tests {
                 queued: 1,
                 completed: 2,
             }],
+            latency: Vec::new(),
+            rate_mjps: None,
+            tuning: Vec::new(),
         };
         let line = status.render();
         assert!(line.ends_with("tenants=a_b_c_d:1:2"), "{line}");
@@ -748,12 +970,35 @@ mod tests {
             BackendSpec::Threaded(2),
             BackendSpec::Batched(16),
             BackendSpec::Coalesced(4),
+            BackendSpec::Auto,
         ] {
             let mut other = base.clone();
             other.backend = backend;
             let line = render_result(&base, &run_job(&other, Duration::ZERO, None));
             assert_eq!(line, reference, "{backend} diverged from seq");
         }
+    }
+
+    #[test]
+    fn auto_jobs_carry_a_replayable_calibration_trace() {
+        let mut job = spec("auto");
+        job.backend = BackendSpec::Auto;
+        let traced = run_job_traced(&job, Duration::ZERO, None);
+        let log = traced.calibration.expect("auto jobs record a trace");
+        assert_eq!(
+            CalibrationLog::parse_line(&log.render_line()),
+            Some(log.clone()),
+            "the persisted trace line must round-trip"
+        );
+        // Fixed backends carry no trace, and the auto result is the seq one.
+        let mut fixed = job.clone();
+        fixed.backend = BackendSpec::Seq;
+        let reference = run_job_traced(&fixed, Duration::ZERO, None);
+        assert!(reference.calibration.is_none());
+        assert_eq!(
+            render_result(&job, &traced.run),
+            render_result(&fixed, &reference.run)
+        );
     }
 
     #[test]

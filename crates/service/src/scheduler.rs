@@ -18,13 +18,18 @@
 //! like a successful one, so a killed session can never leak pool capacity.
 
 use crate::outbox::Outbox;
-use crate::protocol::{render_result, run_job, JobSpec, Response, TenantCounters};
+use crate::protocol::{
+    render_result, run_job_traced, JobSpec, Response, TenantCounters, TenantLatency,
+};
 use ecs_model::throughput::JobPanic;
-use ecs_model::{CancellationToken, ThroughputPool};
+use ecs_model::{
+    CalibrationLog, CancellationToken, RoundSizeHistogram, ThroughputPool, TuningDecision,
+};
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::{Arc, Condvar, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Pass-value increment for a weight-1 tenant; a weight-`w` tenant advances
 /// by `STRIDE_SCALE / w` per dispatch.
@@ -108,6 +113,12 @@ struct Tenant {
     /// failure, or cancellation. Tenants are never removed, so the counter
     /// survives the queue emptying.
     completed: u64,
+    /// Wall-clock of this tenant's *dispatched* jobs (power-of-two µs
+    /// buckets; queued cancels never ran, so they are not counted).
+    latency_us: RoundSizeHistogram,
+    /// The last decision the calibration layer lowered for one of this
+    /// tenant's `auto` jobs — what the tenant is "currently tuned to".
+    last_tuning: Option<TuningDecision>,
 }
 
 #[derive(Debug)]
@@ -131,6 +142,12 @@ pub struct Scheduler {
     pool: ThroughputPool,
     linger: Duration,
     max_inflight: usize,
+    /// When the scheduler was built — the denominator of the status line's
+    /// completed-jobs rate.
+    started: Instant,
+    /// Where finished `auto` jobs persist their calibration trace (one file
+    /// per job, best-effort), when configured.
+    trace_dir: Option<PathBuf>,
     state: Mutex<SchedState>,
     settled: Condvar,
 }
@@ -143,9 +160,20 @@ impl Scheduler {
             pool,
             linger,
             max_inflight: max_inflight.max(1),
+            started: Instant::now(),
+            trace_dir: None,
             state: Mutex::new(SchedState::default()),
             settled: Condvar::new(),
         }
+    }
+
+    /// Persists every finished `auto` job's [`CalibrationLog`] as
+    /// `<dir>/<tenant>__<session>__<job>.calib` (names flattened to
+    /// filesystem-safe characters). Writes are best-effort: an unwritable
+    /// directory never fails the job.
+    pub fn with_trace_dir(mut self, dir: Option<PathBuf>) -> Self {
+        self.trace_dir = dir;
+        self
     }
 
     /// The scheduler's pool (its workers run every job).
@@ -184,6 +212,8 @@ impl Scheduler {
                 stride,
                 queue: VecDeque::new(),
                 completed: 0,
+                latency_us: RoundSizeHistogram::default(),
+                last_tuning: None,
             });
         // Weight is a property of the tenant's latest submit; re-anchor an
         // idle tenant so a long absence never becomes a burst of catch-up.
@@ -241,11 +271,16 @@ impl Scheduler {
         });
     }
 
-    /// Daemon-wide counters, plus per-tenant queue depth and completed-job
-    /// counts (in tenant-name order — the tenant map is a `BTreeMap`, so the
-    /// rendering is deterministic).
+    /// Daemon-wide counters, plus per-tenant queue depth, completed-job
+    /// counts, job-latency histograms, and the last `auto`-lowered tuning
+    /// decision (all in tenant-name order — the tenant map is a `BTreeMap`,
+    /// so the rendering is deterministic).
     pub fn status(&self) -> Response {
         let state = self.lock();
+        // Millijobs/second since startup: integer so the wire token stays a
+        // plain number, milli so short-lived daemons still resolve a rate.
+        let elapsed = self.started.elapsed().as_secs_f64();
+        let rate_mjps = (state.completed as f64 * 1_000.0 / elapsed.max(1e-9)) as u64;
         Response::Status {
             queued: state.queued,
             inflight: state.inflight.len(),
@@ -258,6 +293,23 @@ impl Scheduler {
                     name: name.clone(),
                     queued: tenant.queue.len(),
                     completed: tenant.completed,
+                })
+                .collect(),
+            latency: state
+                .tenants
+                .iter()
+                .filter(|(_, tenant)| tenant.latency_us.total() > 0)
+                .map(|(name, tenant)| TenantLatency {
+                    name: name.clone(),
+                    buckets: tenant.latency_us.nonzero_buckets(),
+                })
+                .collect(),
+            rate_mjps: Some(rate_mjps),
+            tuning: state
+                .tenants
+                .iter()
+                .filter_map(|(name, tenant)| {
+                    tenant.last_tuning.map(|decision| (name.clone(), decision))
                 })
                 .collect(),
         }
@@ -332,16 +384,22 @@ impl Scheduler {
             let billed_to = next;
             self.pool.spawn(move || {
                 let QueuedJob { spec, session } = job;
-                let outcome =
-                    catch_unwind(AssertUnwindSafe(|| run_job(&spec, linger, Some(&token))));
-                let response = match outcome {
-                    Ok(run) => Response::Result {
-                        id: spec.id.clone(),
-                        line: render_result(&spec, &run),
-                    },
+                let dispatched = Instant::now();
+                let outcome = catch_unwind(AssertUnwindSafe(|| {
+                    run_job_traced(&spec, linger, Some(&token))
+                }));
+                let elapsed = dispatched.elapsed();
+                let (response, calibration) = match outcome {
+                    Ok(traced) => (
+                        Response::Result {
+                            id: spec.id.clone(),
+                            line: render_result(&spec, &traced.run),
+                        },
+                        traced.calibration,
+                    ),
                     Err(payload) => {
                         let panic = JobPanic::from_payload(payload);
-                        if panic.is_cancelled() {
+                        let response = if panic.is_cancelled() {
                             Response::Cancelled {
                                 id: spec.id.clone(),
                             }
@@ -350,23 +408,35 @@ impl Scheduler {
                                 id: spec.id.clone(),
                                 message: panic.message().to_string(),
                             }
-                        }
+                        };
+                        (response, None)
                     }
                 };
-                scheduler.complete(&key, &billed_to, &session, &response);
+                scheduler.persist_trace(&billed_to, &key, calibration.as_ref());
+                scheduler.complete(
+                    &key,
+                    &billed_to,
+                    &session,
+                    &response,
+                    elapsed,
+                    calibration.as_ref(),
+                );
             });
         }
     }
 
-    /// The completion path every job takes — success, panic, or
-    /// cancellation: deliver the terminal response, bill the tenant, release
-    /// the fairness slot, dispatch whoever is next.
+    /// The completion path every dispatched job takes — success, panic, or
+    /// cancellation: deliver the terminal response, bill the tenant (count,
+    /// latency, and any `auto` tuning it ran under), release the fairness
+    /// slot, dispatch whoever is next.
     fn complete(
         self: &Arc<Self>,
         key: &str,
         tenant: &str,
         session: &Arc<SessionHandle>,
         response: &Response,
+        elapsed: Duration,
+        calibration: Option<&CalibrationLog>,
     ) {
         session.finish_job(response);
         let mut state = self.lock();
@@ -374,10 +444,39 @@ impl Scheduler {
         state.completed += 1;
         if let Some(tenant) = state.tenants.get_mut(tenant) {
             tenant.completed += 1;
+            tenant
+                .latency_us
+                .record(usize::try_from(elapsed.as_micros()).unwrap_or(usize::MAX));
+            if let Some((_, decision)) = calibration.and_then(|log| log.decisions.last()) {
+                tenant.last_tuning = Some(*decision);
+            }
         }
         self.dispatch_locked(&mut state);
         drop(state);
         self.settled.notify_all();
+    }
+
+    /// Writes one finished `auto` job's trace under the configured
+    /// directory. Best-effort by design: persistence failures must never
+    /// fail the job or the daemon.
+    fn persist_trace(&self, tenant: &str, key: &str, calibration: Option<&CalibrationLog>) {
+        let (Some(dir), Some(log)) = (&self.trace_dir, calibration) else {
+            return;
+        };
+        let flat = |text: &str| -> String {
+            text.chars()
+                .map(|c| {
+                    if c.is_ascii_alphanumeric() || matches!(c, '-' | '.') {
+                        c
+                    } else {
+                        '_'
+                    }
+                })
+                .collect()
+        };
+        let path = dir.join(format!("{}__{}.calib", flat(tenant), flat(key)));
+        let _ = std::fs::create_dir_all(dir);
+        let _ = std::fs::write(path, format!("{}\n", log.render_line()));
     }
 
     fn lock(&self) -> std::sync::MutexGuard<'_, SchedState> {
@@ -563,6 +662,92 @@ mod tests {
             "every terminal response bills its tenant exactly once"
         );
         let _ = drain_lines(&session);
+    }
+
+    #[test]
+    fn status_reports_latency_rate_and_auto_tuning() {
+        let scheduler = Arc::new(Scheduler::new(
+            ThroughputPool::from_jobs(1),
+            1,
+            Duration::ZERO,
+        ));
+        let session = Arc::new(SessionHandle::new(11));
+        let mut auto_job = spec("auto0", "a", 1);
+        auto_job.backend = BackendSpec::Auto;
+        // Round-executing algorithm: single `compare` calls bypass the
+        // backend, so a round-robin job would record no decisions.
+        auto_job.algo = AlgoSpec::ErMerge;
+        scheduler.submit(auto_job, &session);
+        scheduler.submit(spec("seq0", "b", 1), &session);
+        let _ = drain_lines(&session);
+        scheduler.wait_idle();
+        let Response::Status {
+            latency,
+            rate_mjps,
+            tuning,
+            ..
+        } = scheduler.status()
+        else {
+            panic!("status must render counters")
+        };
+        let jobs_per_tenant: Vec<(String, u64)> = latency
+            .iter()
+            .map(|t| {
+                (
+                    t.name.clone(),
+                    t.buckets.iter().map(|&(_, _, count)| count).sum(),
+                )
+            })
+            .collect();
+        assert_eq!(
+            jobs_per_tenant,
+            vec![("a".to_string(), 1), ("b".to_string(), 1)],
+            "each dispatched job lands in its tenant's latency histogram"
+        );
+        assert!(rate_mjps.is_some(), "a live daemon always reports a rate");
+        let tuned: Vec<&str> = tuning.iter().map(|(name, _)| name.as_str()).collect();
+        assert_eq!(
+            tuned,
+            vec!["a"],
+            "only the auto tenant reports a lowered decision"
+        );
+        // The full self-tuning status line survives a wire round-trip. (The
+        // rate is time-dependent, so compare the re-rendered line, not a
+        // second `status()` snapshot.)
+        let rendered = scheduler.status().render();
+        assert_eq!(
+            Response::parse(&rendered).expect("status parses").render(),
+            rendered
+        );
+    }
+
+    #[test]
+    fn auto_traces_persist_to_the_trace_dir() {
+        let dir = std::env::temp_dir().join(format!("ecs-trace-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let scheduler = Arc::new(
+            Scheduler::new(ThroughputPool::from_jobs(1), 1, Duration::ZERO)
+                .with_trace_dir(Some(dir.clone())),
+        );
+        let session = Arc::new(SessionHandle::new(12));
+        let mut auto_job = spec("traced", "t", 1);
+        auto_job.backend = BackendSpec::Auto;
+        auto_job.algo = AlgoSpec::ErMerge;
+        scheduler.submit(auto_job, &session);
+        scheduler.submit(spec("plain", "t", 1), &session);
+        let _ = drain_lines(&session);
+        scheduler.wait_idle();
+        let files: Vec<_> = std::fs::read_dir(&dir)
+            .expect("trace dir was created")
+            .map(|entry| entry.expect("entry reads").path())
+            .collect();
+        assert_eq!(files.len(), 1, "only the auto job persists a trace");
+        let line = std::fs::read_to_string(&files[0]).expect("trace reads");
+        assert!(
+            CalibrationLog::parse_line(line.trim()).is_some(),
+            "persisted trace must parse back: {line}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -44,6 +44,10 @@ pub struct DaemonConfig {
     /// Result lines a session may have queued before its reader stops
     /// admitting new submits.
     pub outbox_limit: usize,
+    /// Directory where finished `auto` jobs persist their calibration trace
+    /// (one `.calib` file per job, best-effort). `None` disables
+    /// persistence.
+    pub trace_dir: Option<std::path::PathBuf>,
 }
 
 impl Default for DaemonConfig {
@@ -54,6 +58,7 @@ impl Default for DaemonConfig {
             max_inflight: 2 * workers,
             linger: DEFAULT_LINGER,
             outbox_limit: 64,
+            trace_dir: None,
         }
     }
 }
@@ -125,11 +130,10 @@ impl Daemon {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
         let shared = Arc::new(DaemonShared {
-            scheduler: Arc::new(Scheduler::new(
-                config.pool,
-                config.max_inflight,
-                config.linger,
-            )),
+            scheduler: Arc::new(
+                Scheduler::new(config.pool, config.max_inflight, config.linger)
+                    .with_trace_dir(config.trace_dir.clone()),
+            ),
             outbox_limit: config.outbox_limit,
             next_session: AtomicU64::new(0),
             stopping: AtomicBool::new(false),
@@ -174,11 +178,10 @@ impl Daemon {
     /// [`DaemonHandle::connect`].
     pub fn loopback(config: DaemonConfig) -> DaemonHandle {
         let shared = Arc::new(DaemonShared {
-            scheduler: Arc::new(Scheduler::new(
-                config.pool,
-                config.max_inflight,
-                config.linger,
-            )),
+            scheduler: Arc::new(
+                Scheduler::new(config.pool, config.max_inflight, config.linger)
+                    .with_trace_dir(config.trace_dir.clone()),
+            ),
             outbox_limit: config.outbox_limit,
             next_session: AtomicU64::new(0),
             stopping: AtomicBool::new(false),

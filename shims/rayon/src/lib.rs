@@ -35,8 +35,8 @@ pub mod iter;
 pub mod pool;
 
 pub use pool::{
-    current_num_threads, scope, try_help, Scope, ThreadPool, ThreadPoolBuildError,
-    ThreadPoolBuilder,
+    current_num_threads, current_worker_index, scope, try_help, Scope, ThreadPool,
+    ThreadPoolBuildError, ThreadPoolBuilder, WorkerPlacement,
 };
 
 /// The rayon prelude: traits that add `par_iter` / `into_par_iter` and the
@@ -515,5 +515,85 @@ mod tests {
         });
         let expected: Vec<u64> = (0..8u64).map(|i| 4 * (i * 10) + 6).collect();
         assert_eq!(total, expected);
+    }
+
+    #[test]
+    fn worker_start_hook_fires_once_per_worker_with_stable_indices() {
+        let seen = std::sync::Arc::new(Mutex::new(Vec::new()));
+        let hook_seen = std::sync::Arc::clone(&seen);
+        let p = ThreadPoolBuilder::new()
+            .num_threads(3)
+            .on_worker_start(move |index| hook_seen.lock().unwrap().push(index))
+            .build()
+            .expect("pool builds");
+        // The hook runs before any task is served, so by the time a batch
+        // completes on every worker the indices are all registered.
+        let out: Vec<usize> = p.install(|| (0..64usize).into_par_iter().map(|i| i).collect());
+        assert_eq!(out.len(), 64);
+        // Workers register asynchronously; wait for all three.
+        for _ in 0..200 {
+            if seen.lock().unwrap().len() == 3 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        let mut indices = seen.lock().unwrap().clone();
+        indices.sort_unstable();
+        assert_eq!(indices, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn panicking_worker_start_hook_does_not_kill_the_pool() {
+        let p = ThreadPoolBuilder::new()
+            .num_threads(2)
+            .on_worker_start(|index| panic!("hook boom on worker {index}"))
+            .build()
+            .expect("pool builds");
+        let out: Vec<usize> = p.install(|| (0..100usize).into_par_iter().map(|i| i * 2).collect());
+        assert_eq!(out, (0..100).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn current_worker_index_is_none_off_pool_and_stable_on_it() {
+        assert_eq!(super::current_worker_index(), None);
+        let p = pool(2);
+        // `install` runs the closure on the calling thread — still no index.
+        p.install(|| assert_eq!(super::current_worker_index(), None));
+        // On a worker the index is in range; the same OS thread always
+        // reports the same index.
+        let (tx, rx) = std::sync::mpsc::channel();
+        for _ in 0..8 {
+            let tx = tx.clone();
+            p.spawn_fifo(move || {
+                let first = super::current_worker_index();
+                let second = super::current_worker_index();
+                tx.send((first, second)).unwrap();
+            });
+        }
+        drop(tx);
+        for (first, second) in rx.iter() {
+            let index = first.expect("worker must report an index");
+            assert!(index < 2);
+            assert_eq!(first, second);
+        }
+    }
+
+    #[test]
+    fn pinned_placement_is_bit_identical_to_rotating() {
+        let input: Vec<u64> = (0..50_000u64).collect();
+        let reference: Vec<u64> = input.iter().map(|&x| x.wrapping_mul(0x9E37)).collect();
+        for placement in [
+            super::WorkerPlacement::Rotating,
+            super::WorkerPlacement::Pinned,
+        ] {
+            let p = ThreadPoolBuilder::new()
+                .num_threads(4)
+                .placement(placement)
+                .build()
+                .expect("pool builds");
+            let out: Vec<u64> =
+                p.install(|| input.par_iter().map(|&x| x.wrapping_mul(0x9E37)).collect());
+            assert_eq!(out, reference, "placement {placement:?} changed results");
+        }
     }
 }

@@ -16,8 +16,11 @@
 use parallel_ecs::prelude::*;
 use proptest::prelude::*;
 
-/// The backends every adversarial run must agree across.
-fn backends() -> [ExecutionBackend; 5] {
+/// The backends every adversarial run must agree across. `Auto` rides along:
+/// the round-commit protocol answers against round-start state in canonical
+/// order, so even a backend that re-tunes itself mid-run cannot perturb an
+/// adversarial transcript.
+fn backends() -> [ExecutionBackend; 6] {
     [
         ExecutionBackend::Sequential,
         ExecutionBackend::Threaded {
@@ -30,6 +33,7 @@ fn backends() -> [ExecutionBackend; 5] {
         },
         ExecutionBackend::batched(0),
         ExecutionBackend::batched(64),
+        ExecutionBackend::auto(),
     ]
 }
 

@@ -20,8 +20,11 @@ use ecs_model::{ExecutionBackend, Instance, InstanceOracle};
 use ecs_rng::{SeedableEcsRng, Xoshiro256StarStar};
 use proptest::prelude::*;
 
-/// The backends every run must agree across.
-fn backends() -> [ExecutionBackend; 3] {
+/// The backends every run must agree across. The self-tuning `Auto` backend
+/// is in the roster because whatever it lowers to per round, answers are
+/// still collected in submission order — calibration may only move work
+/// between threads, never change results.
+fn backends() -> [ExecutionBackend; 4] {
     [
         ExecutionBackend::Sequential,
         ExecutionBackend::Threaded {
@@ -32,6 +35,7 @@ fn backends() -> [ExecutionBackend; 3] {
             threads: 8,
             threshold: 1,
         },
+        ExecutionBackend::auto(),
     ]
 }
 

@@ -1,0 +1,179 @@
+//! Property: the self-tuning backend is observationally invisible and its
+//! calibration log replays bit-identically.
+//!
+//! `ExecutionBackend::Auto` consults a wall-clock-fed calibration state to
+//! decide, per round, how to lower work onto the fixed backends. Because
+//! charging precedes evaluation and answers are collected in submission
+//! order, none of that may show up in results: for every algorithm, on
+//! honest instances and against both lower-bound adversaries, an `Auto` run
+//! must produce the **identical partition, [`Metrics`], and round trace** as
+//! `Sequential`. And the [`CalibrationLog`] an `Auto` run records must be a
+//! faithful script: re-running the same job under `auto_replay` serves the
+//! recorded decisions verbatim (no clock reads), reproduces the same
+//! outputs, and finishes holding a log equal to the recording — including
+//! after a render/parse round trip through the wire format.
+
+use parallel_ecs::prelude::*;
+use proptest::prelude::*;
+
+/// One algorithm by index, so every backend run constructs it identically.
+fn run_algorithm<O: EquivalenceOracle>(
+    which: usize,
+    oracle: &O,
+    n: usize,
+    seed: u64,
+    backend: ExecutionBackend,
+) -> EcsRun {
+    let k = (n / 3).max(1);
+    match which {
+        0 => NaiveAllPairs::new().sort_with_backend(oracle, backend),
+        1 => RoundRobin::new().sort_with_backend(oracle, backend),
+        2 => RepresentativeScan::new().sort_with_backend(oracle, backend),
+        3 => ErMergeSort::new().sort_with_backend(oracle, backend),
+        4 => ErConstantRound::adaptive(seed).sort_with_backend(oracle, backend),
+        5 => CrCompoundMerge::new(k).sort_with_backend(oracle, backend),
+        _ => unreachable!("unknown algorithm index {which}"),
+    }
+}
+
+const NUM_ALGORITHMS: usize = 6;
+
+/// Runs `which` under Sequential, Auto, and Auto-replay via `make_oracle`
+/// (a fresh oracle per run — adversaries are stateful) and checks the whole
+/// contract for one algorithm/oracle pair.
+fn assert_auto_is_invisible_and_replayable<O, M>(
+    which: usize,
+    make_oracle: &M,
+    n: usize,
+    seed: u64,
+    context: &str,
+) where
+    O: EquivalenceOracle,
+    M: Fn() -> O,
+{
+    let sequential = run_algorithm(which, &make_oracle(), n, seed, ExecutionBackend::Sequential);
+
+    let recorder = ExecutionBackend::auto();
+    let auto = run_algorithm(which, &make_oracle(), n, seed, recorder);
+    assert_eq!(
+        sequential.partition, auto.partition,
+        "{context}: auto partition differs from sequential"
+    );
+    assert_eq!(
+        sequential.metrics, auto.metrics,
+        "{context}: auto metrics differ from sequential"
+    );
+    assert_eq!(
+        sequential.metrics.round_sizes(),
+        auto.metrics.round_sizes(),
+        "{context}: auto round trace differs from sequential"
+    );
+
+    let recorded = recorder
+        .calibration()
+        .expect("an auto backend always exposes its calibration handle")
+        .finish();
+    // The wire format is lossless: a parsed render is the same log.
+    let parsed = CalibrationLog::parse_line(&recorded.render_line())
+        .expect("a rendered calibration log parses back");
+    assert_eq!(recorded, parsed, "{context}: calibration wire round trip");
+
+    let replayer = ExecutionBackend::auto_replay(&recorded);
+    let replay = run_algorithm(which, &make_oracle(), n, seed, replayer);
+    assert_eq!(
+        sequential.partition, replay.partition,
+        "{context}: replay partition differs from sequential"
+    );
+    assert_eq!(
+        sequential.metrics, replay.metrics,
+        "{context}: replay metrics differ from sequential"
+    );
+    let served = replayer
+        .calibration()
+        .expect("a replay backend exposes its calibration handle")
+        .finish();
+    assert_eq!(
+        recorded, served,
+        "{context}: replay served a different decision schedule than was recorded"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn auto_agrees_with_sequential_and_replays_on_instances(
+        seed in 0u64..10_000,
+        n in 2usize..90,
+        k in 1usize..8,
+    ) {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
+        let instance = Instance::balanced(n, k.min(n), &mut rng);
+        for which in 0..NUM_ALGORITHMS {
+            assert_auto_is_invisible_and_replayable(
+                which,
+                &|| InstanceOracle::new(&instance),
+                n,
+                seed,
+                &format!("algorithm {which} on balanced({n},{k})"),
+            );
+        }
+    }
+
+    #[test]
+    fn auto_agrees_with_sequential_and_replays_against_adversaries(
+        seed in 0u64..10_000,
+        f_choice in 0usize..3,
+        classes in 2usize..5,
+        ell in 1usize..4,
+        which in 0usize..NUM_ALGORITHMS,
+    ) {
+        let f = [2usize, 4, 8][f_choice];
+        let n = f * classes;
+        assert_auto_is_invisible_and_replayable(
+            which,
+            &move || EqualSizeAdversary::new(n, f),
+            n,
+            seed,
+            &format!("algorithm {which} vs equal-size adversary, n={n} f={f}"),
+        );
+        let n = ell + 3 * (ell + 1);
+        assert_auto_is_invisible_and_replayable(
+            which,
+            &move || SmallestClassAdversary::new(n, ell),
+            n,
+            seed,
+            &format!("algorithm {which} vs smallest-class adversary, n={n} ell={ell}"),
+        );
+    }
+}
+
+/// Pins survive the recording and the replay: a log recorded under pinned
+/// knobs replays under the same pins, and the rendered line says so.
+#[test]
+fn pinned_recordings_replay_with_their_pins() {
+    let mut rng = Xoshiro256StarStar::seed_from_u64(11);
+    let instance = Instance::balanced(64, 4, &mut rng);
+    let oracle = InstanceOracle::new(&instance);
+    let pins = PinnedKnobs {
+        threads: Some(2),
+        wave: Some(16),
+    };
+    let recorder = ExecutionBackend::auto_pinned(pins);
+    let run = ErMergeSort::new().sort_with_backend(&oracle, recorder);
+    assert!(instance.verify(&run.partition));
+    let log = recorder
+        .calibration()
+        .expect("auto backend exposes its handle")
+        .finish();
+    assert_eq!(log.pins, pins);
+    for (_, decision) in &log.decisions {
+        assert_eq!(decision.threads, 2, "pinned thread count must be honored");
+        assert_eq!(decision.wave, Some(16), "pinned wave must be honored");
+    }
+    let replayer = ExecutionBackend::auto_replay(&log);
+    assert!(replayer.label().contains("replay"));
+    let again = ErMergeSort::new().sort_with_backend(&oracle, replayer);
+    assert_eq!(run.partition, again.partition);
+    assert_eq!(run.metrics, again.metrics);
+}

@@ -17,7 +17,7 @@ use proptest::prelude::*;
 
 /// The backends both plan modes must agree across. `threshold: 1` forces
 /// even test-sized rounds through the work-stealing pool.
-fn backends() -> [ExecutionBackend; 3] {
+fn backends() -> [ExecutionBackend; 4] {
     [
         ExecutionBackend::Sequential,
         ExecutionBackend::Threaded {
@@ -25,6 +25,12 @@ fn backends() -> [ExecutionBackend; 3] {
             threshold: 1,
         },
         ExecutionBackend::batched(64),
+        // Pinned to two workers so the roster exercises Auto's threaded
+        // lowering even on a single-core CI host.
+        ExecutionBackend::auto_pinned(PinnedKnobs {
+            threads: Some(2),
+            wave: None,
+        }),
     ]
 }
 
@@ -118,7 +124,12 @@ where
         // a round's pairs in whatever interleaving its threads race to (two
         // full-replan runs differ the same way), so only the multiset is
         // comparable there; the deterministic backends must match exactly.
-        if matches!(backend, ExecutionBackend::Threaded { .. }) {
+        // `Auto` may lower any round to that pool, so it gets the same
+        // treatment.
+        if matches!(
+            backend,
+            ExecutionBackend::Threaded { .. } | ExecutionBackend::Auto { .. }
+        ) {
             let mut a = incremental.transcript.clone();
             let mut b = full.transcript.clone();
             a.sort_unstable();

@@ -31,10 +31,11 @@ fn grid_spec(session: usize, j: usize) -> JobSpec {
         2 => DistSpec::Zeta(2.5),
         _ => DistSpec::Balanced(5),
     };
-    let backend = match (session + j) % 3 {
+    let backend = match (session + j) % 4 {
         0 => BackendSpec::Seq,
         1 => BackendSpec::Batched(16),
-        _ => BackendSpec::Coalesced(4),
+        2 => BackendSpec::Coalesced(4),
+        _ => BackendSpec::Auto,
     };
     JobSpec {
         id: format!("s{session:02}-j{j}"),
@@ -54,6 +55,7 @@ fn daemon_config() -> DaemonConfig {
         max_inflight: 4,
         linger: Duration::ZERO,
         outbox_limit: 16,
+        trace_dir: None,
     }
 }
 

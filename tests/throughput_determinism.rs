@@ -160,4 +160,16 @@ fn two_distributions_share_one_pool_deterministically() {
             assert_eq!(a.metrics.round_sizes(), b.metrics.round_sizes());
         }
     }
+    // A pool sized by the self-tuning backend must agree too: calibration
+    // only picks how many workers serve the queue, never what they compute.
+    let auto = pooled_grid(
+        &instances,
+        77,
+        &ThroughputPool::new(ecs_model::ExecutionBackend::auto()),
+    );
+    for (a, b) in reference.iter().flatten().zip(auto.iter().flatten()) {
+        assert_eq!(a.partition, b.partition);
+        assert_eq!(a.metrics, b.metrics);
+        assert_eq!(a.metrics.round_sizes(), b.metrics.round_sizes());
+    }
 }
