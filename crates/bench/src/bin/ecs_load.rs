@@ -3,10 +3,11 @@
 //! ```text
 //! ecs_load [--sessions S] [--tenants T] [--per-session J] [--n N] [--seed S]
 //!          [--out results] [--connect HOST:PORT] [--serial] [--duration-ms MS]
-//!          [--jobs N] [--max-inflight M] [--linger-us U]
+//!          [--chaos] [--reject-smoke] [--jobs N] [--max-inflight M]
+//!          [--linger-us U]
 //! ```
 //!
-//! Two modes:
+//! Four modes:
 //!
 //! * **Diff mode** (default): `S` concurrent client sessions each submit a
 //!   deterministic job slate to the daemon (self-spawned on an ephemeral
@@ -18,6 +19,17 @@
 //!   CI diffs the two files byte-for-byte.
 //! * **Load mode** (`--duration-ms`): one session keeps a submission window
 //!   full until the deadline, then drains and reports throughput.
+//! * **Chaos mode** (`--chaos`): diff mode, except every session opens with
+//!   `hello`, is killed mid-stream (the connection is dropped without
+//!   ceremony after a deterministic number of results), and then resumed on
+//!   a fresh connection with `resume <token> <last_seq>`. The collected
+//!   lines must still be byte-identical to the `--serial` reference —
+//!   that's the whole point.
+//! * **Quota smoke** (`--reject-smoke`): submits one job as tenant
+//!   `blocked` (quota `0` queued — self-configured, or set on the daemon
+//!   under test with `--quota 'blocked=0:-:-'`), expects a deterministic
+//!   `rejected`, verifies other tenants still complete and that `status`
+//!   bills the rejection, then shuts the daemon down.
 //!
 //! Exit code 0 means every submitted job produced its terminal line AND the
 //! daemon (when self-spawned) shut down with all threads joined.
@@ -27,7 +39,8 @@
 use ecs_bench::cli::{smoke, Args};
 use ecs_service::protocol::{render_result, run_job};
 use ecs_service::{
-    AlgoSpec, BackendSpec, Client, Daemon, DaemonConfig, DistSpec, JobSpec, Request, Response,
+    AlgoSpec, BackendSpec, Client, Daemon, DaemonConfig, DistSpec, JobSpec, QuotaConfig, Request,
+    Response,
 };
 use std::io::Write;
 use std::time::{Duration, Instant};
@@ -91,6 +104,8 @@ fn main() {
         "connect",
         "serial",
         "duration-ms",
+        "chaos",
+        "reject-smoke",
         "jobs",
         "max-inflight",
         "linger-us",
@@ -111,10 +126,17 @@ fn main() {
         Some(addr) => (None, addr.to_string()),
         None => {
             let pool = args.throughput_pool();
+            // A self-spawned reject-smoke daemon needs the quota under test.
+            let quotas = if args.has("reject-smoke") {
+                QuotaConfig::parse("blocked=0:-:-").expect("static quota parses")
+            } else {
+                QuotaConfig::default()
+            };
             let config = DaemonConfig {
                 max_inflight: args.get_usize("max-inflight", 2 * pool.workers()),
                 linger: args.linger(),
                 pool,
+                quotas,
                 ..DaemonConfig::default()
             };
             let daemon = Daemon::bind("127.0.0.1:0", config).expect("bind an ephemeral port");
@@ -130,10 +152,23 @@ fn main() {
         sessions
     );
 
+    if args.has("reject-smoke") {
+        reject_smoke(&addr, base_seed, n);
+        let mut closer = Client::connect(&addr).expect("connect for shutdown");
+        closer.shutdown().expect("daemon acknowledges shutdown");
+        if let Some(daemon) = daemon {
+            daemon.join();
+            println!("ecs_load: daemon stopped cleanly");
+        }
+        return;
+    }
+
     let started = Instant::now();
     let collected: Vec<(String, String)> = if let Some(ms) = args.get("duration-ms") {
         let duration = Duration::from_millis(ms.parse().unwrap_or(1_000));
         load_mode(&addr, duration, base_seed, tenants, n)
+    } else if args.has("chaos") {
+        chaos_mode(&addr, sessions, per_session, base_seed, tenants, n)
     } else {
         diff_mode(&addr, sessions, per_session, base_seed, tenants, n)
     };
@@ -221,6 +256,123 @@ fn diff_mode(
             .flat_map(|handle| handle.join().expect("session thread"))
             .collect()
     })
+}
+
+/// Chaos mode: diff mode with a kill-and-resume in the middle of every
+/// session. Each session opens with `hello`, submits its slate, reads (and
+/// acks) a deterministic prefix of its stream, then drops the connection
+/// cold and finishes on a fresh one via `resume <token> <last_seq>`. The
+/// merged terminal lines must be byte-identical to an undropped run, which
+/// CI checks by diffing against the `--serial` reference.
+fn chaos_mode(
+    addr: &str,
+    sessions: usize,
+    per_session: usize,
+    base_seed: u64,
+    tenants: usize,
+    n: usize,
+) -> Vec<(String, String)> {
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..sessions)
+            .map(|s| {
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr).expect("connect session");
+                    let token = client.hello().expect("hello binds the session");
+                    for j in 0..per_session {
+                        let spec = job_spec(s, j, base_seed, tenants, n);
+                        client.submit(&spec).expect("submit job");
+                    }
+                    // Read until `cut` terminal lines arrived, acking every
+                    // delivered line — then vanish without a goodbye.
+                    let cut = s % per_session;
+                    let mut collected = Vec::new();
+                    while collected.len() < cut {
+                        let response = client
+                            .recv()
+                            .expect("read response")
+                            .expect("daemon must not close mid-slate");
+                        let seq = client.last_seq();
+                        client.ack(seq).expect("ack delivered line");
+                        collected.extend(terminal_line(&response));
+                    }
+                    let acked = client.last_seq();
+                    drop(client); // the "kill": no drain, no bye
+                    let mut resumed = Client::connect(addr).expect("reconnect session");
+                    resumed
+                        .resume(&token, acked)
+                        .expect("resume from the last acked seq");
+                    // The dead connection's reader may still be admitting the
+                    // tail of the slate, so a `drain` barrier here could
+                    // overtake those submits; counting terminal lines is the
+                    // only safe barrier after an unclean drop.
+                    while collected.len() < per_session {
+                        let response = resumed
+                            .recv()
+                            .expect("read resumed response")
+                            .expect("daemon must not close mid-replay");
+                        let seq = resumed.last_seq();
+                        resumed.ack(seq).expect("ack replayed line");
+                        collected.extend(terminal_line(&response));
+                    }
+                    collected
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|handle| handle.join().expect("session thread"))
+            .collect()
+    })
+}
+
+/// Quota smoke: against a daemon whose `blocked` tenant has a zero-depth
+/// queue, an over-quota submit must bounce with a deterministic `rejected`,
+/// other tenants must be unaffected, and `status` must bill the rejection.
+fn reject_smoke(addr: &str, base_seed: u64, n: usize) {
+    let mut client = Client::connect(addr).expect("connect quota session");
+    let mut over = job_spec(0, 0, base_seed, 1, n);
+    over.id = "blocked-0".into();
+    over.tenant = "blocked".into();
+    client.submit(&over).expect("submit over-quota job");
+    match client.recv().expect("read response") {
+        Some(Response::Rejected { id, reason }) if id == "blocked-0" => {
+            println!("ecs_load: over-quota submit rejected ({reason})");
+        }
+        other => {
+            eprintln!("ecs_load: expected `rejected` for the blocked tenant, saw {other:?}");
+            std::process::exit(1);
+        }
+    }
+    let mut allowed = job_spec(0, 1, base_seed, 1, n);
+    allowed.id = "allowed-0".into();
+    allowed.tenant = "open".into();
+    client.submit(&allowed).expect("submit allowed job");
+    let responses = client.drain().expect("drain quota session");
+    if !responses
+        .iter()
+        .any(|r| matches!(r, Response::Result { id, .. } if id == "allowed-0"))
+    {
+        eprintln!("ecs_load: the allowed tenant's job never completed: {responses:?}");
+        std::process::exit(1);
+    }
+    client.send(&Request::Status).expect("send status");
+    loop {
+        match client.recv().expect("read status").expect("status line") {
+            Response::Status { tenants, .. } => {
+                let Some(blocked) = tenants.iter().find(|t| t.name == "blocked") else {
+                    eprintln!("ecs_load: status does not report the blocked tenant: {tenants:?}");
+                    std::process::exit(1);
+                };
+                if blocked.rejected < 1 || blocked.max_queued != Some(0) {
+                    eprintln!("ecs_load: rejection not billed in status: {blocked:?}");
+                    std::process::exit(1);
+                }
+                break;
+            }
+            _ => continue,
+        }
+    }
+    println!("ecs_load: quota rejection smoke passed");
 }
 
 /// Load mode: one session keeps a bounded submission window full until the

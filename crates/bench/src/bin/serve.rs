@@ -2,8 +2,12 @@
 //!
 //! ```text
 //! serve [--addr HOST:PORT] [--jobs N] [--max-inflight M] [--linger-us U]
-//!       [--trace-dir DIR]
+//!       [--trace-dir DIR] [--quota SPEC]
 //! ```
+//!
+//! `--quota` takes comma-separated `tenant=queued:inflight:weight` entries
+//! (`*` names the default quota, `-` leaves a component unlimited), e.g.
+//! `--quota 'alpha=4:2:3,*=64:-:-'`.
 //!
 //! Binds a TCP listener (`--addr 127.0.0.1:0` picks an ephemeral port,
 //! printed on startup so scripts can scrape it), serves the line protocol of
@@ -12,7 +16,7 @@
 //! been joined — the clean-shutdown contract the CI smoke step checks.
 
 use ecs_bench::cli::Args;
-use ecs_service::{Daemon, DaemonConfig};
+use ecs_service::{Daemon, DaemonConfig, QuotaConfig};
 
 fn main() {
     let args = Args::from_env();
@@ -25,7 +29,16 @@ fn main() {
         "batch",
         "backend",
         "trace-dir",
+        "quota",
     ]);
+    let quotas = match args.get("quota").map(QuotaConfig::parse) {
+        None => QuotaConfig::default(),
+        Some(Ok(quotas)) => quotas,
+        Some(Err(message)) => {
+            eprintln!("serve: bad --quota: {message}");
+            std::process::exit(2);
+        }
+    };
     let pool = args.throughput_pool();
     let config = DaemonConfig {
         max_inflight: args.get_usize("max-inflight", 2 * pool.workers()),
@@ -35,6 +48,7 @@ fn main() {
         // dir, each finished auto job persists its calibration decision
         // trace as one replayable `.calib` line.
         trace_dir: args.get("trace-dir").map(std::path::PathBuf::from),
+        quotas,
         ..DaemonConfig::default()
     };
     let addr = args.get_or("addr", "127.0.0.1:7878");

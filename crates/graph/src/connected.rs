@@ -7,7 +7,7 @@
 //! these coincide with the strongly connected components of the directed
 //! version restricted to positive answers, and the test-suite checks that.
 
-use crate::UnionFind;
+use crate::{BitRow, UnionFind};
 
 /// Computes the connected components of the undirected graph on `n` vertices
 /// with the given edges.
@@ -33,11 +33,26 @@ pub fn component_labels(n: usize, edges: &[(usize, usize)]) -> Vec<usize> {
     uf.labels()
 }
 
-/// Returns the size of the largest connected component (0 for an empty graph).
+/// The components as packed membership rows — one [`BitRow`] per component,
+/// bit `x` set iff vertex `x` belongs to it, ordered by smallest member
+/// (the same canonical order as [`connected_components`]).
+pub fn components_as_bitrows(n: usize, edges: &[(usize, usize)]) -> Vec<BitRow> {
+    let mut uf = UnionFind::new(n);
+    for &(u, v) in edges {
+        assert!(u < n && v < n, "edge endpoint out of range");
+        uf.union(u, v);
+    }
+    uf.classes_as_bitrows()
+}
+
+/// Returns the size of the largest connected component (0 for an empty
+/// graph). Runs on the packed [`components_as_bitrows`] substrate: a
+/// component's size is a popcount over its row, no member lists are
+/// materialised.
 pub fn largest_component_size(n: usize, edges: &[(usize, usize)]) -> usize {
-    connected_components(n, edges)
+    components_as_bitrows(n, edges)
         .iter()
-        .map(|c| c.len())
+        .map(BitRow::count_ones)
         .max()
         .unwrap_or(0)
 }
@@ -122,6 +137,27 @@ mod tests {
             let total: usize = comps.iter().map(|c| c.len()).sum();
             prop_assert_eq!(total, n);
             prop_assert!(largest_component_size(n, &edges) <= n);
+        }
+
+        #[test]
+        fn packed_rows_agree_with_the_legacy_group_lists(
+            n in 1usize..50,
+            raw_edges in proptest::collection::vec((0usize..50, 0usize..50), 0..100)
+        ) {
+            // The bitrow substrate and the legacy Vec<Vec<usize>> path are
+            // two views of the same partition: same order, same members,
+            // and the packed largest-component size equals the legacy max.
+            let edges: Vec<(usize, usize)> =
+                raw_edges.into_iter().map(|(u, v)| (u % n, v % n)).collect();
+            let comps = connected_components(n, &edges);
+            let rows = components_as_bitrows(n, &edges);
+            prop_assert_eq!(comps.len(), rows.len());
+            for (comp, row) in comps.iter().zip(&rows) {
+                let members: Vec<usize> = row.iter_ones().collect();
+                prop_assert_eq!(comp, &members);
+            }
+            let legacy_max = comps.iter().map(|c| c.len()).max().unwrap_or(0);
+            prop_assert_eq!(largest_component_size(n, &edges), legacy_max);
         }
     }
 }

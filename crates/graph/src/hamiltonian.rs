@@ -497,6 +497,15 @@ mod tests {
                 })
                 .collect();
             let largest = largest_component_size(w_size, &sub_edges);
+            // `largest_component_size` now runs on the packed bitrow
+            // substrate; cross-validate it against the legacy group-list
+            // path on every trial before trusting the bound below.
+            let legacy = crate::connected_components(w_size, &sub_edges)
+                .iter()
+                .map(Vec::len)
+                .max()
+                .unwrap_or(0);
+            assert_eq!(largest, legacy, "packed and legacy paths must agree");
             assert!(
                 largest * 8 > w_size,
                 "trial {trial}: largest component {largest} of subset {w_size} too small"

@@ -35,7 +35,7 @@ pub mod union_find;
 
 pub use bitset::{coord_to_idx, BitRow, PairBitset};
 pub use coloring::{EquitableColoring, WeightedEquitableColoring};
-pub use connected::connected_components;
+pub use connected::{components_as_bitrows, connected_components};
 pub use digraph::DiGraph;
 pub use hamiltonian::{Fragments, HamiltonianUnion};
 pub use scc::{component_labels, kosaraju_scc, scc_as_bitrows, tarjan_scc};

@@ -12,13 +12,17 @@
 //!   reference evaluate through, which is what makes daemon output
 //!   byte-identical to a serial loop by construction.
 //! * [`scheduler`] — weighted stride-scheduling fairness between tenants,
-//!   bounded in-flight dispatch, cooperative cancellation, and fault
-//!   isolation (a panicking or cancelled job releases its slot like any
-//!   other).
+//!   bounded in-flight dispatch, per-tenant admission quotas
+//!   ([`QuotaConfig`]: bounded queues, in-flight caps, pinned weights),
+//!   cooperative cancellation, and fault isolation (a panicking or
+//!   cancelled job releases its slot like any other).
 //! * [`outbox`] — per-session result queues: non-blocking pushes for pool
-//!   workers, reader-side admission gating for backpressure.
-//! * [`server`] — the [`Daemon`] itself: transports, session threads, drain
-//!   and shutdown lifecycle with a joined-threads guarantee.
+//!   workers, reader-side admission gating for backpressure, and (for
+//!   `hello` sessions) sequence-numbered retention so a dropped connection
+//!   can `resume` and replay exactly its unacked suffix.
+//! * [`server`] — the [`Daemon`] itself: transports, session threads, a
+//!   resume registry keyed by stable session tokens, drain and shutdown
+//!   lifecycle with a joined-threads guarantee.
 //! * [`client`] — a blocking [`Client`] used by tests, the `ecs_load`
 //!   generator, and scripts.
 //!
@@ -55,6 +59,8 @@ pub mod server;
 
 pub use client::Client;
 pub use outbox::Outbox;
-pub use protocol::{AlgoSpec, BackendSpec, DistSpec, JobSpec, Request, Response, TenantCounters};
-pub use scheduler::{Scheduler, SessionHandle};
+pub use protocol::{
+    split_seq, AlgoSpec, BackendSpec, DistSpec, JobSpec, Request, Response, TenantCounters,
+};
+pub use scheduler::{QuotaConfig, Scheduler, SessionHandle, TenantQuota};
 pub use server::{Daemon, DaemonConfig, DaemonHandle};

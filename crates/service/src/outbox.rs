@@ -1,4 +1,4 @@
-//! The per-session result queue and its backpressure contract.
+//! The per-session result queue: backpressure, retention, and replay.
 //!
 //! Completions are produced by pool workers and consumed by the session's
 //! writer thread. The two sides have opposite blocking rules:
@@ -11,18 +11,75 @@
 //!   that stops reading its results stops being read — its socket fills and
 //!   the backpressure propagates to the client without costing the daemon a
 //!   thread or a byte of queue growth beyond the jobs already admitted.
+//!
+//! Every line carries a **sequence number**, assigned at push in arrival
+//! order starting from 1. Sessions opened with `hello` run the outbox in
+//! *retained* mode: a delivered line stays buffered (and billed against the
+//! [`Outbox::wait_below`] limit) until the client trims it with `ack N`, so
+//! a dropped connection can [`Outbox::resume_from`] its last acknowledged
+//! sequence number and replay exactly the unacked suffix — byte-identical
+//! to an undropped run. Anonymous sessions keep the pre-resume behaviour:
+//! delivery is the ack, nothing is retained, and no `seq=` prefix is
+//! rendered.
+//!
+//! Writer threads attach with [`Outbox::attach_writer`] and identify
+//! themselves by the returned epoch; a `resume` bumps the epoch, which both
+//! rewinds the delivery cursor and evicts the dropped connection's writer
+//! (its next [`Outbox::pop_at`] returns `None`), so two writers can never
+//! split one session's stream.
 
 use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex};
 
-#[derive(Debug, Default)]
+#[derive(Debug)]
 struct State {
+    /// Buffered lines: in retained mode everything unacked (delivered or
+    /// not); otherwise just the undelivered tail.
     lines: VecDeque<String>,
+    /// Sequence number of `lines[0]`; the next push gets
+    /// `front_seq + lines.len()`.
+    front_seq: u64,
+    /// Sequence number of the next line to deliver.
+    cursor: u64,
+    /// Whether delivered lines are retained until acked (resumable
+    /// sessions).
+    retain: bool,
+    /// The writer attachment currently allowed to deliver lines.
+    epoch: u64,
     closed: bool,
 }
 
-/// A multi-producer single-consumer line queue with non-blocking pushes and
-/// a reader-side admission gate.
+impl Default for State {
+    fn default() -> Self {
+        Self {
+            lines: VecDeque::new(),
+            front_seq: 1,
+            cursor: 1,
+            retain: false,
+            epoch: 0,
+            closed: false,
+        }
+    }
+}
+
+impl State {
+    /// One past the highest sequence number assigned so far.
+    fn next_seq(&self) -> u64 {
+        self.front_seq + self.lines.len() as u64
+    }
+
+    /// Trims every line with `seq <= upto`, keeping the cursor in range.
+    fn trim_through(&mut self, upto: u64) {
+        while self.front_seq <= upto && self.lines.pop_front().is_some() {
+            self.front_seq += 1;
+        }
+        self.cursor = self.cursor.max(self.front_seq);
+    }
+}
+
+/// A multi-producer single-consumer line queue with non-blocking pushes, a
+/// reader-side admission gate, and (for resumable sessions) acked retention
+/// with replay.
 #[derive(Debug, Default)]
 pub struct Outbox {
     state: Mutex<State>,
@@ -36,6 +93,15 @@ impl Outbox {
         Self::default()
     }
 
+    /// Switches the outbox to retained mode: delivered lines stay buffered
+    /// (and count toward [`Outbox::wait_below`]) until [`Outbox::ack`]
+    /// trims them, and delivery prefixes each line with its `seq=N` token.
+    /// Call before the first push — sequence numbers are assigned either
+    /// way, but already-delivered lines are not recovered retroactively.
+    pub fn enable_retention(&self) {
+        self.lock().retain = true;
+    }
+
     /// Queues a line for the writer. Never blocks; silently drops the line
     /// if the outbox is already closed (the session is gone).
     pub fn push(&self, line: String) {
@@ -47,14 +113,60 @@ impl Outbox {
         self.pushed.notify_all();
     }
 
+    /// Registers the calling writer as the session's current (only) one and
+    /// returns its epoch for [`Outbox::pop_at`]. Any previously attached
+    /// writer is evicted: its next pop returns `None`.
+    pub fn attach_writer(&self) -> u64 {
+        let mut state = self.lock();
+        state.epoch += 1;
+        self.pushed.notify_all();
+        state.epoch
+    }
+
+    /// Detaches `epoch` if it is still the current writer (a no-op when a
+    /// `resume` already attached a newer one), waking it out of a blocked
+    /// pop.
+    pub fn detach(&self, epoch: u64) {
+        let mut state = self.lock();
+        if state.epoch == epoch {
+            state.epoch += 1;
+            self.pushed.notify_all();
+        }
+    }
+
     /// Takes the next line, blocking until one arrives or the outbox closes.
-    /// Returns `None` only when the outbox is closed **and** drained, so a
-    /// writer loop flushes every queued line before exiting.
+    /// Returns `None` only when the outbox is closed **and** delivered, so a
+    /// writer loop flushes every queued line before exiting. Direct
+    /// consumers (tests, embedders) use this; connection writer threads use
+    /// [`Outbox::pop_at`] so a resumed session can evict them.
     pub fn pop(&self) -> Option<String> {
+        self.pop_inner(None)
+    }
+
+    /// [`Outbox::pop`] for an attached writer: additionally returns `None`
+    /// as soon as `epoch` is no longer the current attachment.
+    pub fn pop_at(&self, epoch: u64) -> Option<String> {
+        self.pop_inner(Some(epoch))
+    }
+
+    fn pop_inner(&self, epoch: Option<u64>) -> Option<String> {
         let mut state = self.lock();
         loop {
-            if let Some(line) = state.lines.pop_front() {
-                self.popped.notify_all();
+            if epoch.is_some_and(|epoch| epoch != state.epoch) {
+                return None;
+            }
+            if state.cursor < state.next_seq() {
+                let seq = state.cursor;
+                let at = (seq - state.front_seq) as usize;
+                state.cursor += 1;
+                let line = if state.retain {
+                    format!("seq={seq} {}", state.lines[at])
+                } else {
+                    let line = state.lines.pop_front().expect("cursor < next_seq");
+                    state.front_seq += 1;
+                    self.popped.notify_all();
+                    line
+                };
                 return Some(line);
             }
             if state.closed {
@@ -67,9 +179,50 @@ impl Outbox {
         }
     }
 
+    /// Trims every retained line with `seq <= upto` (the client has them)
+    /// and releases [`Outbox::wait_below`] waiters accordingly.
+    pub fn ack(&self, upto: u64) {
+        let mut state = self.lock();
+        state.trim_through(upto);
+        self.popped.notify_all();
+    }
+
+    /// Rewinds delivery to `last_seq + 1` for a reconnected session and
+    /// attaches the caller as the session's new writer (returning its epoch,
+    /// and evicting any previous writer). `last_seq` doubles as an ack —
+    /// everything at or below it is trimmed. Fails when `last_seq` predates
+    /// the retained window (an earlier ack already trimmed it) or was never
+    /// assigned.
+    pub fn resume_from(&self, last_seq: u64) -> Result<u64, String> {
+        let mut state = self.lock();
+        if !state.retain {
+            return Err("session does not retain results".to_string());
+        }
+        if last_seq + 1 < state.front_seq {
+            return Err(format!(
+                "seq {last_seq} already trimmed (acked through {})",
+                state.front_seq - 1
+            ));
+        }
+        if last_seq >= state.next_seq() {
+            return Err(format!(
+                "seq {last_seq} was never sent (next is {})",
+                state.next_seq()
+            ));
+        }
+        state.trim_through(last_seq);
+        state.cursor = last_seq + 1;
+        state.epoch += 1;
+        self.pushed.notify_all();
+        self.popped.notify_all();
+        Ok(state.epoch)
+    }
+
     /// Blocks the caller (the session reader, deciding whether to admit
-    /// another `submit`) until fewer than `limit` lines are queued or the
-    /// outbox closes.
+    /// another `submit`) until fewer than `limit` lines are buffered or the
+    /// outbox closes. In retained mode delivered-but-unacked lines still
+    /// count, which is what bounds retention: a client that never acks
+    /// stops being admitted.
     pub fn wait_below(&self, limit: usize) {
         let limit = limit.max(1);
         let mut state = self.lock();
@@ -81,12 +234,13 @@ impl Outbox {
         }
     }
 
-    /// Lines currently queued (diagnostics and tests).
+    /// Lines currently buffered — undelivered ones, plus (in retained mode)
+    /// delivered-but-unacked ones (diagnostics and tests).
     pub fn len(&self) -> usize {
         self.lock().lines.len()
     }
 
-    /// Whether nothing is queued.
+    /// Whether nothing is buffered.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
@@ -150,5 +304,91 @@ mod tests {
         let waiter = std::thread::spawn(move || gate.wait_below(1));
         outbox.close();
         waiter.join().unwrap();
+    }
+
+    #[test]
+    fn retained_lines_carry_their_seq_and_survive_delivery() {
+        let outbox = Outbox::new();
+        outbox.enable_retention();
+        outbox.push("alpha".into());
+        outbox.push("beta".into());
+        assert_eq!(outbox.pop().as_deref(), Some("seq=1 alpha"));
+        assert_eq!(outbox.pop().as_deref(), Some("seq=2 beta"));
+        assert_eq!(outbox.len(), 2, "delivered lines are retained until acked");
+        outbox.ack(1);
+        assert_eq!(outbox.len(), 1);
+        outbox.ack(2);
+        assert!(outbox.is_empty());
+    }
+
+    #[test]
+    fn ack_releases_a_retained_admission_gate() {
+        let outbox = Arc::new(Outbox::new());
+        outbox.enable_retention();
+        outbox.push("1".into());
+        outbox.push("2".into());
+        // Delivery alone must NOT open the gate: the lines are unacked.
+        assert!(outbox.pop().is_some());
+        assert!(outbox.pop().is_some());
+        let gate = Arc::clone(&outbox);
+        let admitted = std::thread::spawn(move || gate.wait_below(2));
+        std::thread::sleep(Duration::from_millis(20));
+        assert!(!admitted.is_finished(), "unacked lines must hold the gate");
+        outbox.ack(1);
+        admitted.join().unwrap();
+    }
+
+    #[test]
+    fn resume_replays_exactly_the_unacked_suffix() {
+        let outbox = Outbox::new();
+        outbox.enable_retention();
+        for line in ["a", "b", "c", "d"] {
+            outbox.push(line.into());
+        }
+        let first = outbox.attach_writer();
+        assert_eq!(outbox.pop_at(first).as_deref(), Some("seq=1 a"));
+        assert_eq!(outbox.pop_at(first).as_deref(), Some("seq=2 b"));
+        assert_eq!(outbox.pop_at(first).as_deref(), Some("seq=3 c"));
+        // The client acked 2, then the connection dropped: resume rewinds
+        // delivery to seq 3, trims 1..=2, and evicts the old writer.
+        let second = outbox.resume_from(2).expect("resume in window");
+        assert_eq!(outbox.pop_at(first), None, "old writer is evicted");
+        assert_eq!(outbox.pop_at(second).as_deref(), Some("seq=3 c"));
+        assert_eq!(outbox.pop_at(second).as_deref(), Some("seq=4 d"));
+        // Resuming from an already-trimmed seq or the future both fail.
+        assert!(outbox.resume_from(0).is_err(), "seq 1..=2 were trimmed");
+        assert!(outbox.resume_from(9).is_err(), "seq 9 was never sent");
+        // Resuming from the newest seq replays nothing but succeeds.
+        let third = outbox.resume_from(4).expect("resume at the tip");
+        outbox.close();
+        assert_eq!(outbox.pop_at(third), None);
+    }
+
+    #[test]
+    fn detach_is_a_noop_once_a_newer_writer_attached() {
+        let outbox = Arc::new(Outbox::new());
+        outbox.enable_retention();
+        let first = outbox.attach_writer();
+        let parked = {
+            let outbox = Arc::clone(&outbox);
+            std::thread::spawn(move || outbox.pop_at(first))
+        };
+        let second = outbox.resume_from(0).expect("resume from the start");
+        assert_eq!(parked.join().unwrap(), None, "resume evicts the writer");
+        // The dropped connection's epilogue runs late: it must not evict the
+        // resumed writer.
+        outbox.detach(first);
+        outbox.push("still-delivered".into());
+        assert_eq!(
+            outbox.pop_at(second).as_deref(),
+            Some("seq=1 still-delivered")
+        );
+    }
+
+    #[test]
+    fn an_anonymous_outbox_rejects_resume() {
+        let outbox = Outbox::new();
+        outbox.push("x".into());
+        assert!(outbox.resume_from(0).is_err());
     }
 }

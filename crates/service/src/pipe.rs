@@ -2,10 +2,13 @@
 //!
 //! [`pipe`] returns a connected writer/reader pair implementing
 //! [`std::io::Write`] / [`std::io::Read`] over a shared buffer, so the
-//! daemon's session code runs unchanged over loopback and TCP. Dropping the
-//! writer closes the pipe (the reader sees EOF after draining); a
-//! [`PipeCloser`] force-closes the read side from a third thread, which is
-//! how daemon shutdown unblocks a session reader parked on an idle client.
+//! daemon's session code runs unchanged over loopback and TCP. Dropping
+//! *either* half closes the pipe — the reader sees EOF after draining, and
+//! writes into a dropped reader error like writes into a dead socket, so a
+//! vanished loopback client cannot leave a session writer filling an
+//! unbounded buffer forever. A [`PipeCloser`] force-closes the read side
+//! from a third thread, which is how daemon shutdown unblocks a session
+//! reader parked on an idle client.
 
 use std::collections::VecDeque;
 use std::io::{Read, Write};
@@ -31,9 +34,16 @@ impl Shared {
 #[derive(Debug)]
 pub struct PipeWriter(Arc<Shared>);
 
-/// The read half.
+/// The read half; dropping it closes the pipe (writes then error, exactly
+/// like writing to a socket whose peer disconnected).
 #[derive(Debug)]
 pub struct PipeReader(Arc<Shared>);
+
+impl Drop for PipeReader {
+    fn drop(&mut self) {
+        self.0.close();
+    }
+}
 
 /// A detached handle that force-closes the pipe's read side.
 #[derive(Debug, Clone)]
@@ -153,5 +163,18 @@ mod tests {
         let (mut tx, rx) = pipe();
         rx.closer().close();
         assert!(writeln!(tx, "late").is_err());
+    }
+
+    #[test]
+    fn dropping_the_reader_breaks_subsequent_writes() {
+        // A vanished client must look like a dead socket to the session
+        // writer, not like an infinitely patient one.
+        let (mut tx, rx) = pipe();
+        writeln!(tx, "delivered-nowhere").unwrap();
+        drop(rx);
+        assert!(
+            writeln!(tx, "into the void").is_err(),
+            "writes into a dropped reader must error"
+        );
     }
 }

@@ -7,12 +7,21 @@
 //! against a serial reference run:
 //!
 //! ```text
+//! hello
 //! submit id=j0 tenant=a weight=2 dist=uniform:6 n=80 seed=7 algo=er-merge backend=seq
 //! cancel id=j0
+//! ack seq=5
+//! resume token=sess-00000001 last_seq=5
 //! status
 //! drain
 //! shutdown
 //! ```
+//!
+//! Sessions opened with `hello` receive a stable token and a
+//! sequence-numbered response stream (`seq=N ` prefixed, split off with
+//! [`split_seq`]); `ack seq=N` trims the daemon's retained copy and
+//! `resume <token> <last_seq>` re-attaches a dropped connection, replaying
+//! exactly the unacked suffix.
 //!
 //! Determinism is by construction: the daemon and any serial reference both
 //! evaluate a [`JobSpec`] through the same [`run_job`] and render it through
@@ -244,6 +253,27 @@ impl JobSpec {
 /// A client-to-daemon request line.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
+    /// Open a resumable session: the daemon answers `hello token=<t>` and
+    /// sequence-numbers every response line from then on. Must be the first
+    /// request of its connection.
+    Hello,
+    /// Re-attach a dropped resumable session, replaying every retained
+    /// response after `last_seq`. Must be the first request of its
+    /// connection.
+    Resume {
+        /// The token the `hello` response carried.
+        token: String,
+        /// The highest `seq=` this client has safely received (doubles as
+        /// an ack: everything at or below it is trimmed).
+        last_seq: u64,
+    },
+    /// Acknowledge receipt of every response line up to and including
+    /// `seq`, letting the daemon trim its retained copy (resumable sessions
+    /// only).
+    Ack {
+        /// The highest received sequence number.
+        seq: u64,
+    },
     /// Enqueue a job.
     Submit(JobSpec),
     /// Cancel a queued or in-flight job of this session.
@@ -320,6 +350,25 @@ impl Request {
                     lookup(&fields, "id").ok_or_else(|| "cancel is missing `id=`".to_string())?;
                 Ok(Self::Cancel { id })
             }
+            "hello" => Ok(Self::Hello),
+            "resume" => {
+                let fields = fields()?;
+                let token = lookup(&fields, "token")
+                    .ok_or_else(|| "resume is missing `token=`".to_string())?;
+                let last_seq = lookup(&fields, "last_seq")
+                    .ok_or_else(|| "resume is missing `last_seq=`".to_string())?
+                    .parse()
+                    .map_err(|_| "unparsable last_seq".to_string())?;
+                Ok(Self::Resume { token, last_seq })
+            }
+            "ack" => {
+                let fields = fields()?;
+                let seq = lookup(&fields, "seq")
+                    .ok_or_else(|| "ack is missing `seq=`".to_string())?
+                    .parse()
+                    .map_err(|_| "unparsable seq".to_string())?;
+                Ok(Self::Ack { seq })
+            }
             "status" => Ok(Self::Status),
             "drain" => Ok(Self::Drain),
             "shutdown" => Ok(Self::Shutdown),
@@ -330,6 +379,11 @@ impl Request {
     /// Renders the request as its wire line (no trailing newline).
     pub fn render(&self) -> String {
         match self {
+            Self::Hello => "hello".to_string(),
+            Self::Resume { token, last_seq } => {
+                format!("resume token={token} last_seq={last_seq}")
+            }
+            Self::Ack { seq } => format!("ack seq={seq}"),
             Self::Submit(spec) => format!("submit {}", spec.render_fields()),
             Self::Cancel { id } => format!("cancel id={id}"),
             Self::Status => "status".to_string(),
@@ -340,8 +394,13 @@ impl Request {
 }
 
 /// Per-tenant scheduler counters carried by [`Response::Status`], rendered
-/// on the wire as `tenants=name:queued:completed,...` (names have `:`, `,`,
-/// and `=` flattened to `_`, mirroring how `failed` flattens whitespace).
+/// on the wire as
+/// `tenants=name:queued:completed:rejected:max_queued:max_inflight,...`
+/// (names have `:`, `,`, and `=` flattened to `_`, mirroring how `failed`
+/// flattens whitespace; unlimited quota components render as `-`). Entries
+/// from daemons predating the quota fields carry only the first three
+/// components and parse with the quota fields degraded to "not reported";
+/// malformed entries are skipped, never failing the whole status line.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TenantCounters {
     /// The fairness bucket (as billed by `submit tenant=`).
@@ -351,6 +410,79 @@ pub struct TenantCounters {
     /// This tenant's jobs finished — result, failure, or cancellation —
     /// since the daemon started.
     pub completed: u64,
+    /// Submits this tenant had rejected over quota since the daemon
+    /// started (`0` on lines from daemons predating quotas).
+    pub rejected: u64,
+    /// The tenant's effective queue-depth quota (`None` = unlimited, or a
+    /// pre-quota daemon line).
+    pub max_queued: Option<usize>,
+    /// The tenant's effective in-flight quota (`None` = unlimited, or a
+    /// pre-quota daemon line).
+    pub max_inflight: Option<usize>,
+}
+
+impl TenantCounters {
+    /// Counters with no rejections and unlimited quotas — what a pre-quota
+    /// daemon's `name:queued:completed` entry means.
+    pub fn basic(name: &str, queued: usize, completed: u64) -> Self {
+        Self {
+            name: name.to_string(),
+            queued,
+            completed,
+            rejected: 0,
+            max_queued: None,
+            max_inflight: None,
+        }
+    }
+
+    /// Parses one packed `tenants=` entry (3-part legacy or 6-part quota
+    /// form); `None` means the entry is malformed and should be skipped.
+    fn parse_entry(entry: &str) -> Option<Self> {
+        let quota = |text: &str| -> Option<Option<usize>> {
+            if text == "-" {
+                Some(None)
+            } else {
+                text.parse().ok().map(Some)
+            }
+        };
+        let mut parts = entry.split(':');
+        let name = parts.next()?;
+        let counters = Self {
+            name: name.to_string(),
+            queued: parts.next()?.parse().ok()?,
+            completed: parts.next()?.parse().ok()?,
+            rejected: match parts.next() {
+                None => 0,
+                Some(text) => text.parse().ok()?,
+            },
+            max_queued: match parts.next() {
+                None => None,
+                Some(text) => quota(text)?,
+            },
+            max_inflight: match parts.next() {
+                None => None,
+                Some(text) => quota(text)?,
+            },
+        };
+        Some(counters)
+    }
+
+    /// Renders the packed `tenants=` entry.
+    fn render_entry(&self) -> String {
+        let quota = |limit: Option<usize>| match limit {
+            Some(limit) => limit.to_string(),
+            None => "-".to_string(),
+        };
+        format!(
+            "{}:{}:{}:{}:{}:{}",
+            flatten_name(&self.name),
+            self.queued,
+            self.completed,
+            self.rejected,
+            quota(self.max_queued),
+            quota(self.max_inflight)
+        )
+    }
 }
 
 /// Per-tenant completed-job latency histogram carried by
@@ -380,10 +512,23 @@ fn flatten_name(name: &str) -> String {
 /// A daemon-to-client response line.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Response {
+    /// The session is resumable; `token` re-attaches it after a drop.
+    Hello {
+        /// The stable session token for `resume`.
+        token: String,
+    },
     /// The submit was queued.
     Accepted {
         /// The submitted job.
         id: String,
+    },
+    /// The submit was refused by admission control (over quota); the job
+    /// was never enqueued and produces no terminal line.
+    Rejected {
+        /// The rejected job.
+        id: String,
+        /// Why admission refused it (whitespace flattened to `_`).
+        reason: String,
     },
     /// A completed job's rendered outcome (see [`render_result`]).
     Result {
@@ -462,7 +607,14 @@ impl Response {
                 .ok_or_else(|| format!("`{verb}` response is missing `{key}=`"))
         };
         match verb {
+            "hello" => Ok(Self::Hello {
+                token: field("token")?,
+            }),
             "accepted" => Ok(Self::Accepted { id: field("id")? }),
+            "rejected" => Ok(Self::Rejected {
+                id: field("id")?,
+                reason: field("reason").unwrap_or_default(),
+            }),
             "result" => Ok(Self::Result {
                 id: field("id")?,
                 line: line.to_string(),
@@ -478,26 +630,15 @@ impl Response {
                 inflight: field("inflight")?.parse().map_err(|_| "bad inflight")?,
                 completed: field("completed")?.parse().map_err(|_| "bad completed")?,
                 draining: field("draining")?.parse().map_err(|_| "bad draining")?,
-                // Older daemons do not emit the field; treat absence as empty.
+                // Older daemons do not emit the field; treat absence as
+                // empty. A malformed or truncated entry is skipped — one bad
+                // tenant must never abort the whole status line.
                 tenants: match field("tenants") {
                     Ok(packed) => packed
                         .split(',')
                         .filter(|entry| !entry.is_empty())
-                        .map(|entry| {
-                            let mut parts = entry.rsplitn(3, ':');
-                            let completed = parts.next().and_then(|t| t.parse().ok());
-                            let queued = parts.next().and_then(|t| t.parse().ok());
-                            let name = parts.next();
-                            match (name, queued, completed) {
-                                (Some(name), Some(queued), Some(completed)) => Ok(TenantCounters {
-                                    name: name.to_string(),
-                                    queued,
-                                    completed,
-                                }),
-                                _ => Err(format!("bad tenant counters `{entry}`")),
-                            }
-                        })
-                        .collect::<Result<Vec<_>, _>>()?,
+                        .filter_map(TenantCounters::parse_entry)
+                        .collect(),
                     Err(_) => Vec::new(),
                 },
                 // The three self-tuning fields are newer still; absence *and*
@@ -550,7 +691,14 @@ impl Response {
     /// Renders the response as its wire line (no trailing newline).
     pub fn render(&self) -> String {
         match self {
+            Self::Hello { token } => format!("hello token={token}"),
             Self::Accepted { id } => format!("accepted id={id}"),
+            Self::Rejected { id, reason } => {
+                format!(
+                    "rejected id={id} reason={}",
+                    reason.replace(char::is_whitespace, "_")
+                )
+            }
             Self::Result { line, .. } => line.clone(),
             Self::Cancelled { id } => format!("cancelled id={id}"),
             Self::Cancelling { id } => format!("cancelling id={id}"),
@@ -574,10 +722,8 @@ impl Response {
                     "status queued={queued} inflight={inflight} completed={completed} draining={draining}"
                 );
                 if !tenants.is_empty() {
-                    let packed: Vec<String> = tenants
-                        .iter()
-                        .map(|t| format!("{}:{}:{}", flatten_name(&t.name), t.queued, t.completed))
-                        .collect();
+                    let packed: Vec<String> =
+                        tenants.iter().map(TenantCounters::render_entry).collect();
                     line.push_str(&format!(" tenants={}", packed.join(",")));
                 }
                 if !latency.is_empty() {
@@ -613,6 +759,22 @@ impl Response {
             Self::Error { message } => format!("error {message}"),
         }
     }
+}
+
+/// Splits a resumable session's `seq=N ` prefix off a response line,
+/// returning `(Some(N), payload)` — or `(None, line)` unchanged for
+/// anonymous-session lines, which carry no sequence numbers. A leading
+/// `seq=` token with an unparsable number is left in place (the line is
+/// then malformed and surfaces as a parse error downstream).
+pub fn split_seq(line: &str) -> (Option<u64>, &str) {
+    if let Some(rest) = line.trim_start().strip_prefix("seq=") {
+        if let Some((number, payload)) = rest.split_once(' ') {
+            if let Ok(seq) = number.parse() {
+                return (Some(seq), payload);
+            }
+        }
+    }
+    (None, line)
 }
 
 /// Evaluates one job exactly as a serial reference loop would.
@@ -819,9 +981,40 @@ mod tests {
     }
 
     #[test]
+    fn session_requests_round_trip() {
+        for request in [
+            Request::Hello,
+            Request::Resume {
+                token: "sess-00000007".into(),
+                last_seq: 42,
+            },
+            Request::Ack { seq: 9 },
+        ] {
+            let again = Request::parse(&request.render()).expect("rendered lines must parse");
+            assert_eq!(request, again);
+        }
+        assert!(
+            Request::parse("resume token=t").is_err(),
+            "last_seq required"
+        );
+        assert!(
+            Request::parse("resume last_seq=3").is_err(),
+            "token required"
+        );
+        assert!(Request::parse("ack").is_err(), "seq required");
+    }
+
+    #[test]
     fn responses_round_trip() {
         let lines = [
+            Response::Hello {
+                token: "sess-00000001".into(),
+            },
             Response::Accepted { id: "a".into() },
+            Response::Rejected {
+                id: "a".into(),
+                reason: "queue_full:2".into(),
+            },
             Response::Cancelled { id: "a".into() },
             Response::Cancelling { id: "a".into() },
             Response::Drained,
@@ -846,12 +1039,11 @@ mod tests {
                         name: "alpha".into(),
                         queued: 2,
                         completed: 4,
+                        rejected: 3,
+                        max_queued: Some(8),
+                        max_inflight: Some(2),
                     },
-                    TenantCounters {
-                        name: "beta".into(),
-                        queued: 0,
-                        completed: 3,
-                    },
+                    TenantCounters::basic("beta", 0, 3),
                 ],
                 latency: vec![TenantLatency {
                     name: "alpha".into(),
@@ -910,6 +1102,7 @@ mod tests {
         // unusable parts degraded to "not reported".
         let pr8 = "status queued=0 inflight=0 completed=2 draining=false tenants=a:0:2";
         let Response::Status {
+            tenants,
             latency,
             rate_mjps,
             tuning,
@@ -918,6 +1111,11 @@ mod tests {
         else {
             panic!("status must parse");
         };
+        assert_eq!(
+            tenants,
+            vec![TenantCounters::basic("a", 0, 2)],
+            "a pre-quota entry parses with no rejections and unlimited quotas"
+        );
         assert_eq!((latency, rate_mjps, tuning), (Vec::new(), None, Vec::new()));
         let mangled = "status queued=0 inflight=0 completed=2 draining=false \
                        latency_us=a:junk;1.2.3 rate_mjps=fast tuning=a:1:2";
@@ -942,21 +1140,70 @@ mod tests {
             inflight: 0,
             completed: 2,
             draining: false,
-            tenants: vec![TenantCounters {
-                name: "a:b,c=d".into(),
-                queued: 1,
-                completed: 2,
-            }],
+            tenants: vec![TenantCounters::basic("a:b,c=d", 1, 2)],
             latency: Vec::new(),
             rate_mjps: None,
             tuning: Vec::new(),
         };
         let line = status.render();
-        assert!(line.ends_with("tenants=a_b_c_d:1:2"), "{line}");
+        assert!(line.ends_with("tenants=a_b_c_d:1:2:0:-:-"), "{line}");
         let Response::Status { tenants, .. } = Response::parse(&line).unwrap() else {
             panic!("status must parse");
         };
         assert_eq!(tenants[0].name, "a_b_c_d");
+    }
+
+    #[test]
+    fn malformed_tenant_entries_are_skipped_not_fatal() {
+        // A mangled `tenants=` field (truncated entry, non-numeric counter,
+        // garbage quota) must degrade to "those entries not reported" while
+        // the rest of the line — including well-formed neighbours of both
+        // vintages — still parses.
+        let mixed = "status queued=1 inflight=0 completed=9 draining=false \
+                     tenants=old:1:2,chopped,bad:x:y,new:0:3:4:8:-,q:0:1:0:junk:2,trail:2";
+        let Response::Status {
+            queued, tenants, ..
+        } = Response::parse(mixed).unwrap()
+        else {
+            panic!("a status line with mangled tenant entries must still parse");
+        };
+        assert_eq!(queued, 1);
+        assert_eq!(
+            tenants,
+            vec![
+                TenantCounters::basic("old", 1, 2),
+                TenantCounters {
+                    name: "new".into(),
+                    queued: 0,
+                    completed: 3,
+                    rejected: 4,
+                    max_queued: Some(8),
+                    max_inflight: None,
+                },
+            ],
+            "only the well-formed entries survive"
+        );
+    }
+
+    #[test]
+    fn seq_prefixes_split_off_and_absent_prefixes_pass_through() {
+        let (seq, payload) = split_seq("seq=17 result id=a classes=2");
+        assert_eq!(seq, Some(17));
+        assert_eq!(payload, "result id=a classes=2");
+        let (seq, payload) = split_seq("result id=a seq=5");
+        assert_eq!(seq, None, "only a LEADING seq token is a prefix");
+        assert_eq!(payload, "result id=a seq=5");
+        let (seq, payload) = split_seq("seq=abc result id=a");
+        assert_eq!(seq, None, "unparsable seq is left for the parser to flag");
+        assert_eq!(payload, "seq=abc result id=a");
+        // The round trip a resumable client performs on every line.
+        let line = format!("seq=3 {}", Response::Accepted { id: "j".into() }.render());
+        let (seq, payload) = split_seq(&line);
+        assert_eq!(seq, Some(3));
+        assert_eq!(
+            Response::parse(payload).unwrap(),
+            Response::Accepted { id: "j".into() }
+        );
     }
 
     #[test]

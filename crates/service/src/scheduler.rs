@@ -16,6 +16,15 @@
 //! `catch_unwind`, carrying a [`CancellationToken`]; a panicking or
 //! cancelled job releases its fairness slot in the completion path exactly
 //! like a successful one, so a killed session can never leak pool capacity.
+//!
+//! Fairness alone does not bound memory: a chatty tenant can still queue
+//! without limit behind its stride share. A [`QuotaConfig`] therefore adds
+//! admission control per tenant — `max_queued` rejects a `submit`
+//! deterministically (a `rejected` response, never a dropped job) once the
+//! tenant's queue is full, `max_inflight` caps how many of its jobs occupy
+//! pool slots at once (an over-limit tenant is simply skipped by the stride
+//! pick, not rejected), and `weight` pins the fairness weight regardless of
+//! what the submit asked for.
 
 use crate::outbox::Outbox;
 use crate::protocol::{
@@ -35,11 +44,101 @@ use std::time::{Duration, Instant};
 /// by `STRIDE_SCALE / w` per dispatch.
 const STRIDE_SCALE: u64 = 1 << 20;
 
+/// How far back the status line's completion rate looks. Wide enough that a
+/// steady trickle registers, narrow enough that an idle daemon reads zero
+/// instead of a lifetime average decaying forever.
+const RATE_WINDOW: Duration = Duration::from_millis(400);
+
+/// Admission limits for one tenant. `None` means unlimited (or, for
+/// `weight`, "honour whatever the submit asked for").
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TenantQuota {
+    /// Most jobs allowed to wait in the tenant's queue; a submit arriving
+    /// with the queue full is answered `rejected`.
+    pub max_queued: Option<usize>,
+    /// Most jobs of this tenant allowed in flight at once; an over-limit
+    /// tenant is skipped by dispatch until a job completes.
+    pub max_inflight: Option<usize>,
+    /// When set, overrides the fairness weight of every submit (clamped to
+    /// at least 1).
+    pub weight: Option<u32>,
+}
+
+/// Per-tenant [`TenantQuota`]s plus the default applied to tenants without
+/// an explicit entry. `QuotaConfig::default()` is fully unlimited — the
+/// pre-quota daemon behaviour.
+#[derive(Debug, Clone, Default)]
+pub struct QuotaConfig {
+    /// Applied to every tenant without a `per_tenant` entry.
+    pub default: TenantQuota,
+    /// Explicit per-tenant overrides.
+    pub per_tenant: BTreeMap<String, TenantQuota>,
+}
+
+impl QuotaConfig {
+    /// The quota governing `name` (the explicit entry, else the default).
+    pub fn for_tenant(&self, name: &str) -> TenantQuota {
+        self.per_tenant
+            .get(name)
+            .cloned()
+            .unwrap_or_else(|| self.default.clone())
+    }
+
+    /// Parses the serve-flag syntax: comma-separated
+    /// `tenant=queued:inflight:weight` entries where `*` names the default
+    /// quota and `-` leaves a component unlimited/unpinned —
+    /// `a=4:2:3,*=8:-:-` caps tenant `a` at 4 queued + 2 in flight with
+    /// weight pinned to 3, and everyone else at 8 queued.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut config = Self::default();
+        for entry in text.split(',').filter(|entry| !entry.is_empty()) {
+            let (name, spec) = entry.split_once('=').ok_or_else(|| {
+                format!("quota entry `{entry}` is not tenant=queued:inflight:weight")
+            })?;
+            let parts: Vec<&str> = spec.split(':').collect();
+            let [queued, inflight, weight] = parts.as_slice() else {
+                return Err(format!(
+                    "quota entry `{entry}` needs exactly queued:inflight:weight"
+                ));
+            };
+            let limit = |part: &str, what: &str| -> Result<Option<usize>, String> {
+                if part == "-" {
+                    return Ok(None);
+                }
+                part.parse()
+                    .map(Some)
+                    .map_err(|_| format!("quota entry `{entry}` has a bad {what} `{part}`"))
+            };
+            let quota = TenantQuota {
+                max_queued: limit(queued, "max_queued")?,
+                max_inflight: limit(inflight, "max_inflight")?,
+                weight: match *weight {
+                    "-" => None,
+                    raw => Some(
+                        raw.parse::<u32>()
+                            .map_err(|_| format!("quota entry `{entry}` has a bad weight `{raw}`"))?
+                            .max(1),
+                    ),
+                },
+            };
+            if name == "*" {
+                config.default = quota;
+            } else {
+                config.per_tenant.insert(name.to_string(), quota);
+            }
+        }
+        Ok(config)
+    }
+}
+
 /// One connected session: where its responses go and how many of its jobs
 /// are still somewhere in the daemon.
 #[derive(Debug)]
 pub struct SessionHandle {
     id: u64,
+    /// `Some` for resumable (`hello`) sessions: the stable identity a
+    /// reconnecting client presents to `resume`.
+    token: Option<String>,
     outbox: Outbox,
     progress: Mutex<SessionProgress>,
 }
@@ -54,9 +153,26 @@ impl SessionHandle {
     pub(crate) fn new(id: u64) -> Self {
         Self {
             id,
+            token: None,
             outbox: Outbox::new(),
             progress: Mutex::new(SessionProgress::default()),
         }
+    }
+
+    /// A resumable (`hello`) session: its outbox retains every delivered
+    /// line until acked and stamps each with a `seq=` prefix, so a later
+    /// `resume` can replay exactly the unacked suffix. The token is a pure
+    /// function of the session id, so resumable runs stay deterministic.
+    pub(crate) fn resumable(id: u64) -> Self {
+        let mut handle = Self::new(id);
+        handle.token = Some(format!("sess-{id:08x}"));
+        handle.outbox.enable_retention();
+        handle
+    }
+
+    /// The stable resume token, when this session was bound via `hello`.
+    pub fn token(&self) -> Option<&str> {
+        self.token.as_deref()
     }
 
     /// The session's response queue.
@@ -109,6 +225,14 @@ struct Tenant {
     pass: u64,
     stride: u64,
     queue: VecDeque<QueuedJob>,
+    /// How many of this tenant's jobs currently occupy pool slots — the
+    /// quantity `quota.max_inflight` bounds.
+    inflight: usize,
+    /// The admission limits this tenant runs under, resolved from the
+    /// daemon's [`QuotaConfig`] when the tenant first appeared.
+    quota: TenantQuota,
+    /// Submits turned away because the tenant's queue was at `max_queued`.
+    rejected: u64,
     /// Jobs of this tenant that reached a terminal response — result,
     /// failure, or cancellation. Tenants are never removed, so the counter
     /// survives the queue emptying.
@@ -133,6 +257,9 @@ struct SchedState {
     inflight: HashMap<String, CancellationToken>,
     queued: usize,
     completed: u64,
+    /// Completion instants inside the last [`RATE_WINDOW`] — the numerator
+    /// of the status line's windowed rate.
+    recent: VecDeque<Instant>,
     draining: bool,
 }
 
@@ -142,9 +269,8 @@ pub struct Scheduler {
     pool: ThroughputPool,
     linger: Duration,
     max_inflight: usize,
-    /// When the scheduler was built — the denominator of the status line's
-    /// completed-jobs rate.
-    started: Instant,
+    /// Per-tenant admission limits (default: unlimited).
+    quotas: QuotaConfig,
     /// Where finished `auto` jobs persist their calibration trace (one file
     /// per job, best-effort), when configured.
     trace_dir: Option<PathBuf>,
@@ -160,11 +286,19 @@ impl Scheduler {
             pool,
             linger,
             max_inflight: max_inflight.max(1),
-            started: Instant::now(),
+            quotas: QuotaConfig::default(),
             trace_dir: None,
             state: Mutex::new(SchedState::default()),
             settled: Condvar::new(),
         }
+    }
+
+    /// Installs per-tenant admission limits (see [`QuotaConfig`]). Quotas
+    /// are resolved when a tenant first submits, so install them before
+    /// serving traffic.
+    pub fn with_quotas(mut self, quotas: QuotaConfig) -> Self {
+        self.quotas = quotas;
+        self
     }
 
     /// Persists every finished `auto` job's [`CalibrationLog`] as
@@ -186,8 +320,8 @@ impl Scheduler {
     }
 
     /// Admits one job for `session`, responding `accepted` (and eventually
-    /// a terminal line) through the session outbox, or `error` when the
-    /// daemon is draining.
+    /// a terminal line) through the session outbox; `error` when the daemon
+    /// is draining, `rejected` when the tenant's queue is at its quota.
     pub fn submit(self: &Arc<Self>, spec: JobSpec, session: &Arc<SessionHandle>) {
         let mut state = self.lock();
         if state.draining {
@@ -203,7 +337,10 @@ impl Scheduler {
             .map(|tenant| tenant.pass)
             .min()
             .unwrap_or(0);
-        let stride = STRIDE_SCALE / u64::from(spec.weight.max(1));
+        let quota = self.quotas.for_tenant(&spec.tenant);
+        // A pinned quota weight wins over whatever the submit asked for.
+        let weight = quota.weight.unwrap_or(spec.weight).max(1);
+        let stride = STRIDE_SCALE / u64::from(weight);
         let tenant = state
             .tenants
             .entry(spec.tenant.clone())
@@ -211,10 +348,23 @@ impl Scheduler {
                 pass: floor,
                 stride,
                 queue: VecDeque::new(),
+                inflight: 0,
+                quota,
+                rejected: 0,
                 completed: 0,
                 latency_us: RoundSizeHistogram::default(),
                 last_tuning: None,
             });
+        if let Some(max_queued) = tenant.quota.max_queued {
+            if tenant.queue.len() >= max_queued {
+                tenant.rejected += 1;
+                session.respond(&Response::Rejected {
+                    id: spec.id,
+                    reason: format!("queue_full:{max_queued}"),
+                });
+                return;
+            }
+        }
         // Weight is a property of the tenant's latest submit; re-anchor an
         // idle tenant so a long absence never becomes a burst of catch-up.
         tenant.stride = stride;
@@ -252,7 +402,7 @@ impl Scheduler {
             let job = tenant.queue.remove(at).expect("position was just found");
             tenant.completed += 1;
             state.queued -= 1;
-            state.completed += 1;
+            Self::note_completions(&mut state, 1);
             drop(state);
             job.session
                 .finish_job(&Response::Cancelled { id: id.to_string() });
@@ -276,11 +426,13 @@ impl Scheduler {
     /// decision (all in tenant-name order — the tenant map is a `BTreeMap`,
     /// so the rendering is deterministic).
     pub fn status(&self) -> Response {
-        let state = self.lock();
-        // Millijobs/second since startup: integer so the wire token stays a
-        // plain number, milli so short-lived daemons still resolve a rate.
-        let elapsed = self.started.elapsed().as_secs_f64();
-        let rate_mjps = (state.completed as f64 * 1_000.0 / elapsed.max(1e-9)) as u64;
+        let mut state = self.lock();
+        // Millijobs/second over the trailing RATE_WINDOW: integer so the
+        // wire token stays a plain number, milli so a steady trickle still
+        // resolves, windowed so an idle daemon reads zero instead of a
+        // lifetime average decaying forever.
+        Self::trim_rate_window(&mut state, Instant::now());
+        let rate_mjps = (state.recent.len() as f64 * 1_000.0 / RATE_WINDOW.as_secs_f64()) as u64;
         Response::Status {
             queued: state.queued,
             inflight: state.inflight.len(),
@@ -293,6 +445,9 @@ impl Scheduler {
                     name: name.clone(),
                     queued: tenant.queue.len(),
                     completed: tenant.completed,
+                    rejected: tenant.rejected,
+                    max_queued: tenant.quota.max_queued,
+                    max_inflight: tenant.quota.max_inflight,
                 })
                 .collect(),
             latency: state
@@ -347,7 +502,7 @@ impl Scheduler {
             }
         }
         state.queued = 0;
-        state.completed += dropped.len() as u64;
+        Self::note_completions(&mut state, dropped.len());
         for token in state.inflight.values() {
             token.cancel();
         }
@@ -360,18 +515,28 @@ impl Scheduler {
     }
 
     /// Releases fairness slots to the pool while capacity and queued work
-    /// both remain.
+    /// both remain. A tenant at its `max_inflight` quota is skipped (its
+    /// queue waits), so the loop also ends when only capped tenants remain.
     fn dispatch_locked(self: &Arc<Self>, state: &mut SchedState) {
         while state.inflight.len() < self.max_inflight && state.queued > 0 {
-            let next = state
+            let Some(next) = state
                 .tenants
                 .iter()
-                .filter(|(_, tenant)| !tenant.queue.is_empty())
+                .filter(|(_, tenant)| {
+                    !tenant.queue.is_empty()
+                        && tenant
+                            .quota
+                            .max_inflight
+                            .is_none_or(|max| tenant.inflight < max)
+                })
                 .min_by_key(|(name, tenant)| (tenant.pass, name.as_str()))
                 .map(|(name, _)| name.clone())
-                .expect("queued > 0 implies a non-empty tenant");
+            else {
+                break;
+            };
             let tenant = state.tenants.get_mut(&next).expect("tenant exists");
             tenant.pass += tenant.stride;
+            tenant.inflight += 1;
             let job = tenant.queue.pop_front().expect("queue was non-empty");
             state.queued -= 1;
             let token = CancellationToken::new();
@@ -441,9 +606,10 @@ impl Scheduler {
         session.finish_job(response);
         let mut state = self.lock();
         state.inflight.remove(key);
-        state.completed += 1;
+        Self::note_completions(&mut state, 1);
         if let Some(tenant) = state.tenants.get_mut(tenant) {
             tenant.completed += 1;
+            tenant.inflight = tenant.inflight.saturating_sub(1);
             tenant
                 .latency_us
                 .record(usize::try_from(elapsed.as_micros()).unwrap_or(usize::MAX));
@@ -463,20 +629,31 @@ impl Scheduler {
         let (Some(dir), Some(log)) = (&self.trace_dir, calibration) else {
             return;
         };
-        let flat = |text: &str| -> String {
-            text.chars()
-                .map(|c| {
-                    if c.is_ascii_alphanumeric() || matches!(c, '-' | '.') {
-                        c
-                    } else {
-                        '_'
-                    }
-                })
-                .collect()
-        };
-        let path = dir.join(format!("{}__{}.calib", flat(tenant), flat(key)));
+        let path = dir.join(trace_file_name(tenant, key));
         let _ = std::fs::create_dir_all(dir);
         let _ = std::fs::write(path, format!("{}\n", log.render_line()));
+    }
+
+    /// Records `count` just-finished jobs in both the lifetime counter and
+    /// the windowed-rate buffer.
+    fn note_completions(state: &mut SchedState, count: usize) {
+        state.completed += count as u64;
+        let now = Instant::now();
+        for _ in 0..count {
+            state.recent.push_back(now);
+        }
+        Self::trim_rate_window(state, now);
+    }
+
+    /// Drops completion instants that have aged out of [`RATE_WINDOW`].
+    fn trim_rate_window(state: &mut SchedState, now: Instant) {
+        while state
+            .recent
+            .front()
+            .is_some_and(|&at| now.duration_since(at) > RATE_WINDOW)
+        {
+            state.recent.pop_front();
+        }
     }
 
     fn lock(&self) -> std::sync::MutexGuard<'_, SchedState> {
@@ -484,6 +661,30 @@ impl Scheduler {
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner)
     }
+}
+
+/// The `.calib` file a job's trace persists to. Each component escapes
+/// every byte outside `[A-Za-z0-9.-]` as `_xx` (lowercase hex) — `_` itself
+/// becomes `_5f` — so the `__` separator can never be forged from inside a
+/// tenant or key name and distinct (tenant, key) pairs can never collide.
+fn trace_file_name(tenant: &str, key: &str) -> String {
+    format!(
+        "{}__{}.calib",
+        escape_component(tenant),
+        escape_component(key)
+    )
+}
+
+fn escape_component(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for byte in text.bytes() {
+        if byte.is_ascii_alphanumeric() || byte == b'-' || byte == b'.' {
+            out.push(byte as char);
+        } else {
+            out.push_str(&format!("_{byte:02x}"));
+        }
+    }
+    out
 }
 
 #[cfg(test)]
@@ -748,6 +949,213 @@ mod tests {
             "persisted trace must parse back: {line}"
         );
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn quota_flag_syntax_parses_and_rejects_garbage() {
+        let config = QuotaConfig::parse("a=4:2:3,*=8:-:-").expect("valid syntax parses");
+        assert_eq!(
+            config.for_tenant("a"),
+            TenantQuota {
+                max_queued: Some(4),
+                max_inflight: Some(2),
+                weight: Some(3),
+            }
+        );
+        assert_eq!(
+            config.for_tenant("anyone-else"),
+            TenantQuota {
+                max_queued: Some(8),
+                max_inflight: None,
+                weight: None,
+            }
+        );
+        assert_eq!(
+            QuotaConfig::parse("w=0:-:0")
+                .expect("zero weight parses")
+                .for_tenant("w")
+                .weight,
+            Some(1),
+            "a zero weight clamps to 1 instead of dividing the stride by it"
+        );
+        for bad in ["a", "a=1:2", "a=1:2:3:4", "a=x:-:-", "a=-:y:-", "a=-:-:z"] {
+            assert!(QuotaConfig::parse(bad).is_err(), "`{bad}` must be rejected");
+        }
+        assert_eq!(
+            QuotaConfig::default().for_tenant("anyone"),
+            TenantQuota::default(),
+            "no config means fully unlimited"
+        );
+    }
+
+    #[test]
+    fn over_quota_submits_are_rejected_and_queues_stay_bounded() {
+        let quotas = QuotaConfig::parse("t=2:-:-").expect("quota parses");
+        let scheduler = Arc::new(
+            Scheduler::new(ThroughputPool::from_jobs(1), 1, Duration::ZERO).with_quotas(quotas),
+        );
+        let session = Arc::new(SessionHandle::new(20));
+        // Parked pool: t0 occupies the single in-flight slot, t1/t2 fill the
+        // queue to its max_queued of 2, t3 must bounce.
+        let parked = park_pool(scheduler.pool());
+        for j in 0..4 {
+            scheduler.submit(spec(&format!("t{j}"), "t", 1), &session);
+            let Response::Status { tenants, .. } = scheduler.status() else {
+                panic!("status must render counters")
+            };
+            assert!(
+                tenants.iter().all(|t| t.queued <= 2),
+                "queue depth may never exceed max_queued: {tenants:?}"
+            );
+        }
+        let Response::Status { tenants, .. } = scheduler.status() else {
+            panic!("status must render counters")
+        };
+        assert_eq!(
+            tenants
+                .iter()
+                .map(|t| (t.name.as_str(), t.queued, t.rejected, t.max_queued))
+                .collect::<Vec<_>>(),
+            vec![("t", 2, 1, Some(2))],
+            "one submit over quota, billed to the tenant's rejection counter"
+        );
+        drop(parked);
+        let lines = drain_lines(&session);
+        assert!(
+            lines.contains(&Response::Rejected {
+                id: "t3".into(),
+                reason: "queue_full:2".into(),
+            }),
+            "the over-quota submit must be answered deterministically: {lines:?}"
+        );
+        assert_eq!(
+            result_order(&lines),
+            vec!["t0".to_string(), "t1".into(), "t2".into()],
+            "admitted jobs still run to completion; the rejected one never does"
+        );
+    }
+
+    #[test]
+    fn an_inflight_quota_gates_dispatch_without_rejecting() {
+        let quotas = QuotaConfig::parse("a=-:1:-").expect("quota parses");
+        let scheduler = Arc::new(
+            Scheduler::new(ThroughputPool::from_jobs(2), 2, Duration::ZERO).with_quotas(quotas),
+        );
+        let session = Arc::new(SessionHandle::new(21));
+        let parked = park_pool(scheduler.pool());
+        scheduler.submit(spec("a0", "a", 1), &session);
+        scheduler.submit(spec("a1", "a", 1), &session);
+        let Response::Status {
+            queued, inflight, ..
+        } = scheduler.status()
+        else {
+            panic!("status must render counters")
+        };
+        assert_eq!(
+            (queued, inflight),
+            (1, 1),
+            "global capacity is 2 but the tenant may only occupy 1 slot"
+        );
+        drop(parked);
+        let lines = drain_lines(&session);
+        assert_eq!(
+            result_order(&lines),
+            vec!["a0".to_string(), "a1".into()],
+            "the gated job dispatches once the first completes — never rejected"
+        );
+    }
+
+    #[test]
+    fn a_pinned_quota_weight_overrides_the_submit_weight() {
+        // Same shape as the stride test above, but tenant `b` asks for
+        // weight 1 and the quota pins it to 3 — the burst order must match
+        // the weight-3 run exactly.
+        let quotas = QuotaConfig::parse("b=-:-:3").expect("quota parses");
+        let scheduler = Arc::new(
+            Scheduler::new(ThroughputPool::from_jobs(1), 1, Duration::ZERO).with_quotas(quotas),
+        );
+        let session = Arc::new(SessionHandle::new(22));
+        let parked = park_pool(scheduler.pool());
+        scheduler.submit(spec("plug", "z", 1), &session);
+        for j in 0..4 {
+            scheduler.submit(spec(&format!("a{j}"), "a", 1), &session);
+        }
+        for j in 0..4 {
+            scheduler.submit(spec(&format!("b{j}"), "b", 1), &session);
+        }
+        drop(parked);
+        let order = result_order(&drain_lines(&session));
+        let expected: Vec<String> = ["plug", "a0", "b0", "b1", "b2", "b3", "a1", "a2", "a3"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert_eq!(order, expected, "the pinned weight must drive the stride");
+    }
+
+    #[test]
+    fn completion_rate_is_windowed_not_a_decaying_lifetime_average() {
+        let scheduler = Arc::new(Scheduler::new(
+            ThroughputPool::from_jobs(1),
+            1,
+            Duration::ZERO,
+        ));
+        let session = Arc::new(SessionHandle::new(23));
+        scheduler.submit(spec("r0", "t", 1), &session);
+        scheduler.submit(spec("r1", "t", 1), &session);
+        let _ = drain_lines(&session);
+        scheduler.wait_idle();
+        let Response::Status { rate_mjps, .. } = scheduler.status() else {
+            panic!("status must render counters")
+        };
+        assert!(
+            rate_mjps.unwrap() > 0,
+            "jobs just completed, so the windowed rate must be positive"
+        );
+        std::thread::sleep(RATE_WINDOW + Duration::from_millis(150));
+        let Response::Status { rate_mjps, .. } = scheduler.status() else {
+            panic!("status must render counters")
+        };
+        assert_eq!(
+            rate_mjps,
+            Some(0),
+            "an idle daemon reports zero, not completed/uptime decaying forever"
+        );
+    }
+
+    #[test]
+    fn trace_file_names_cannot_collide_across_the_separator() {
+        // The old `flat()` scheme mapped both (tenant `a_`, key `b`) and
+        // (tenant `a`, key `_b`) to `a___b.calib`, silently overwriting one
+        // job's trace with another's.
+        assert_ne!(
+            trace_file_name("a_", "b"),
+            trace_file_name("a", "_b"),
+            "an underscore in a name must not forge the tenant/key separator"
+        );
+        assert_eq!(trace_file_name("a_", "b"), "a_5f__b.calib");
+        assert_eq!(trace_file_name("a", "_b"), "a___5fb.calib");
+        assert_eq!(
+            trace_file_name("t", "1:job"),
+            "t__1_3ajob.calib",
+            "the session:id colon escapes per byte"
+        );
+        assert_eq!(
+            escape_component("ok-1.x"),
+            "ok-1.x",
+            "safe bytes pass through"
+        );
+    }
+
+    #[test]
+    fn resumable_sessions_mint_a_deterministic_token() {
+        let plain = SessionHandle::new(7);
+        assert_eq!(plain.token(), None);
+        let resumable = SessionHandle::resumable(7);
+        assert_eq!(
+            resumable.token(),
+            Some("sess-00000007"),
+            "the token is a pure function of the session id"
+        );
     }
 
     #[test]

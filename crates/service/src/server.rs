@@ -17,14 +17,24 @@
 //! ([`DaemonHandle::stop`], which cancels in-flight jobs first); both end
 //! with every thread joined — [`DaemonHandle::join`] returning is the
 //! no-leaked-threads guarantee CI relies on.
+//!
+//! A connection's **first** request decides the session's identity. `hello`
+//! binds a fresh *resumable* session: the daemon answers with a stable
+//! token, retains every delivered line (`seq=`-prefixed) until the client
+//! `ack`s it, and — crucially — keeps the session alive in a registry when
+//! the connection drops, so a later connection can open with
+//! `resume <token> <last_seq>` and replay exactly the unacked suffix.
+//! Any other first request serves a classic anonymous session, wire-
+//! compatible with pre-resume daemons.
 
 use crate::client::Client;
 use crate::pipe::pipe;
 use crate::protocol::{Request, Response};
-use crate::scheduler::{Scheduler, SessionHandle};
+use crate::scheduler::{QuotaConfig, Scheduler, SessionHandle};
 use ecs_model::backend::available_parallelism;
 use ecs_model::batching::DEFAULT_LINGER;
 use ecs_model::ThroughputPool;
+use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -48,6 +58,9 @@ pub struct DaemonConfig {
     /// (one `.calib` file per job, best-effort). `None` disables
     /// persistence.
     pub trace_dir: Option<std::path::PathBuf>,
+    /// Per-tenant admission limits (the `--quota` knob); the default is
+    /// fully unlimited.
+    pub quotas: QuotaConfig,
 }
 
 impl Default for DaemonConfig {
@@ -59,6 +72,7 @@ impl Default for DaemonConfig {
             linger: DEFAULT_LINGER,
             outbox_limit: 64,
             trace_dir: None,
+            quotas: QuotaConfig::default(),
         }
     }
 }
@@ -69,6 +83,9 @@ struct DaemonShared {
     outbox_limit: usize,
     next_session: AtomicU64,
     stopping: AtomicBool,
+    /// Resumable (`hello`) sessions by token. Entries outlive their
+    /// connection — that is the point — and are removed at `bye`.
+    sessions: Mutex<HashMap<String, Arc<SessionHandle>>>,
     listen_addr: Option<SocketAddr>,
     /// Force-closers for every live connection's read side, so `stop()` can
     /// unblock readers parked on an idle stream.
@@ -132,11 +149,13 @@ impl Daemon {
         let shared = Arc::new(DaemonShared {
             scheduler: Arc::new(
                 Scheduler::new(config.pool, config.max_inflight, config.linger)
-                    .with_trace_dir(config.trace_dir.clone()),
+                    .with_trace_dir(config.trace_dir.clone())
+                    .with_quotas(config.quotas.clone()),
             ),
             outbox_limit: config.outbox_limit,
             next_session: AtomicU64::new(0),
             stopping: AtomicBool::new(false),
+            sessions: Mutex::new(HashMap::new()),
             listen_addr: Some(local),
             closers: Mutex::new(Vec::new()),
             threads: Mutex::new(Vec::new()),
@@ -180,11 +199,13 @@ impl Daemon {
         let shared = Arc::new(DaemonShared {
             scheduler: Arc::new(
                 Scheduler::new(config.pool, config.max_inflight, config.linger)
-                    .with_trace_dir(config.trace_dir.clone()),
+                    .with_trace_dir(config.trace_dir.clone())
+                    .with_quotas(config.quotas.clone()),
             ),
             outbox_limit: config.outbox_limit,
             next_session: AtomicU64::new(0),
             stopping: AtomicBool::new(false),
+            sessions: Mutex::new(HashMap::new()),
             listen_addr: None,
             closers: Mutex::new(Vec::new()),
             threads: Mutex::new(Vec::new()),
@@ -267,19 +288,91 @@ impl DaemonHandle {
     }
 }
 
-/// Serves one session: spawns the writer, runs the reader loop inline, and
-/// tears both down when the client disconnects or the daemon stops.
+/// Serves one session: binds the session's identity from the connection's
+/// first request (`hello` → fresh resumable session, `resume` → re-attach a
+/// parked one, anything else → anonymous), spawns the writer, runs the
+/// reader loop inline, and tears down. A resumable session whose connection
+/// merely dropped is *parked*, not destroyed: its retained outbox keeps
+/// collecting results for a future `resume`.
 fn serve_session<R, W>(shared: &Arc<DaemonShared>, mut reader: R, mut writer: W)
 where
     R: BufRead + Send,
     W: Write + Send + 'static,
 {
-    let session = Arc::new(SessionHandle::new(
-        shared.next_session.fetch_add(1, Ordering::SeqCst),
-    ));
+    // Identity prologue: read the first non-empty line before spawning
+    // anything, so a failed `resume` can be answered on the raw connection
+    // and hung up without ever touching a session.
+    let mut first = String::new();
+    loop {
+        first.clear();
+        match reader.read_line(&mut first) {
+            Ok(0) | Err(_) => return,
+            Ok(_) => {}
+        }
+        if !first.trim().is_empty() {
+            break;
+        }
+    }
+    let mut deferred = None;
+    let (session, epoch) = match Request::parse(&first) {
+        Ok(Request::Hello) => {
+            let session = Arc::new(SessionHandle::resumable(
+                shared.next_session.fetch_add(1, Ordering::SeqCst),
+            ));
+            let token = session
+                .token()
+                .expect("resumable sessions carry a token")
+                .to_string();
+            let epoch = session.outbox().attach_writer();
+            // Pushed before anything else can land, so the `hello` answer
+            // is always seq=1.
+            session.respond(&Response::Hello {
+                token: token.clone(),
+            });
+            shared
+                .sessions
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .insert(token, Arc::clone(&session));
+            (session, epoch)
+        }
+        Ok(Request::Resume { token, last_seq }) => {
+            let existing = shared
+                .sessions
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .get(&token)
+                .cloned();
+            let resumed = existing
+                .ok_or_else(|| format!("unknown session token {token}"))
+                .and_then(|session| {
+                    session
+                        .outbox()
+                        .resume_from(last_seq)
+                        .map(|epoch| (session, epoch))
+                });
+            match resumed {
+                Ok(bound) => bound,
+                Err(message) => {
+                    let _ = writeln!(writer, "{}", Response::Error { message }.render());
+                    let _ = writer.flush();
+                    return;
+                }
+            }
+        }
+        other => {
+            let session = Arc::new(SessionHandle::new(
+                shared.next_session.fetch_add(1, Ordering::SeqCst),
+            ));
+            let epoch = session.outbox().attach_writer();
+            deferred = Some(other);
+            (session, epoch)
+        }
+    };
+
     let writer_session = Arc::clone(&session);
     let writer_thread = std::thread::spawn(move || {
-        while let Some(line) = writer_session.outbox().pop() {
+        while let Some(line) = writer_session.outbox().pop_at(epoch) {
             if writeln!(writer, "{line}").is_err() {
                 break;
             }
@@ -292,24 +385,44 @@ where
     let scheduler = Arc::clone(&shared.scheduler);
     let mut line = String::new();
     loop {
-        line.clear();
-        match reader.read_line(&mut line) {
-            Ok(0) | Err(_) => break,
-            Ok(_) => {}
-        }
-        if line.trim().is_empty() {
-            continue;
-        }
-        match Request::parse(&line) {
+        let request = match deferred.take() {
+            Some(request) => request,
+            None => {
+                line.clear();
+                match reader.read_line(&mut line) {
+                    Ok(0) | Err(_) => break,
+                    Ok(_) => {}
+                }
+                if line.trim().is_empty() {
+                    continue;
+                }
+                Request::parse(&line)
+            }
+        };
+        match request {
             Ok(Request::Submit(spec)) => {
                 // Backpressure: don't admit more work while this session's
-                // results sit unread.
+                // results sit unread (or, for resumable sessions, unacked).
                 session.outbox().wait_below(shared.outbox_limit);
                 scheduler.submit(spec, &session);
             }
             Ok(Request::Cancel { id }) => scheduler.cancel(&session, &id),
             Ok(Request::Status) => session.respond(&scheduler.status()),
             Ok(Request::Drain) => session.request_drain(),
+            Ok(Request::Ack { seq }) => {
+                if session.token().is_some() {
+                    session.outbox().ack(seq);
+                } else {
+                    session.respond(&Response::Error {
+                        message: "ack requires a hello session".to_string(),
+                    });
+                }
+            }
+            Ok(Request::Hello) | Ok(Request::Resume { .. }) => {
+                session.respond(&Response::Error {
+                    message: "session identity is fixed by the first request".to_string(),
+                });
+            }
             Ok(Request::Shutdown) => {
                 // Graceful daemon stop: refuse new work, finish everything,
                 // then close every session (the epilogue sends this
@@ -326,7 +439,22 @@ where
         }
     }
 
+    if session.token().is_some() && !shared.stopping.load(Ordering::SeqCst) {
+        // The connection ended but the daemon lives on: park the session —
+        // results keep landing in its retained outbox — and release this
+        // writer so a future `resume` can replace it.
+        session.outbox().detach(epoch);
+        let _ = writer_thread.join();
+        return;
+    }
     session.respond(&Response::Bye);
     session.outbox().close();
     let _ = writer_thread.join();
+    if let Some(token) = session.token() {
+        shared
+            .sessions
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .remove(token);
+    }
 }

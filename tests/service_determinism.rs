@@ -11,8 +11,10 @@
 use ecs_model::ThroughputPool;
 use ecs_service::protocol::{render_result, run_job};
 use ecs_service::{
-    AlgoSpec, BackendSpec, Daemon, DaemonConfig, DistSpec, JobSpec, Request, Response,
+    AlgoSpec, BackendSpec, Client, Daemon, DaemonConfig, DistSpec, JobSpec, QuotaConfig, Request,
+    Response,
 };
+use proptest::prelude::*;
 use std::collections::HashMap;
 use std::time::Duration;
 
@@ -56,6 +58,7 @@ fn daemon_config() -> DaemonConfig {
         linger: Duration::ZERO,
         outbox_limit: 16,
         trace_dir: None,
+        quotas: QuotaConfig::default(),
     }
 }
 
@@ -259,6 +262,190 @@ fn cancelling_one_session_leaves_the_others_bit_identical() {
     assert_eq!(outcome.iter().map(Vec::len).sum::<usize>(), 12);
     daemon.stop();
     daemon.join();
+}
+
+/// Lockstep driver for the resume byte-identity test: submit one job at a
+/// time and read both of its lines (`accepted`, then `result`) before the
+/// next submit, so the seq-prefixed stream is fully deterministic.
+fn lockstep(client: &mut Client, jobs: std::ops::Range<usize>, lines: &mut Vec<String>) {
+    for j in jobs {
+        client.submit(&grid_spec(40, j)).expect("submit");
+        for _ in 0..2 {
+            let response = client.recv().expect("recv").expect("stream stays open");
+            lines.push(format!("seq={} {}", client.last_seq(), response.render()));
+        }
+    }
+}
+
+#[test]
+fn a_resumed_session_replays_exactly_the_undropped_byte_stream() {
+    // Two fresh daemons, one lockstep session each. Session A receives seq
+    // 1..=5, acks only through 3, then "crashes": lines 4 and 5 were on the
+    // wire but never persisted, so the reconnect resumes from 3 and the
+    // daemon must replay exactly the unacked suffix. Session B never drops.
+    // The two observed streams — seq prefixes included — must be identical
+    // byte for byte.
+    let jobs = 4;
+
+    let daemon_a = Daemon::loopback(daemon_config());
+    let mut stream_a = Vec::new();
+    let token = {
+        let mut client = daemon_a.connect();
+        let token = client.hello().expect("hello");
+        stream_a.push(format!(
+            "seq=1 {}",
+            Response::Hello {
+                token: token.clone()
+            }
+            .render()
+        ));
+        lockstep(&mut client, 0..1, &mut stream_a); // seq 2, 3
+        client.ack(client.last_seq()).expect("ack through 3");
+        // Job 1's lines (seq 4, 5) arrive but are "lost in the crash":
+        // read them off the wire and throw them away.
+        client.submit(&grid_spec(40, 1)).expect("submit job 1");
+        for _ in 0..2 {
+            client.recv().expect("recv").expect("stream stays open");
+        }
+        assert_eq!(client.last_seq(), 5);
+        token
+        // client drops here: the daemon parks the session.
+    };
+    let mut resumed = daemon_a.connect();
+    resumed.resume(&token, 3).expect("resume from the last ack");
+    for _ in 0..2 {
+        // The replayed suffix: seq 4 and 5 again, bit-identical.
+        let response = resumed.recv().expect("recv").expect("replay arrives");
+        stream_a.push(format!("seq={} {}", resumed.last_seq(), response.render()));
+    }
+    lockstep(&mut resumed, 2..jobs, &mut stream_a);
+
+    let daemon_b = Daemon::loopback(daemon_config());
+    let mut stream_b = Vec::new();
+    let mut undropped = daemon_b.connect();
+    let token_b = undropped.hello().expect("hello");
+    assert_eq!(token, token_b, "fresh daemons mint the same first token");
+    stream_b.push(format!(
+        "seq=1 {}",
+        Response::Hello { token: token_b }.render()
+    ));
+    lockstep(&mut undropped, 0..jobs, &mut stream_b);
+
+    assert_eq!(
+        stream_a, stream_b,
+        "a dropped-and-resumed session must observe the undropped byte stream"
+    );
+    drop(resumed);
+    drop(undropped);
+    daemon_a.stop();
+    daemon_a.join();
+    daemon_b.stop();
+    daemon_b.join();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// Satellite of the resume work: drop a random subset of 64 concurrent
+    /// sessions mid-stream (each after a random number of received-and-acked
+    /// lines), resume every one from its last acked seq, and check the
+    /// union of result lines against the serial reference. `cut == 0` keeps
+    /// that session connected as an in-band control.
+    #[test]
+    fn randomly_dropped_sessions_resume_without_losing_or_forking_results(
+        cuts in proptest::collection::vec(0u8..5, SESSIONS)
+    ) {
+        let daemon = Daemon::loopback(daemon_config());
+        let collected: Vec<(String, String)> = std::thread::scope(|scope| {
+            let daemon = &daemon;
+            let handles: Vec<_> = cuts
+                .iter()
+                .enumerate()
+                .map(|(s, &cut)| {
+                    let mut client = daemon.connect();
+                    scope.spawn(move || {
+                        let token = client.hello().expect("hello");
+                        for j in 0..JOBS_PER_SESSION {
+                            client.submit(&grid_spec(s, j)).expect("submit");
+                        }
+                        let mut lines: Vec<(String, String)> = Vec::new();
+                        if cut == 0 {
+                            lines.extend(client.drain().expect("drain control").into_iter().filter_map(
+                                |response| match response {
+                                    Response::Result { id, line } => Some((id, line)),
+                                    _ => None,
+                                },
+                            ));
+                        } else {
+                            // Read `cut - 1` lines of any kind, acking each,
+                            // then drop the connection cold and resume from
+                            // the newest seq this client ever saw. A `drain`
+                            // barrier could overtake the dead connection's
+                            // still-buffered submits, so the resumed side
+                            // counts result lines instead.
+                            for _ in 0..cut - 1 {
+                                let response =
+                                    client.recv().expect("recv").expect("stream stays open");
+                                client.ack(client.last_seq()).expect("ack");
+                                if let Response::Result { id, line } = response {
+                                    lines.push((id, line));
+                                }
+                            }
+                            let acked = client.last_seq();
+                            drop(client);
+                            let mut resumed = daemon.connect();
+                            resumed.resume(&token, acked).expect("resume");
+                            while lines.len() < JOBS_PER_SESSION {
+                                let response =
+                                    resumed.recv().expect("recv").expect("replay stays open");
+                                resumed.ack(resumed.last_seq()).expect("ack replayed");
+                                if let Response::Result { id, line } = response {
+                                    lines.push((id, line));
+                                }
+                            }
+                        }
+                        assert_eq!(
+                            lines.len(),
+                            JOBS_PER_SESSION,
+                            "session {s} (cut {cut}) lost or duplicated results"
+                        );
+                        let mut ids: Vec<&String> = lines.iter().map(|(id, _)| id).collect();
+                        ids.sort();
+                        ids.dedup();
+                        assert_eq!(
+                            ids.len(),
+                            JOBS_PER_SESSION,
+                            "session {s} (cut {cut}) saw a duplicated result id"
+                        );
+                        lines
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|handle| handle.join().expect("session thread"))
+                .collect()
+        });
+
+        let serial: HashMap<String, String> = (0..SESSIONS)
+            .flat_map(|s| (0..JOBS_PER_SESSION).map(move |j| grid_spec(s, j)))
+            .map(|spec| {
+                let run = run_job(&spec, Duration::ZERO, None);
+                (spec.id.clone(), render_result(&spec, &run))
+            })
+            .collect();
+        prop_assert_eq!(collected.len(), SESSIONS * JOBS_PER_SESSION);
+        for (id, line) in &collected {
+            prop_assert_eq!(
+                Some(line),
+                serial.get(id),
+                "job {}: resumed result differs from the serial loop",
+                id
+            );
+        }
+        daemon.stop();
+        daemon.join();
+    }
 }
 
 #[test]
